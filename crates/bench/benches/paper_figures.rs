@@ -1,0 +1,190 @@
+//! Criterion wrappers over the per-figure workloads: one benchmark per
+//! table/figure of the paper, sized down so the whole suite stays quick.
+//! The `figures` binary produces the full paper-scale numbers; these
+//! benches exist for regression tracking of the simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvdimmc_core::{
+    BlockDevice, EmulatedPmem, NvdimmCConfig, PerfParams, System, PAGE_BYTES,
+};
+use nvdimmc_ddr::{SpeedBin, TimingParams};
+use nvdimmc_sim::SimDuration;
+use nvdimmc_workloads::{FileCopy, FioJob, MixedLoad, StreamValidator, TpchRunner};
+
+fn small_system() -> System {
+    System::new(NvdimmCConfig::small_for_tests()).expect("config")
+}
+
+fn pmem() -> EmulatedPmem {
+    EmulatedPmem::new(
+        32 << 20,
+        TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600),
+        PerfParams::poc(),
+    )
+    .expect("pmem")
+}
+
+/// Figure 8 core loop: baseline and cached 4 KB random reads.
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_random_rw");
+    g.sample_size(10);
+    g.bench_function("baseline_randread_4k", |b| {
+        b.iter(|| {
+            let mut dev = pmem();
+            FioJob::rand_read_4k(16 << 20, 300).run(&mut dev).unwrap()
+        })
+    });
+    g.bench_function("nvdc_cached_randread_4k", |b| {
+        b.iter(|| {
+            let mut sys = small_system();
+            for p in 0..512 {
+                sys.prefault(p).unwrap();
+            }
+            FioJob::rand_read_4k(512 * PAGE_BYTES, 300)
+                .run(&mut sys)
+                .unwrap()
+        })
+    });
+    g.bench_function("nvdc_uncached_randread_4k", |b| {
+        b.iter(|| {
+            let mut cfg = NvdimmCConfig::small_for_tests();
+            cfg.cache_slots = 32;
+            let mut sys = System::new(cfg).unwrap();
+            let page = vec![1u8; 4096];
+            for i in 0..64u64 {
+                sys.write_at(i * PAGE_BYTES, &page).unwrap();
+            }
+            FioJob::rand_read_4k(32 * PAGE_BYTES, 40)
+                .run(&mut sys)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Figure 7 core loop: the file copy across the cache boundary.
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_file_copy");
+    g.sample_size(10);
+    g.bench_function("copy_past_cache_boundary", |b| {
+        b.iter(|| {
+            let mut cfg = NvdimmCConfig::small_for_tests();
+            cfg.cache_slots = (2 << 20) / PAGE_BYTES;
+            let mut sys = System::new(cfg).unwrap();
+            FileCopy {
+                file_bytes: 6 << 20,
+                chunk_bytes: 64 << 10,
+                source_bytes_per_s: 520e6,
+                bin: SimDuration::from_ms(5.0),
+                seed: 3,
+            }
+            .run(&mut sys)
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Figure 10 core loop: granularity sweep on the cached device.
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_granularity");
+    g.sample_size(10);
+    for bs in [128u64, 4096, 65536] {
+        g.bench_function(format!("cached_randread_{bs}B"), |b| {
+            b.iter(|| {
+                let mut sys = small_system();
+                for p in 0..512 {
+                    sys.prefault(p).unwrap();
+                }
+                FioJob {
+                    block_size: bs,
+                    ..FioJob::rand_read_4k(512 * PAGE_BYTES, 200)
+                }
+                .run(&mut sys)
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 11 core loop: one warm and one cold TPC-H profile.
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_tpch");
+    g.sample_size(10);
+    let runner = TpchRunner::new(2 << 20);
+    for (name, idx) in [("q1_scan", 0usize), ("q20_small_random", 19)] {
+        let q = nvdimmc_workloads::tpch::queries()[idx];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = NvdimmCConfig::small_for_tests();
+                cfg.cache_slots = (2 << 20) / PAGE_BYTES;
+                let mut sys = System::new(cfg).unwrap();
+                runner.run_query(&mut sys, &q).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figures 12/13 core loops: the sensitivity sweeps.
+fn bench_fig12_13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_fig13_sweeps");
+    g.sample_size(10);
+    g.bench_function("hypothetical_td_1850ns", |b| {
+        b.iter(|| {
+            let cfg = NvdimmCConfig::small_for_tests()
+                .with_hypothetical(SimDuration::from_us(1.85));
+            let mut sys = System::new(cfg).unwrap();
+            FioJob::rand_read_4k(24 << 20, 300).run(&mut sys).unwrap()
+        })
+    });
+    g.bench_function("cached_trefi4", |b| {
+        b.iter(|| {
+            let cfg =
+                NvdimmCConfig::small_for_tests().with_trefi(SimDuration::from_us(1.95));
+            let mut sys = System::new(cfg).unwrap();
+            for p in 0..256 {
+                sys.prefault(p).unwrap();
+            }
+            FioJob::rand_read_4k(256 * PAGE_BYTES, 300)
+                .run(&mut sys)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// §VII-A / §VII-B5: the validation workloads.
+fn bench_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validation_workloads");
+    g.sample_size(10);
+    g.bench_function("stream_aging", |b| {
+        b.iter(|| {
+            let mut sys = small_system();
+            let report = StreamValidator::small().run(&mut sys).unwrap();
+            assert_eq!(report.mismatches, 0);
+            report
+        })
+    });
+    g.bench_function("mixed_load_50_users", |b| {
+        b.iter(|| {
+            let mut sys = small_system();
+            let report = MixedLoad::small().run(&mut sys).unwrap();
+            assert_eq!(report.validation_errors, 0);
+            report
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig7,
+    bench_fig8,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12_13,
+    bench_validation
+);
+criterion_main!(figures);

@@ -1,0 +1,66 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p nvdimmc-bench --bin figures            # everything
+//! cargo run --release -p nvdimmc-bench --bin figures -- fig8    # one figure
+//! cargo run --release -p nvdimmc-bench --bin figures -- --list  # list ids
+//! ```
+
+use nvdimmc_bench::experiments;
+use nvdimmc_bench::Figure;
+
+type Entry = (&'static str, fn() -> Figure);
+
+fn registry() -> Vec<Entry> {
+    vec![
+        ("table1", experiments::table1 as fn() -> Figure),
+        ("table2", experiments::table2),
+        ("validation", experiments::validation),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8),
+        ("fig9", experiments::fig9),
+        ("fig10", experiments::fig10),
+        ("fig11", experiments::fig11),
+        ("fig12", experiments::fig12),
+        ("fig13", experiments::fig13),
+        ("mixedload", experiments::mixedload_validation),
+        ("ablations", experiments::ablations),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = registry();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &reg {
+            println!("{name}");
+        }
+        return;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
+    let selected: Vec<&Entry> = if args.is_empty() {
+        reg.iter().collect()
+    } else {
+        reg.iter()
+            .filter(|(name, _)| args.iter().any(|a| a == name))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown figure id(s): {args:?}; use --list");
+        std::process::exit(2);
+    }
+    if json {
+        let figures: Vec<String> = selected.iter().map(|(_, run)| run().to_json()).collect();
+        println!("[{}]", figures.join(","));
+        return;
+    }
+    println!("NVDIMM-C (HPCA 2020) reproduction — figure harness");
+    println!("system: NvdimmCConfig::figure_scale() (Table I at 1:256 capacity)\n");
+    for (name, run) in selected {
+        let t0 = std::time::Instant::now();
+        let fig = run();
+        println!("{}", fig.render());
+        println!("[{name} regenerated in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

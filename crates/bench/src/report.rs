@@ -1,0 +1,191 @@
+//! Report formatting for the figure harness.
+
+use serde::Serialize;
+
+/// One row of a reproduced table/figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (e.g. "4K randread, Cached").
+    pub label: String,
+    /// What the paper reports (free text, may be "—").
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Optional note (deviation explanations, scaling).
+    pub note: String,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(
+        label: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Self {
+        Row {
+            label: label.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            note: String::new(),
+        }
+    }
+
+    /// Attaches a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+}
+
+/// A reproduced table or figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. "Figure 8".
+    pub id: String,
+    /// Title from the paper.
+    pub title: String,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+impl Figure {
+    /// Creates an empty figure report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let w_label = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(["metric".len()])
+            .max()
+            .unwrap_or(8);
+        let w_paper = self
+            .rows
+            .iter()
+            .map(|r| r.paper.len())
+            .chain(["paper".len()])
+            .max()
+            .unwrap_or(8);
+        let w_meas = self
+            .rows
+            .iter()
+            .map(|r| r.measured.len())
+            .chain(["measured".len()])
+            .max()
+            .unwrap_or(8);
+        out.push_str(&format!(
+            "{:<w_label$}  {:>w_paper$}  {:>w_meas$}  note\n",
+            "metric", "paper", "measured"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<w_label$}  {:>w_paper$}  {:>w_meas$}  {}\n",
+                r.label, r.paper, r.measured, r.note
+            ));
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Figure {
+    /// Renders the figure as a JSON object (hand-rolled: the workspace
+    /// deliberately avoids a JSON dependency).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"label\":\"{}\",\"paper\":\"{}\",\"measured\":\"{}\",\"note\":\"{}\"}}",
+                    json_escape(&r.label),
+                    json_escape(&r.paper),
+                    json_escape(&r.measured),
+                    json_escape(&r.note)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"rows\":[{}]}}",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            rows.join(",")
+        )
+    }
+}
+
+/// Formats a bandwidth in MB/s.
+pub fn mbs(v: f64) -> String {
+    format!("{v:.0} MB/s")
+}
+
+/// Formats a KIOPS value.
+pub fn kiops(v: f64) -> String {
+    format!("{v:.0} KIOPS")
+}
+
+/// Formats a ratio like "3.3x".
+pub fn ratio(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut f = Figure::new("Figure 0", "smoke");
+        f.push(Row::new("short", "1", "2"));
+        f.push(Row::new("a much longer label", "100 MB/s", "99 MB/s").with_note("ok"));
+        let text = f.render();
+        assert!(text.contains("Figure 0"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn json_output_is_escaped() {
+        let mut f = Figure::new("Figure \"X\"", "smoke");
+        f.push(Row::new("a\nb", "1", "2"));
+        let j = f.to_json();
+        assert!(j.contains("\\\"X\\\""));
+        assert!(j.contains("a\\nb"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mbs(517.6), "518 MB/s");
+        assert_eq!(kiops(646.4), "646 KIOPS");
+        assert_eq!(ratio(3.28), "3.3x");
+    }
+}

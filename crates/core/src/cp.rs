@@ -1,0 +1,240 @@
+//! The communication-protocol (CP) mailbox (paper §IV-C).
+//!
+//! The first page of the reserved region carries 64-bit command words from
+//! the nvdc driver to the FPGA and acknowledgement words back. A command
+//! has four bit-fields: **Phase** (is this word new?), **Opcode**
+//! (cachefill / writeback), **DRAM_Slot_ID** and **NAND_Page_ID**.
+
+use serde::{Deserialize, Serialize};
+
+/// What the FPGA should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpOpcode {
+    /// Load a NAND page into a DRAM cache slot.
+    Cachefill,
+    /// Store a DRAM cache slot into a NAND page.
+    Writeback,
+    /// §VII-C optimisation 4: an independent writeback and cachefill
+    /// merged into one command, processed in parallel by the device.
+    WritebackCachefill,
+}
+
+impl CpOpcode {
+    fn to_bits(self) -> u64 {
+        match self {
+            CpOpcode::Cachefill => 1,
+            CpOpcode::Writeback => 2,
+            CpOpcode::WritebackCachefill => 3,
+        }
+    }
+
+    fn from_bits(bits: u64) -> Option<Self> {
+        match bits {
+            1 => Some(CpOpcode::Cachefill),
+            2 => Some(CpOpcode::Writeback),
+            3 => Some(CpOpcode::WritebackCachefill),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded CP command.
+///
+/// Packed layout (64 bits):
+///
+/// ```text
+/// [63:60] phase   [59:56] opcode   [55:28] dram_slot   [27:0] nand_page
+/// ```
+///
+/// For [`CpOpcode::WritebackCachefill`] the `nand_page` field holds the
+/// *fill* page and `wb_nand_page` rides in the adjacent word (the PoC's
+/// 64-bit commands cannot carry both; the merged opcode is modelled as a
+/// 2-word command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpCommand {
+    /// Monotonically advancing 4-bit phase; a value different from the
+    /// last one the FPGA saw marks the word as new.
+    pub phase: u8,
+    /// The operation.
+    pub opcode: CpOpcode,
+    /// Target/source DRAM cache slot.
+    pub dram_slot: u64,
+    /// Target/source NAND logical page.
+    pub nand_page: u64,
+    /// Writeback page for the merged opcode.
+    pub wb_nand_page: Option<u64>,
+}
+
+/// Maximum encodable slot id (28 bits).
+pub const MAX_SLOT: u64 = (1 << 28) - 1;
+/// Maximum encodable NAND page id (28 bits).
+pub const MAX_NAND_PAGE: u64 = (1 << 28) - 1;
+
+impl CpCommand {
+    /// Encodes into the mailbox representation: the primary 64-bit word
+    /// plus an auxiliary word (non-zero only for merged commands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its bit-field width.
+    pub fn encode(&self) -> [u8; 16] {
+        assert!(self.dram_slot <= MAX_SLOT, "slot id exceeds 28 bits");
+        assert!(self.nand_page <= MAX_NAND_PAGE, "page id exceeds 28 bits");
+        let word = (u64::from(self.phase & 0xF) << 60)
+            | (self.opcode.to_bits() << 56)
+            | (self.dram_slot << 28)
+            | self.nand_page;
+        let aux = match self.wb_nand_page {
+            Some(p) => {
+                assert!(p <= MAX_NAND_PAGE, "wb page id exceeds 28 bits");
+                p | (1 << 63)
+            }
+            None => 0,
+        };
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&word.to_le_bytes());
+        out[8..].copy_from_slice(&aux.to_le_bytes());
+        out
+    }
+
+    /// Decodes a mailbox word pair. Returns `None` for an empty/garbage
+    /// word (opcode 0 or unknown).
+    pub fn decode(bytes: &[u8; 16]) -> Option<CpCommand> {
+        let word = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let aux = u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+        let opcode = CpOpcode::from_bits((word >> 56) & 0xF)?;
+        Some(CpCommand {
+            phase: ((word >> 60) & 0xF) as u8,
+            opcode,
+            dram_slot: (word >> 28) & MAX_SLOT,
+            nand_page: word & MAX_NAND_PAGE,
+            wb_nand_page: (aux >> 63 == 1).then_some(aux & MAX_NAND_PAGE),
+        })
+    }
+}
+
+/// The acknowledgement word the FPGA writes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpAck {
+    /// Echo of the command's phase.
+    pub phase: u8,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+impl CpAck {
+    /// Encodes the ack word.
+    pub fn encode(&self) -> [u8; 8] {
+        let w = (u64::from(self.phase & 0xF) << 60) | (u64::from(self.ok) << 1) | 1;
+        w.to_le_bytes()
+    }
+
+    /// Decodes an ack word; `None` when the slot has never been written.
+    pub fn decode(bytes: &[u8; 8]) -> Option<CpAck> {
+        let w = u64::from_le_bytes(*bytes);
+        if w & 1 == 0 {
+            return None;
+        }
+        Some(CpAck {
+            phase: ((w >> 60) & 0xF) as u8,
+            ok: (w >> 1) & 1 == 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrip() {
+        for opcode in [CpOpcode::Cachefill, CpOpcode::Writeback] {
+            let cmd = CpCommand {
+                phase: 7,
+                opcode,
+                dram_slot: 123_456,
+                nand_page: 9_876_543,
+                wb_nand_page: None,
+            };
+            assert_eq!(CpCommand::decode(&cmd.encode()), Some(cmd));
+        }
+    }
+
+    #[test]
+    fn merged_command_roundtrip() {
+        let cmd = CpCommand {
+            phase: 3,
+            opcode: CpOpcode::WritebackCachefill,
+            dram_slot: 1,
+            nand_page: 2,
+            wb_nand_page: Some(MAX_NAND_PAGE),
+        };
+        assert_eq!(CpCommand::decode(&cmd.encode()), Some(cmd));
+    }
+
+    #[test]
+    fn zero_word_decodes_none() {
+        assert_eq!(CpCommand::decode(&[0u8; 16]), None);
+    }
+
+    #[test]
+    fn phase_wraps_at_four_bits() {
+        let cmd = CpCommand {
+            phase: 0x1F, // only low 4 bits survive
+            opcode: CpOpcode::Cachefill,
+            dram_slot: 0,
+            nand_page: 0,
+            wb_nand_page: None,
+        };
+        assert_eq!(CpCommand::decode(&cmd.encode()).unwrap().phase, 0xF);
+    }
+
+    #[test]
+    fn field_extremes_roundtrip() {
+        let cmd = CpCommand {
+            phase: 0xF,
+            opcode: CpOpcode::Writeback,
+            dram_slot: MAX_SLOT,
+            nand_page: MAX_NAND_PAGE,
+            wb_nand_page: None,
+        };
+        assert_eq!(CpCommand::decode(&cmd.encode()), Some(cmd));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot id exceeds")]
+    fn oversized_slot_panics() {
+        CpCommand {
+            phase: 0,
+            opcode: CpOpcode::Cachefill,
+            dram_slot: MAX_SLOT + 1,
+            nand_page: 0,
+            wb_nand_page: None,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn ack_roundtrip_and_empty() {
+        assert_eq!(CpAck::decode(&[0u8; 8]), None);
+        for ok in [true, false] {
+            let ack = CpAck { phase: 9, ok };
+            assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
+        }
+    }
+
+    #[test]
+    fn distinct_phases_distinct_words() {
+        let mk = |phase| {
+            CpCommand {
+                phase,
+                opcode: CpOpcode::Cachefill,
+                dram_slot: 5,
+                nand_page: 6,
+                wb_nand_page: None,
+            }
+            .encode()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+}

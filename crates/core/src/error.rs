@@ -1,0 +1,64 @@
+//! Error type for the NVDIMM-C core.
+
+use nvdimmc_ddr::BusViolation;
+use nvdimmc_nand::NandError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the NVDIMM-C device, driver or baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A shared-bus discipline violation leaked through — on hardware this
+    /// is a memory error; in the simulator it means a bug in the window
+    /// scheduler.
+    Bus(BusViolation),
+    /// The NAND back end failed.
+    Nand(NandError),
+    /// An access fell outside the exported block device.
+    OutOfRange {
+        /// Offending byte offset.
+        offset: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// The CP mailbox protocol desynchronised (phase mismatch).
+    Protocol(String),
+    /// Configuration rejected.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Bus(v) => write!(f, "bus violation: {v}"),
+            CoreError::Nand(e) => write!(f, "nand error: {e}"),
+            CoreError::OutOfRange { offset, capacity } => {
+                write!(f, "offset {offset:#x} out of range ({capacity:#x})")
+            }
+            CoreError::Protocol(msg) => write!(f, "CP protocol error: {msg}"),
+            CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Bus(v) => Some(v),
+            CoreError::Nand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BusViolation> for CoreError {
+    fn from(v: BusViolation) -> Self {
+        CoreError::Bus(v)
+    }
+}
+
+impl From<NandError> for CoreError {
+    fn from(e: NandError) -> Self {
+        CoreError::Nand(e)
+    }
+}

@@ -1,0 +1,169 @@
+//! The reserved-region layout (paper Figure 5).
+//!
+//! The nvdc driver reserves the module's DRAM address space via
+//! `memmap=nn$ss` and carves it into three areas:
+//!
+//! 1. the **CP area** — the first 4 KB page, used as the mailbox between
+//!    driver and FPGA (§IV-C);
+//! 2. a 16 MB **metadata area** holding the DRAM-slot ↔ NAND-page
+//!    mappings, which the FPGA's power-fail firmware walks (§V-C);
+//! 3. the **cache slots** — 4 KB each, fully associative.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes in the CP mailbox area (one page).
+pub const CP_AREA_BYTES: u64 = 4096;
+/// Bytes in the metadata area (paper: 16 MB).
+pub const METADATA_BYTES: u64 = 16 << 20;
+/// Bytes per cache slot / NAND page.
+pub const SLOT_BYTES: u64 = 4096;
+/// Bytes per metadata entry: a packed 32-bit NAND page id, matching the
+/// paper's 16 MB metadata area covering 15 GB (3.93M slots) of cache.
+pub const META_ENTRY_BYTES: u64 = 4;
+
+/// Byte offsets of the reserved-region areas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Base physical address of the reserved region.
+    pub base: u64,
+    /// Number of cache slots.
+    pub slots: u64,
+}
+
+impl Layout {
+    /// Creates the layout for a reserved region at `base` with `slots`
+    /// cache slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or would overflow the metadata area.
+    pub fn new(base: u64, slots: u64) -> Self {
+        assert!(slots > 0, "need at least one cache slot");
+        assert!(
+            slots * META_ENTRY_BYTES <= METADATA_BYTES,
+            "metadata area holds at most {} slots",
+            METADATA_BYTES / META_ENTRY_BYTES
+        );
+        Layout { base, slots }
+    }
+
+    /// Total reserved bytes needed for `slots` slots.
+    pub fn required_bytes(slots: u64) -> u64 {
+        CP_AREA_BYTES + METADATA_BYTES + slots * SLOT_BYTES
+    }
+
+    /// The CP area's base address.
+    pub fn cp_area(&self) -> u64 {
+        self.base
+    }
+
+    /// Address of the CP command word (first cacheline of the CP area).
+    pub fn cp_command(&self) -> u64 {
+        self.base
+    }
+
+    /// Address of the CP acknowledgement word (second cacheline, so the
+    /// FPGA's ack write never collides with the driver's command line).
+    pub fn cp_ack(&self) -> u64 {
+        self.base + 64
+    }
+
+    /// The metadata area's base address.
+    pub fn metadata(&self) -> u64 {
+        self.base + CP_AREA_BYTES
+    }
+
+    /// Address of the metadata entry for `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn metadata_entry(&self, slot: u64) -> u64 {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        self.metadata() + slot * META_ENTRY_BYTES
+    }
+
+    /// Base address of the slot array.
+    pub fn slots_base(&self) -> u64 {
+        self.base + CP_AREA_BYTES + METADATA_BYTES
+    }
+
+    /// Physical address of cache slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn slot_addr(&self, slot: u64) -> u64 {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        self.slots_base() + slot * SLOT_BYTES
+    }
+
+    /// Exclusive end of the reserved region.
+    pub fn end(&self) -> u64 {
+        self.base + Self::required_bytes(self.slots)
+    }
+
+    /// The slot containing physical address `addr`, if any.
+    pub fn slot_of_addr(&self, addr: u64) -> Option<u64> {
+        if addr < self.slots_base() || addr >= self.end() {
+            return None;
+        }
+        Some((addr - self.slots_base()) / SLOT_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_are_disjoint_and_ordered() {
+        let l = Layout::new(0, 1024);
+        assert!(l.cp_area() < l.metadata());
+        assert!(l.metadata() < l.slots_base());
+        assert_eq!(l.metadata() - l.cp_area(), CP_AREA_BYTES);
+        assert_eq!(l.slots_base() - l.metadata(), METADATA_BYTES);
+        assert_eq!(l.end() - l.slots_base(), 1024 * SLOT_BYTES);
+    }
+
+    #[test]
+    fn slot_addr_roundtrip() {
+        let l = Layout::new(1 << 30, 100);
+        for s in [0u64, 1, 50, 99] {
+            assert_eq!(l.slot_of_addr(l.slot_addr(s)), Some(s));
+            assert_eq!(l.slot_of_addr(l.slot_addr(s) + 4095), Some(s));
+        }
+        assert_eq!(l.slot_of_addr(l.base), None);
+        assert_eq!(l.slot_of_addr(l.end()), None);
+    }
+
+    #[test]
+    fn cp_words_on_distinct_cachelines() {
+        let l = Layout::new(0, 1);
+        assert_eq!(l.cp_command() / 64 + 1, l.cp_ack() / 64);
+    }
+
+    #[test]
+    fn paper_scale_fits_metadata() {
+        // 15 GB of slots = 3.93M packed 4-byte entries = 15.7 MB, inside
+        // the paper's 16 MB metadata area.
+        let slots = (15u64 << 30) / SLOT_BYTES;
+        let l = Layout::new(0, slots);
+        assert_eq!(l.slots, slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata area holds")]
+    fn metadata_overflow_rejected() {
+        Layout::new(0, METADATA_BYTES / META_ENTRY_BYTES + 1);
+    }
+
+    #[test]
+    fn metadata_entries_do_not_alias() {
+        let l = Layout::new(0, 16);
+        let a = l.metadata_entry(0);
+        let b = l.metadata_entry(1);
+        assert_eq!(b - a, META_ENTRY_BYTES);
+        assert!(b + META_ENTRY_BYTES <= l.slots_base());
+    }
+}

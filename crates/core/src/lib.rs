@@ -1,0 +1,61 @@
+//! # nvdimmc-core — the NVDIMM-C device, driver and baseline
+//!
+//! This crate assembles the paper's contribution on top of the substrate
+//! crates:
+//!
+//! - [`refresh`] — the FPGA's CA-bus snooping pipeline: 1:8 deserializers
+//!   plus the refresh-state decoder (paper §IV-A, Figure 4);
+//! - [`cp`] — the 64-bit communication-protocol mailbox between the nvdc
+//!   driver and the FPGA (§IV-C);
+//! - [`cache`] — the fully-associative 4 KB-slot DRAM cache with LRC
+//!   (paper), LRU and CLOCK policies (§IV-B, §VII-B5);
+//! - [`fpga`] — the window-serialized DMA engine: one protocol action per
+//!   extra-tRFC window, real DDR4 commands on the shared bus (§III-B);
+//! - [`layout`] — the reserved-region map: CP area, metadata, slots
+//!   (Figure 5);
+//! - [`device`] — [`System`]: the full machine, the [`BlockDevice`] the
+//!   workloads drive, and power-failure semantics (§V-C);
+//! - [`baseline`] — the emulated-NVDIMM `/dev/pmem0` comparator (§VI);
+//! - [`perf`] — the calibrated software-path constants with their anchors.
+//!
+//! # Example
+//!
+//! ```
+//! use nvdimmc_core::{BlockDevice, NvdimmCConfig, System};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sys = System::new(NvdimmCConfig::small_for_tests())?;
+//! sys.write_at(0, &[0xA5u8; 4096])?;
+//! let mut out = [0u8; 4096];
+//! let latency = sys.read_at(0, &mut out)?;
+//! assert_eq!(out[0], 0xA5);
+//! // A DRAM-cache hit runs at DRAM speed (a few microseconds):
+//! assert!(latency.as_us_f64() < 10.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cache;
+pub mod config;
+pub mod cp;
+pub mod device;
+pub mod error;
+pub mod fpga;
+pub mod layout;
+pub mod perf;
+pub mod refresh;
+
+pub use baseline::EmulatedPmem;
+pub use cache::DramCache;
+pub use config::{Backend, EvictionPolicyKind, NvdimmCConfig, PAGE_BYTES};
+pub use cp::{CpAck, CpCommand, CpOpcode};
+pub use device::{BlockDevice, PowerFailReport, System, SystemStats};
+pub use error::CoreError;
+pub use fpga::Fpga;
+pub use layout::Layout;
+pub use perf::PerfParams;
+pub use refresh::{DetectorPipeline, RefreshDetector};

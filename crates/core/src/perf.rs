@@ -1,0 +1,187 @@
+//! Calibrated software-path constants.
+//!
+//! The simulator is mechanistic wherever the paper describes mechanism
+//! (DDR4 windows, CP protocol, NAND service, coherence operations). The
+//! *software* costs — fio/libpmem per-op overhead, the nvdc driver's page
+//! mapping management, the PoC's Cortex-A53-driven FSM — are not derivable
+//! from first principles, so they are **calibrated once** against the
+//! paper's published single-thread numbers (§VII-B2, Figures 8/10/12) and
+//! then held fixed across every experiment. Each constant cites the
+//! anchor it was fit to.
+
+use nvdimmc_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated host-software timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfParams {
+    /// Fixed per-operation cost of the fio + libpmem + DAX-file path on
+    /// the *baseline* (/dev/pmem0) device.
+    ///
+    /// Anchor: baseline 4 KB random read = 646 KIOPS (1.548 µs/op) with
+    /// ~1.08 µs of copy ⇒ ~0.47 µs fixed.
+    pub fio_base_op: SimDuration,
+    /// Fixed per-operation cost on the nvdc DAX path for sub-page
+    /// accesses (pure load/store once mapped — no block-layer work).
+    ///
+    /// Anchor: NVDC-Cached 128 B random read = 2147 KIOPS (0.466 µs/op),
+    /// 1.15× *faster* than baseline (§VII-B4).
+    pub nvdc_small_op: SimDuration,
+    /// Extra per-4KB-page cost of nvdc mapping management on reads
+    /// (page-table upkeep, slot bookkeeping).
+    ///
+    /// Anchor: NVDC-Cached 4 KB read = 448 KIOPS (2.232 µs/op) vs the
+    /// baseline's 1.548 µs ⇒ ~0.65 µs/page.
+    pub nvdc_page_extra_read: SimDuration,
+    /// Extra per-4KB-page cost on writes (dirty tracking; flushes are
+    /// deferred to writeback so writes pay slightly less than reads).
+    ///
+    /// Anchor: NVDC-Cached 4 KB write = 438 KIOPS (2.283 µs/op) vs
+    /// baseline write 1.736 µs.
+    pub nvdc_page_extra_write: SimDuration,
+    /// Single-thread CPU copy bandwidth for the load/store data movement.
+    /// The bus transfer is *paced* at this rate (one line per load-stream
+    /// slot), so refresh blocking hits the whole copy window — the
+    /// Figure 13 mechanism.
+    ///
+    /// Anchor: baseline 4 KB read 1.548 µs ≈ fixed 0.47 + paced copy
+    /// (4096 B / 5.2 GB/s + refresh/row overheads ≈ 1.05 µs).
+    pub copy_bytes_per_s: f64,
+    /// Amortisation factor for per-page costs beyond the first page of a
+    /// multi-page access (sequential pages share mapping work).
+    ///
+    /// Anchor: NVDC-Cached 64 KB read reaches 3050 MB/s (§VII-B4).
+    pub page_amortization: f64,
+    /// Fixed cost of the DAX fault path (kernel fault entry + nvdc
+    /// `device_access` + PTE install), excluding any device work.
+    ///
+    /// Anchor: hypothetical device with tD = 0 runs at 1503 MB/s
+    /// (2.72 µs/op, §VII-D1) = mapping path + copy + bus.
+    pub fault_base: SimDuration,
+    /// Software processing delay of the PoC's Cortex-A53-controlled FSM
+    /// between window-consuming protocol steps.
+    ///
+    /// Anchor: a 4 KB Uncached access takes 8.9 tREFI ≈ 69.8 µs versus
+    /// the 6-window (46.8 µs) theoretical minimum (§VII-B2); ~6 µs per
+    /// step reproduces the skipped windows.
+    pub fsm_step_delay: SimDuration,
+    /// Driver poll cadence on the CP acknowledgement word while waiting
+    /// for the FPGA.
+    pub driver_poll_interval: SimDuration,
+    /// Serialized (lock-held) portion of the nvdc mapping management,
+    /// bounding multi-thread scaling of the Cached path.
+    ///
+    /// Anchor: NVDC-Cached read peak 1060 KIOPS at 8 threads (§VII-B3)
+    /// ⇒ ~0.94 µs serial demand ≈ bus (~0.45 µs) + lock (~0.5 µs).
+    pub mapping_serial: SimDuration,
+    /// Additional fixed cost of a write op over a read on the fio path.
+    ///
+    /// Anchor: baseline 4 KB random write = 576 KIOPS (1.736 µs/op) vs
+    /// read 1.548 µs ⇒ ~0.19 µs.
+    pub fio_write_extra: SimDuration,
+    /// Cost of one `clflush` (issue + writeback slot in the store path);
+    /// the driver flushes 64 lines before each writeback command.
+    pub clflush_line: SimDuration,
+    /// Driver cost to compose and publish one CP command word (store +
+    /// clflush + sfence of the command line).
+    pub cp_submit: SimDuration,
+}
+
+impl PerfParams {
+    /// The PoC calibration (all anchors above).
+    pub fn poc() -> Self {
+        PerfParams {
+            fio_base_op: SimDuration::from_ns(470),
+            nvdc_small_op: SimDuration::from_ns(400),
+            nvdc_page_extra_read: SimDuration::from_ns(650),
+            nvdc_page_extra_write: SimDuration::from_ns(550),
+            copy_bytes_per_s: 5.2e9,
+            page_amortization: 0.5,
+            fault_base: SimDuration::from_ns(790),
+            fsm_step_delay: SimDuration::from_us(6.0),
+            driver_poll_interval: SimDuration::from_ns(500),
+            mapping_serial: SimDuration::from_ns(500),
+            fio_write_extra: SimDuration::from_ns(190),
+            clflush_line: SimDuration::from_ns(20),
+            cp_submit: SimDuration::from_ns(200),
+        }
+    }
+
+    /// An ASIC-class projection (§VII-C): hardware FSM, no CPU in the
+    /// data path.
+    pub fn asic() -> Self {
+        PerfParams {
+            fsm_step_delay: SimDuration::from_ns(200),
+            ..Self::poc()
+        }
+    }
+
+    /// CPU copy time for `bytes`.
+    pub fn copy_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.copy_bytes_per_s)
+    }
+
+    /// Effective page-management cost for an access touching `pages`
+    /// consecutive 4 KB pages.
+    pub fn page_cost(&self, per_page: SimDuration, pages: u64) -> SimDuration {
+        if pages == 0 {
+            return SimDuration::ZERO;
+        }
+        let extra = (pages - 1) as f64 * self.page_amortization;
+        per_page.mul_f64(1.0 + extra)
+    }
+}
+
+impl Default for PerfParams {
+    fn default() -> Self {
+        Self::poc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poc_anchor_baseline_4k_read() {
+        // fixed + paced copy; the remaining ~0.25us to the paper's 1.548us
+        // comes from row activations and refresh stalls in the event model
+        // (asserted end-to-end in the fio tests).
+        let p = PerfParams::poc();
+        let t = p.fio_base_op + p.copy_time(4096);
+        let us = t.as_us_f64();
+        assert!((1.1..1.45).contains(&us), "baseline 4K floor ≈ {us:.2}us");
+    }
+
+    #[test]
+    fn poc_anchor_nvdc_4k_read() {
+        let p = PerfParams::poc();
+        let t = p.fio_base_op + p.nvdc_page_extra_read + p.copy_time(4096);
+        let us = t.as_us_f64();
+        assert!((1.7..2.1).contains(&us), "cached 4K floor ≈ {us:.2}us");
+    }
+
+    #[test]
+    fn poc_anchor_nvdc_small_op_beats_baseline() {
+        let p = PerfParams::poc();
+        assert!(p.nvdc_small_op < p.fio_base_op);
+    }
+
+    #[test]
+    fn page_cost_amortizes() {
+        let p = PerfParams::poc();
+        let one = p.page_cost(SimDuration::from_ns(650), 1);
+        let sixteen = p.page_cost(SimDuration::from_ns(650), 16);
+        assert_eq!(one, SimDuration::from_ns(650));
+        assert!(sixteen < one * 16, "multi-page cost must amortize");
+        assert!(sixteen > one, "but still grow");
+    }
+
+    #[test]
+    fn asic_only_changes_fsm() {
+        let poc = PerfParams::poc();
+        let asic = PerfParams::asic();
+        assert!(asic.fsm_step_delay < poc.fsm_step_delay / 10);
+        assert_eq!(asic.fio_base_op, poc.fio_base_op);
+    }
+}

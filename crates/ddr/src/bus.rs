@@ -1,0 +1,526 @@
+//! The shared command/address bus between the host iMC and the NVMC.
+//!
+//! This is the crux of the paper (§III-B): both masters are wired to the
+//! same DRAM, and nothing in DDR4 arbitrates between them. The bus model
+//! therefore *detects* every way they can step on each other (Figure 2a
+//! cases C1/C2) and enforces the paper's discipline (Figure 2b): the NVMC
+//! may only drive the bus inside the extra-tRFC window that follows a
+//! host-issued REFRESH, and must leave every bank precharged when the
+//! window closes.
+
+use crate::ca::CaPins;
+use crate::command::Command;
+use crate::device::DramDevice;
+use crate::error::BusViolation;
+use nvdimmc_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifies which master drives a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BusMaster {
+    /// The host integrated memory controller.
+    HostImc,
+    /// The NVDIMM-C internal controller (the FPGA / NVMC).
+    Nvmc,
+}
+
+/// The refresh window the NVMC may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshWindow {
+    /// When REFRESH was issued.
+    pub ref_at: SimTime,
+    /// End of the device's real refresh (tRFC_base): the window opens here.
+    pub opens: SimTime,
+    /// End of the programmed tRFC: the window closes here and the host may
+    /// resume.
+    pub closes: SimTime,
+}
+
+impl RefreshWindow {
+    /// Whether `at` falls inside the NVMC-usable part of the window.
+    pub fn contains(&self, at: SimTime) -> bool {
+        at >= self.opens && at < self.closes
+    }
+
+    /// The usable window length.
+    pub fn len(&self) -> SimDuration {
+        self.closes.since(self.opens)
+    }
+
+    /// Whether the window has zero usable length.
+    pub fn is_empty(&self) -> bool {
+        self.opens >= self.closes
+    }
+}
+
+/// Aggregate bus counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Commands accepted from the host iMC.
+    pub host_commands: u64,
+    /// Commands accepted from the NVMC.
+    pub nvmc_commands: u64,
+    /// REFRESH commands observed (each opens one NVMC window).
+    pub refreshes: u64,
+    /// Data bytes moved by the NVMC inside windows.
+    pub nvmc_bytes: u64,
+    /// Data bytes moved by the host.
+    pub host_bytes: u64,
+    /// Hazardous violations rejected (CA conflicts, NVMC outside its
+    /// window, bank-state corruption) — real-hardware memory errors.
+    pub violations_rejected: u64,
+    /// Benign timing rejections (tCCD/tRAS/refresh blocks) that the iMC's
+    /// retry-at-legal-time loop converts into waits.
+    pub retries_rejected: u64,
+}
+
+/// The shared DDR4 bus: one [`DramDevice`], two masters, full conflict
+/// detection.
+///
+/// # Example
+///
+/// ```
+/// use nvdimmc_ddr::{BusMaster, Command, DramDevice, SharedBus, SpeedBin, TimingParams};
+/// use nvdimmc_sim::SimTime;
+///
+/// let timing = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+/// let device = DramDevice::new(timing, 1 << 27);
+/// let mut bus = SharedBus::new(device);
+///
+/// // The NVMC may not touch the bus outside a refresh window:
+/// let err = bus.issue(BusMaster::Nvmc, SimTime::from_ns(100), Command::PrechargeAll);
+/// assert!(err.is_err());
+/// ```
+#[derive(Debug)]
+pub struct SharedBus {
+    device: DramDevice,
+    /// CA bus occupied until this instant (one command per tCK).
+    ca_busy_until: SimTime,
+    last_cmd: Option<(BusMaster, Command)>,
+    window: Option<RefreshWindow>,
+    /// Host must stay silent until here (programmed tRFC after REF).
+    host_blocked_until: SimTime,
+    stats: BusStats,
+    capture_ca: bool,
+    ca_log: Vec<(SimTime, CaPins)>,
+    prev_cke: bool,
+}
+
+impl SharedBus {
+    /// Wraps a device in a shared bus.
+    pub fn new(device: DramDevice) -> Self {
+        SharedBus {
+            device,
+            ca_busy_until: SimTime::ZERO,
+            last_cmd: None,
+            window: None,
+            host_blocked_until: SimTime::ZERO,
+            stats: BusStats::default(),
+            capture_ca: false,
+            ca_log: Vec::new(),
+            prev_cke: true,
+        }
+    }
+
+    /// Enables pin-level CA capture (consumed by the NVDIMM-C refresh
+    /// detector via [`SharedBus::drain_ca_log`]).
+    pub fn set_ca_capture(&mut self, on: bool) {
+        self.capture_ca = on;
+    }
+
+    /// Drains captured CA samples.
+    pub fn drain_ca_log(&mut self) -> Vec<(SimTime, CaPins)> {
+        std::mem::take(&mut self.ca_log)
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Mutable access to the underlying device (for data bursts and
+    /// backdoor test oracles).
+    pub fn device_mut(&mut self) -> &mut DramDevice {
+        &mut self.device
+    }
+
+    /// Bus counters.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// The refresh window currently or most recently open.
+    pub fn window(&self) -> Option<RefreshWindow> {
+        self.window
+    }
+
+    /// Earliest instant at or after `at` when the host may issue commands
+    /// (i.e. past any programmed-tRFC block).
+    pub fn host_ready_at(&self, at: SimTime) -> SimTime {
+        at.max(self.host_blocked_until).max(self.ca_busy_until)
+    }
+
+    /// Issues `cmd` from `master` at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the precise [`BusViolation`] that real hardware would have
+    /// turned into a memory error. The device state is unchanged on error.
+    pub fn issue(
+        &mut self,
+        master: BusMaster,
+        at: SimTime,
+        cmd: Command,
+    ) -> Result<SimTime, BusViolation> {
+        match self.try_issue(master, at, cmd) {
+            Ok(end) => Ok(end),
+            Err(v) => {
+                match v {
+                    BusViolation::Timing { .. }
+                    | BusViolation::CommandDuringRefresh { .. } => {
+                        self.stats.retries_rejected += 1
+                    }
+                    _ => self.stats.violations_rejected += 1,
+                }
+                Err(v)
+            }
+        }
+    }
+
+    fn try_issue(
+        &mut self,
+        master: BusMaster,
+        at: SimTime,
+        cmd: Command,
+    ) -> Result<SimTime, BusViolation> {
+        // --- CA electrical conflict (paper Figure 2a, case C1) ---
+        if at < self.ca_busy_until {
+            if let Some((last_master, last_cmd)) = self.last_cmd {
+                if last_master != master {
+                    return Err(BusViolation::CaConflict {
+                        at,
+                        existing: last_cmd,
+                        incoming: cmd,
+                    });
+                }
+                return Err(BusViolation::Timing {
+                    at,
+                    command: cmd,
+                    parameter: "tCK",
+                    legal_at: self.ca_busy_until,
+                });
+            }
+        }
+
+        // --- Protocol discipline per master ---
+        match master {
+            BusMaster::HostImc => {
+                if at < self.host_blocked_until {
+                    return Err(BusViolation::CommandDuringRefresh {
+                        at,
+                        busy_until: self.host_blocked_until,
+                        command: cmd,
+                    });
+                }
+                // Window-exit invariant: when the host first resumes after
+                // a window, the NVMC must have left all banks precharged.
+                // (Checked once per window; afterwards open banks are the
+                // host's own doing.)
+                if let Some(w) = self.window {
+                    if at >= w.closes {
+                        if !self.device.all_banks_idle() {
+                            return Err(BusViolation::BankState {
+                                at,
+                                command: cmd,
+                                reason: "NVMC left a bank open past its window".to_owned(),
+                            });
+                        }
+                        self.window = None;
+                    }
+                }
+            }
+            BusMaster::Nvmc => {
+                // The NVMC never refreshes or self-refreshes the DRAM.
+                if cmd.is_refresh_family() {
+                    return Err(BusViolation::NvmcOutsideWindow { at, command: cmd });
+                }
+                let w = self
+                    .window
+                    .filter(|w| w.contains(at))
+                    .ok_or(BusViolation::NvmcOutsideWindow { at, command: cmd })?;
+                // A data burst must also *complete* before the window
+                // closes, or its beats would collide with host commands.
+                if cmd.is_data_transfer() {
+                    let t = self.device.timing();
+                    let data_end = at
+                        + match cmd {
+                            Command::Read { .. } => t.tcl,
+                            _ => t.tcwl,
+                        }
+                        + t.burst_time();
+                    if data_end > w.closes {
+                        return Err(BusViolation::NvmcOutsideWindow { at, command: cmd });
+                    }
+                }
+            }
+        }
+
+        // --- Silicon-level checks & effects ---
+        let end = self.device.issue(at, cmd)?;
+
+        // --- Post-accept bookkeeping ---
+        let tck = self.device.timing().speed.tck();
+        self.ca_busy_until = at + tck;
+        self.last_cmd = Some((master, cmd));
+        if self.capture_ca {
+            let mut pins = CaPins::encode(&cmd);
+            pins.cke_prev = self.prev_cke;
+            self.prev_cke = pins.cke;
+            self.ca_log.push((at, pins));
+        }
+        match master {
+            BusMaster::HostImc => {
+                self.stats.host_commands += 1;
+                if cmd.is_data_transfer() {
+                    self.stats.host_bytes += self.device.timing().burst_bytes();
+                }
+            }
+            BusMaster::Nvmc => {
+                self.stats.nvmc_commands += 1;
+                if cmd.is_data_transfer() {
+                    self.stats.nvmc_bytes += self.device.timing().burst_bytes();
+                }
+            }
+        }
+        if cmd == Command::Refresh {
+            let t = self.device.timing();
+            self.window = Some(RefreshWindow {
+                ref_at: at,
+                opens: at + t.trfc_base,
+                closes: at + t.trfc_total,
+            });
+            self.host_blocked_until = at + t.trfc_total;
+            self.stats.refreshes += 1;
+        }
+        Ok(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::BankAddr;
+    use crate::timing::{SpeedBin, TimingParams};
+
+    const CAP: u64 = 1 << 27;
+
+    fn bus() -> SharedBus {
+        let timing = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        SharedBus::new(DramDevice::new(timing, CAP))
+    }
+
+    fn refresh(bus: &mut SharedBus, at: SimTime) -> RefreshWindow {
+        bus.issue(BusMaster::HostImc, at, Command::PrechargeAll)
+            .unwrap();
+        let ref_at = at + bus.device().timing().trp;
+        bus.issue(BusMaster::HostImc, ref_at, Command::Refresh)
+            .unwrap();
+        bus.window().unwrap()
+    }
+
+    #[test]
+    fn refresh_opens_window_with_paper_geometry() {
+        let mut b = bus();
+        let w = refresh(&mut b, SimTime::from_us(1));
+        assert_eq!(w.opens.since(w.ref_at), SimDuration::from_ns(350));
+        assert_eq!(w.closes.since(w.ref_at), SimDuration::from_ns(1250));
+        assert_eq!(w.len(), SimDuration::from_ns(900));
+    }
+
+    #[test]
+    fn host_blocked_during_programmed_trfc() {
+        let mut b = bus();
+        let w = refresh(&mut b, SimTime::from_us(1));
+        let err = b.issue(
+            BusMaster::HostImc,
+            w.opens, // silicon would be ready, protocol says wait
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(BusViolation::CommandDuringRefresh { .. })
+        ));
+        b.issue(
+            BusMaster::HostImc,
+            w.closes,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn nvmc_rejected_outside_window() {
+        let mut b = bus();
+        let err = b.issue(
+            BusMaster::Nvmc,
+            SimTime::from_us(2),
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        );
+        assert!(matches!(err, Err(BusViolation::NvmcOutsideWindow { .. })));
+    }
+
+    #[test]
+    fn nvmc_allowed_inside_window() {
+        let mut b = bus();
+        let w = refresh(&mut b, SimTime::from_us(1));
+        let t = *b.device().timing();
+        b.issue(
+            BusMaster::Nvmc,
+            w.opens,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        )
+        .unwrap();
+        b.issue(
+            BusMaster::Nvmc,
+            w.opens + t.trcd,
+            Command::Read {
+                bank: BankAddr::new(0, 0),
+                col: 0,
+                auto_precharge: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(b.stats().nvmc_commands, 2);
+        assert_eq!(b.stats().nvmc_bytes, 64);
+    }
+
+    #[test]
+    fn nvmc_burst_must_finish_inside_window() {
+        let mut b = bus();
+        let w = refresh(&mut b, SimTime::from_us(1));
+        let t = *b.device().timing();
+        b.issue(
+            BusMaster::Nvmc,
+            w.opens,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        )
+        .unwrap();
+        // A read issued right at the close minus epsilon cannot finish.
+        let late = w.closes - t.burst_time();
+        let err = b.issue(
+            BusMaster::Nvmc,
+            late,
+            Command::Read {
+                bank: BankAddr::new(0, 0),
+                col: 0,
+                auto_precharge: false,
+            },
+        );
+        assert!(matches!(err, Err(BusViolation::NvmcOutsideWindow { .. })));
+    }
+
+    #[test]
+    fn nvmc_must_precharge_before_window_closes() {
+        let mut b = bus();
+        let w = refresh(&mut b, SimTime::from_us(1));
+        b.issue(
+            BusMaster::Nvmc,
+            w.opens,
+            Command::Activate {
+                bank: BankAddr::new(2, 2),
+                row: 9,
+            },
+        )
+        .unwrap();
+        // NVMC "forgets" to precharge; host resumes after the window and
+        // trips the invariant.
+        let err = b.issue(
+            BusMaster::HostImc,
+            w.closes,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        );
+        assert!(matches!(err, Err(BusViolation::BankState { .. })));
+    }
+
+    #[test]
+    fn ca_conflict_between_masters_detected() {
+        let mut b = bus();
+        let w = refresh(&mut b, SimTime::from_us(1));
+        let at = w.opens;
+        b.issue(
+            BusMaster::Nvmc,
+            at,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        )
+        .unwrap();
+        // Host tries to drive the CA bus in the same cycle (and is also
+        // refresh-blocked; the conflict check fires first because it is the
+        // electrical hazard).
+        let err = b.issue(
+            BusMaster::HostImc,
+            at,
+            Command::Read {
+                bank: BankAddr::new(0, 0),
+                col: 0,
+                auto_precharge: false,
+            },
+        );
+        assert!(matches!(err, Err(BusViolation::CaConflict { .. })));
+    }
+
+    #[test]
+    fn nvmc_may_not_issue_refresh() {
+        let mut b = bus();
+        let w = refresh(&mut b, SimTime::from_us(1));
+        let err = b.issue(BusMaster::Nvmc, w.opens, Command::Refresh);
+        assert!(matches!(err, Err(BusViolation::NvmcOutsideWindow { .. })));
+    }
+
+    #[test]
+    fn violations_do_not_mutate_state() {
+        let mut b = bus();
+        let before = b.device().stats();
+        let _ = b.issue(
+            BusMaster::Nvmc,
+            SimTime::from_us(3),
+            Command::PrechargeAll,
+        );
+        assert_eq!(b.device().stats(), before);
+        assert_eq!(b.stats().violations_rejected, 1);
+        assert_eq!(b.stats().retries_rejected, 0);
+    }
+
+    #[test]
+    fn ca_capture_records_refresh_pins() {
+        let mut b = bus();
+        b.set_ca_capture(true);
+        refresh(&mut b, SimTime::from_us(1));
+        let log = b.drain_ca_log();
+        assert_eq!(log.len(), 2, "PREA + REF");
+        assert!(log[1].1.is_refresh_state());
+        assert!(b.drain_ca_log().is_empty(), "drain empties the log");
+    }
+
+    use nvdimmc_sim::SimDuration;
+}

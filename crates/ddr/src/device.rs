@@ -1,0 +1,771 @@
+//! The DRAM device: 16 banks, rank-level constraints (tRRD, tFAW,
+//! refresh), address mapping and a sparse backing store.
+//!
+//! The backing store holds real bytes so the reproduction can validate
+//! data integrity end-to-end (the paper's §VII-A aging test and the
+//! mixed-load benchmark both rely on comparing data, not just timing).
+
+use crate::bank::Bank;
+use crate::command::{BankAddr, Command};
+use crate::error::{BusViolation, DdrError};
+use crate::timing::TimingParams;
+use nvdimmc_sim::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// How a flat physical byte address maps onto (bank, row, column).
+///
+/// Cacheline-granular: bits `[5:0]` select the byte within a 64-byte burst,
+/// `[12:6]` the column (128 bursts = one 8 KB row), `[16:13]` the bank, and
+/// the remaining bits the row. A 4 KB page therefore occupies 64 consecutive
+/// columns of a single row — which is what lets the NVMC move a whole page
+/// with one ACTIVATE inside one extra-tRFC window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    capacity: u64,
+    rows: u32,
+}
+
+/// A decoded physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedAddr {
+    /// Target bank.
+    pub bank: BankAddr,
+    /// Row within the bank.
+    pub row: u32,
+    /// Column in burst (64-byte) units.
+    pub col: u16,
+    /// Byte offset within the burst.
+    pub offset: u8,
+}
+
+/// Bytes per DRAM row in this mapping.
+pub const ROW_BYTES: u64 = 8 * 1024;
+/// Bytes per burst (BL8 on a 64-bit channel).
+pub const BURST_BYTES: u64 = 64;
+/// Bursts per row.
+pub const COLS_PER_ROW: u64 = ROW_BYTES / BURST_BYTES;
+
+impl AddressMapping {
+    /// Creates a mapping for a device of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a multiple of one full row stripe
+    /// (16 banks × 8 KB).
+    pub fn new(capacity: u64) -> Self {
+        let stripe = ROW_BYTES * u64::from(BankAddr::COUNT);
+        assert!(
+            capacity > 0 && capacity.is_multiple_of(stripe),
+            "capacity must be a multiple of {stripe} bytes"
+        );
+        AddressMapping {
+            capacity,
+            rows: (capacity / stripe) as u32,
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of rows per bank.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Decodes a byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdrError::AddressOutOfRange`] if `addr` exceeds capacity.
+    pub fn decode(&self, addr: u64) -> Result<DecodedAddr, DdrError> {
+        if addr >= self.capacity {
+            return Err(DdrError::AddressOutOfRange {
+                addr,
+                capacity: self.capacity,
+            });
+        }
+        let offset = (addr & 0x3F) as u8;
+        let burst = addr >> 6;
+        let col = (burst % COLS_PER_ROW) as u16;
+        let bank_idx = ((burst / COLS_PER_ROW) % u64::from(BankAddr::COUNT)) as u8;
+        let row = (burst / COLS_PER_ROW / u64::from(BankAddr::COUNT)) as u32;
+        Ok(DecodedAddr {
+            bank: BankAddr::from_index(bank_idx),
+            row,
+            col,
+            offset,
+        })
+    }
+
+    /// Re-encodes (bank, row, col) into the flat byte address of the burst.
+    pub fn encode(&self, bank: BankAddr, row: u32, col: u16) -> u64 {
+        ((u64::from(row) * u64::from(BankAddr::COUNT) + u64::from(bank.index()))
+            * COLS_PER_ROW
+            + u64::from(col))
+            * BURST_BYTES
+    }
+}
+
+const FRAME_BYTES: u64 = 4096;
+
+/// Sparse byte-addressable storage in 4 KB frames.
+#[derive(Debug, Default)]
+struct SparseMem {
+    frames: HashMap<u64, Box<[u8; FRAME_BYTES as usize]>>,
+}
+
+impl SparseMem {
+    fn read(&self, addr: u64, buf: &mut [u8]) {
+        let mut pos = 0;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let frame = a / FRAME_BYTES;
+            let off = (a % FRAME_BYTES) as usize;
+            let n = (FRAME_BYTES as usize - off).min(buf.len() - pos);
+            match self.frames.get(&frame) {
+                Some(f) => buf[pos..pos + n].copy_from_slice(&f[off..off + n]),
+                None => buf[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut pos = 0;
+        while pos < data.len() {
+            let a = addr + pos as u64;
+            let frame = a / FRAME_BYTES;
+            let off = (a % FRAME_BYTES) as usize;
+            let n = (FRAME_BYTES as usize - off).min(data.len() - pos);
+            let f = self
+                .frames
+                .entry(frame)
+                .or_insert_with(|| Box::new([0u8; FRAME_BYTES as usize]));
+            f[off..off + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+}
+
+/// Counters a [`DramDevice`] maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// ACTIVATE commands accepted.
+    pub activates: u64,
+    /// READ commands accepted.
+    pub reads: u64,
+    /// WRITE commands accepted.
+    pub writes: u64,
+    /// REFRESH commands accepted.
+    pub refreshes: u64,
+    /// PRECHARGE / PREA commands accepted.
+    pub precharges: u64,
+}
+
+/// A DDR4 DRAM device (one rank): bank state machines, rank-level timing
+/// (tRRD, tFAW, tRFC), and data storage.
+///
+/// The device enforces *silicon* constraints. Protocol discipline between
+/// multiple masters (who may drive the bus when) belongs to
+/// [`crate::bus::SharedBus`]. In particular the device accepts commands as
+/// soon as its **real** refresh (tRFC_base) completes — that gap between
+/// silicon capability and protocol assumption is exactly what NVDIMM-C
+/// exploits.
+#[derive(Debug)]
+pub struct DramDevice {
+    timing: TimingParams,
+    mapping: AddressMapping,
+    banks: Vec<Bank>,
+    mem: SparseMem,
+    /// Earliest next ACT per bank-group for tRRD_L, and global for tRRD_S.
+    earliest_act_same_group: Vec<SimTime>,
+    earliest_act_any: SimTime,
+    /// Sliding window of recent ACT times for the four-activate window.
+    recent_acts: VecDeque<SimTime>,
+    /// End of the current *device* refresh (tRFC_base after REF).
+    refresh_busy_until: SimTime,
+    /// Whether the device is in self-refresh.
+    in_self_refresh: bool,
+    /// Earliest command after self-refresh exit (tXS).
+    earliest_after_srx: SimTime,
+    /// Column-command spacing (tCCD).
+    earliest_col_cmd: SimTime,
+    stats: DeviceStats,
+}
+
+impl DramDevice {
+    /// Creates a device of `capacity` bytes with the given timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a multiple of the 16-bank row stripe.
+    pub fn new(timing: TimingParams, capacity: u64) -> Self {
+        let mapping = AddressMapping::new(capacity);
+        DramDevice {
+            timing,
+            mapping,
+            banks: (0..BankAddr::COUNT).map(|_| Bank::new()).collect(),
+            mem: SparseMem::default(),
+            earliest_act_same_group: vec![SimTime::ZERO; usize::from(BankAddr::GROUPS)],
+            earliest_act_any: SimTime::ZERO,
+            recent_acts: VecDeque::new(),
+            refresh_busy_until: SimTime::ZERO,
+            in_self_refresh: false,
+            earliest_after_srx: SimTime::ZERO,
+            earliest_col_cmd: SimTime::ZERO,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device's timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Reprograms timing (the paper adjusts tRFC/tREFI via BIOS / iMC
+    /// registers at boot).
+    pub fn set_timing(&mut self, timing: TimingParams) {
+        self.timing = timing;
+    }
+
+    /// The address mapping in use.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// Command counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Whether every bank is precharged.
+    pub fn all_banks_idle(&self) -> bool {
+        self.banks.iter().all(Bank::is_idle)
+    }
+
+    /// The bank state machine for `bank`.
+    pub fn bank(&self, bank: BankAddr) -> &Bank {
+        &self.banks[usize::from(bank.index())]
+    }
+
+    /// End of the current device-level refresh (tRFC_base after the last
+    /// REF), i.e. when the silicon could accept commands again.
+    pub fn refresh_busy_until(&self) -> SimTime {
+        self.refresh_busy_until
+    }
+
+    fn check_not_refreshing(&self, at: SimTime, cmd: &Command) -> Result<(), BusViolation> {
+        if at < self.refresh_busy_until {
+            return Err(BusViolation::CommandDuringRefresh {
+                at,
+                busy_until: self.refresh_busy_until,
+                command: *cmd,
+            });
+        }
+        if self.in_self_refresh {
+            return Err(BusViolation::BankState {
+                at,
+                command: *cmd,
+                reason: "device is in self-refresh".to_owned(),
+            });
+        }
+        if at < self.earliest_after_srx {
+            return Err(BusViolation::Timing {
+                at,
+                command: *cmd,
+                parameter: "tXS",
+                legal_at: self.earliest_after_srx,
+            });
+        }
+        Ok(())
+    }
+
+    /// Issues a command to the device at `at`. For READ/WRITE the returned
+    /// instant is when the data burst completes; for other commands it is
+    /// when the command's blocking effect ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusViolation`] on any silicon-level timing or state
+    /// violation.
+    pub fn issue(&mut self, at: SimTime, cmd: Command) -> Result<SimTime, BusViolation> {
+        match cmd {
+            Command::Deselect => Ok(at),
+            Command::Activate { bank, row } => {
+                self.check_not_refreshing(at, &cmd)?;
+                if row >= self.mapping.rows() {
+                    return Err(BusViolation::BankState {
+                        at,
+                        command: cmd,
+                        reason: format!("row {row} beyond device ({} rows)", self.mapping.rows()),
+                    });
+                }
+                // Rank-level ACT spacing.
+                let group = usize::from(bank.group);
+                if at < self.earliest_act_any {
+                    return Err(BusViolation::Timing {
+                        at,
+                        command: cmd,
+                        parameter: "tRRD_S",
+                        legal_at: self.earliest_act_any,
+                    });
+                }
+                if at < self.earliest_act_same_group[group] {
+                    return Err(BusViolation::Timing {
+                        at,
+                        command: cmd,
+                        parameter: "tRRD_L",
+                        legal_at: self.earliest_act_same_group[group],
+                    });
+                }
+                // Four-activate window.
+                while let Some(&front) = self.recent_acts.front() {
+                    if at.saturating_since(front) >= self.timing.tfaw {
+                        self.recent_acts.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if self.recent_acts.len() >= 4 {
+                    return Err(BusViolation::Timing {
+                        at,
+                        command: cmd,
+                        parameter: "tFAW",
+                        legal_at: *self.recent_acts.front().expect("non-empty") + self.timing.tfaw,
+                    });
+                }
+                self.banks[usize::from(bank.index())].activate(at, row, &self.timing, &cmd)?;
+                self.recent_acts.push_back(at);
+                self.earliest_act_any = at + self.timing.trrd_s;
+                self.earliest_act_same_group[group] = at + self.timing.trrd_l;
+                self.stats.activates += 1;
+                Ok(at + self.timing.trcd)
+            }
+            Command::Read { bank, .. } => {
+                self.check_not_refreshing(at, &cmd)?;
+                if at < self.earliest_col_cmd {
+                    return Err(BusViolation::Timing {
+                        at,
+                        command: cmd,
+                        parameter: "tCCD",
+                        legal_at: self.earliest_col_cmd,
+                    });
+                }
+                let end = self.banks[usize::from(bank.index())].read(at, &self.timing, &cmd)?;
+                self.earliest_col_cmd = at + self.timing.tccd_l;
+                self.stats.reads += 1;
+                self.auto_precharge_if_requested(&cmd, end);
+                Ok(end)
+            }
+            Command::Write { bank, .. } => {
+                self.check_not_refreshing(at, &cmd)?;
+                if at < self.earliest_col_cmd {
+                    return Err(BusViolation::Timing {
+                        at,
+                        command: cmd,
+                        parameter: "tCCD",
+                        legal_at: self.earliest_col_cmd,
+                    });
+                }
+                let end = self.banks[usize::from(bank.index())].write(at, &self.timing, &cmd)?;
+                self.earliest_col_cmd = at + self.timing.tccd_l;
+                self.stats.writes += 1;
+                self.auto_precharge_if_requested(&cmd, end);
+                Ok(end)
+            }
+            Command::Precharge { bank } => {
+                self.check_not_refreshing(at, &cmd)?;
+                self.banks[usize::from(bank.index())].precharge(at, &self.timing, &cmd)?;
+                self.stats.precharges += 1;
+                Ok(at + self.timing.trp)
+            }
+            Command::PrechargeAll => {
+                self.check_not_refreshing(at, &cmd)?;
+                // Validate all banks first so a failure leaves state intact.
+                for b in &self.banks {
+                    if !b.is_idle() && at < b.earliest_precharge() {
+                        return Err(BusViolation::Timing {
+                            at,
+                            command: cmd,
+                            parameter: "tRAS/tWR/tRTP",
+                            legal_at: b.earliest_precharge(),
+                        });
+                    }
+                }
+                for b in &mut self.banks {
+                    b.precharge(at, &self.timing, &cmd)
+                        .expect("validated above");
+                }
+                self.stats.precharges += 1;
+                Ok(at + self.timing.trp)
+            }
+            Command::Refresh => {
+                self.check_not_refreshing(at, &cmd)?;
+                if let Some(open) = self.banks.iter().find(|b| !b.is_idle()) {
+                    return Err(BusViolation::BankState {
+                        at,
+                        command: cmd,
+                        reason: format!(
+                            "REFRESH with row {:?} open (PREA required first)",
+                            open.open_row()
+                        ),
+                    });
+                }
+                // All banks must also satisfy tRP.
+                for b in &self.banks {
+                    if at < b.earliest_activate() {
+                        return Err(BusViolation::Timing {
+                            at,
+                            command: cmd,
+                            parameter: "tRP",
+                            legal_at: b.earliest_activate(),
+                        });
+                    }
+                }
+                // The silicon is busy for tRFC_base only; the *protocol*
+                // window extends to tRFC_total, enforced by the bus.
+                self.refresh_busy_until = at + self.timing.trfc_base;
+                for b in &mut self.banks {
+                    b.block_until(self.refresh_busy_until);
+                }
+                self.stats.refreshes += 1;
+                Ok(self.refresh_busy_until)
+            }
+            Command::SelfRefreshEnter => {
+                self.check_not_refreshing(at, &cmd)?;
+                if !self.all_banks_idle() {
+                    return Err(BusViolation::BankState {
+                        at,
+                        command: cmd,
+                        reason: "SRE with open banks".to_owned(),
+                    });
+                }
+                self.in_self_refresh = true;
+                Ok(at)
+            }
+            Command::SelfRefreshExit => {
+                if !self.in_self_refresh {
+                    return Err(BusViolation::BankState {
+                        at,
+                        command: cmd,
+                        reason: "SRX while not in self-refresh".to_owned(),
+                    });
+                }
+                self.in_self_refresh = false;
+                self.earliest_after_srx = at + self.timing.txs;
+                Ok(self.earliest_after_srx)
+            }
+            Command::ModeRegisterSet { .. } | Command::ZqCalibration => {
+                self.check_not_refreshing(at, &cmd)?;
+                Ok(at)
+            }
+        }
+    }
+
+    fn auto_precharge_if_requested(&mut self, cmd: &Command, data_end: SimTime) {
+        let (bank, ap) = match *cmd {
+            Command::Read {
+                bank,
+                auto_precharge,
+                ..
+            }
+            | Command::Write {
+                bank,
+                auto_precharge,
+                ..
+            } => (bank, auto_precharge),
+            _ => return,
+        };
+        if ap {
+            let b = &mut self.banks[usize::from(bank.index())];
+            // Model auto-precharge as an internal precharge at the legal
+            // instant after the burst.
+            let when = b.earliest_precharge().max(data_end);
+            b.block_until(when + self.timing.trp);
+        }
+    }
+
+    /// Reads the 64-byte burst for the open row of `bank` at `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank has no open row — issue the commands through
+    /// [`DramDevice::issue`] first, which returns errors instead.
+    pub fn burst_read(&mut self, bank: BankAddr, col: u16) -> [u8; 64] {
+        let row = self
+            .bank(bank)
+            .open_row()
+            .expect("burst_read requires an open row");
+        let addr = self.mapping.encode(bank, row, col);
+        let mut buf = [0u8; 64];
+        self.mem.read(addr, &mut buf);
+        buf
+    }
+
+    /// Writes the 64-byte burst for the open row of `bank` at `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank has no open row.
+    pub fn burst_write(&mut self, bank: BankAddr, col: u16, data: &[u8; 64]) {
+        let row = self
+            .bank(bank)
+            .open_row()
+            .expect("burst_write requires an open row");
+        let addr = self.mapping.encode(bank, row, col);
+        self.mem.write(addr, data);
+    }
+
+    /// Direct backdoor read of the array (no timing) — used by test
+    /// oracles and the power-failure flush path, never by the normal
+    /// simulation flow.
+    pub fn peek(&self, addr: u64, buf: &mut [u8]) -> Result<(), DdrError> {
+        if addr + buf.len() as u64 > self.mapping.capacity() {
+            return Err(DdrError::AddressOutOfRange {
+                addr,
+                capacity: self.mapping.capacity(),
+            });
+        }
+        self.mem.read(addr, buf);
+        Ok(())
+    }
+
+    /// Direct backdoor write of the array (no timing).
+    pub fn poke(&mut self, addr: u64, data: &[u8]) -> Result<(), DdrError> {
+        if addr + data.len() as u64 > self.mapping.capacity() {
+            return Err(DdrError::AddressOutOfRange {
+                addr,
+                capacity: self.mapping.capacity(),
+            });
+        }
+        self.mem.write(addr, data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::SpeedBin;
+    use nvdimmc_sim::SimDuration;
+
+    const CAP: u64 = 256 * 1024 * 1024;
+
+    fn dev() -> DramDevice {
+        DramDevice::new(TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600), CAP)
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let m = AddressMapping::new(CAP);
+        for addr in [0u64, 64, 4096, 8192, 1 << 20, CAP - 64] {
+            let d = m.decode(addr).unwrap();
+            assert_eq!(m.encode(d.bank, d.row, d.col) + u64::from(d.offset), addr);
+        }
+    }
+
+    #[test]
+    fn mapping_keeps_page_in_one_row() {
+        let m = AddressMapping::new(CAP);
+        let base = 12 * 4096;
+        let first = m.decode(base).unwrap();
+        for off in (0..4096).step_by(64) {
+            let d = m.decode(base + off).unwrap();
+            assert_eq!(d.bank, first.bank, "page split across banks");
+            assert_eq!(d.row, first.row, "page split across rows");
+        }
+    }
+
+    #[test]
+    fn mapping_rejects_out_of_range() {
+        let m = AddressMapping::new(CAP);
+        assert!(m.decode(CAP).is_err());
+    }
+
+    #[test]
+    fn act_read_data_roundtrip() {
+        let mut d = dev();
+        let m = *d.mapping();
+        let addr = 64 * 999;
+        let dec = m.decode(addr).unwrap();
+        let t0 = SimTime::from_ns(100);
+        d.issue(
+            t0,
+            Command::Activate {
+                bank: dec.bank,
+                row: dec.row,
+            },
+        )
+        .unwrap();
+        let wr_at = t0 + d.timing().trcd;
+        d.issue(
+            wr_at,
+            Command::Write {
+                bank: dec.bank,
+                col: dec.col,
+                auto_precharge: false,
+            },
+        )
+        .unwrap();
+        let data = [0xCDu8; 64];
+        d.burst_write(dec.bank, dec.col, &data);
+        let rd_at = wr_at + d.timing().tccd_l;
+        d.issue(
+            rd_at,
+            Command::Read {
+                bank: dec.bank,
+                col: dec.col,
+                auto_precharge: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(d.burst_read(dec.bank, dec.col), data);
+    }
+
+    #[test]
+    fn refresh_requires_all_banks_precharged() {
+        let mut d = dev();
+        d.issue(
+            SimTime::ZERO,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 3,
+            },
+        )
+        .unwrap();
+        let err = d.issue(SimTime::from_us(1), Command::Refresh);
+        assert!(matches!(err, Err(BusViolation::BankState { .. })));
+    }
+
+    #[test]
+    fn refresh_blocks_silicon_for_trfc_base() {
+        let mut d = dev();
+        let t0 = SimTime::from_us(10);
+        let done = d.issue(t0, Command::Refresh).unwrap();
+        assert_eq!(done, t0 + d.timing().trfc_base);
+        // Any command before tRFC_base is a silicon violation.
+        let err = d.issue(
+            t0 + SimDuration::from_ns(100),
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(BusViolation::CommandDuringRefresh { .. })
+        ));
+        // After tRFC_base the silicon accepts commands again even though
+        // the programmed tRFC_total is longer: the NVDIMM-C opportunity.
+        d.issue(
+            done,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn tfaw_limits_activation_rate() {
+        let mut d = dev();
+        let t = *d.timing();
+        let mut at = SimTime::from_ns(1000);
+        // Four ACTs spaced at tRRD_S (different groups) are legal...
+        for i in 0..4u8 {
+            d.issue(
+                at,
+                Command::Activate {
+                    bank: BankAddr::new(i % 4, 0),
+                    row: 0,
+                },
+            )
+            .unwrap();
+            at += t.trrd_s;
+        }
+        // ...a fifth within tFAW is not.
+        let err = d.issue(
+            at,
+            Command::Activate {
+                bank: BankAddr::new(0, 1),
+                row: 0,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(BusViolation::Timing {
+                parameter: "tFAW",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn self_refresh_entry_and_exit() {
+        let mut d = dev();
+        d.issue(SimTime::from_ns(10), Command::SelfRefreshEnter).unwrap();
+        let err = d.issue(SimTime::from_ns(20), Command::Refresh);
+        assert!(matches!(err, Err(BusViolation::BankState { .. })));
+        let t_exit = SimTime::from_us(5);
+        let ready = d.issue(t_exit, Command::SelfRefreshExit).unwrap();
+        assert_eq!(ready, t_exit + d.timing().txs);
+        let err = d.issue(
+            t_exit + SimDuration::from_ns(1),
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        );
+        assert!(matches!(err, Err(BusViolation::Timing { parameter: "tXS", .. })));
+    }
+
+    #[test]
+    fn auto_precharge_closes_bank() {
+        let mut d = dev();
+        let t0 = SimTime::from_ns(100);
+        let b = BankAddr::new(1, 1);
+        d.issue(t0, Command::Activate { bank: b, row: 7 }).unwrap();
+        d.issue(
+            t0 + d.timing().trcd,
+            Command::Read {
+                bank: b,
+                col: 0,
+                auto_precharge: true,
+            },
+        )
+        .unwrap();
+        assert!(d.bank(b).is_idle());
+    }
+
+    #[test]
+    fn peek_poke_backdoor() {
+        let mut d = dev();
+        d.poke(4096, &[7u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        d.peek(4096, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 64]);
+        assert!(d.poke(CAP - 32, &[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut d = dev();
+        let b = BankAddr::new(0, 0);
+        d.issue(SimTime::from_ns(10), Command::Activate { bank: b, row: 0 })
+            .unwrap();
+        d.issue(
+            SimTime::from_ns(10) + d.timing().trcd,
+            Command::Read {
+                bank: b,
+                col: 0,
+                auto_precharge: false,
+            },
+        )
+        .unwrap();
+        let s = d.stats();
+        assert_eq!((s.activates, s.reads), (1, 1));
+    }
+}

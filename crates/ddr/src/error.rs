@@ -1,0 +1,139 @@
+//! Error types for the DDR4 substrate.
+
+use crate::command::Command;
+use nvdimmc_sim::SimTime;
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the shared-bus discipline — the failure class the
+/// NVDIMM-C tRFC mechanism exists to prevent (paper §III-B, Figure 2a).
+///
+/// Any of these surfacing during a simulation corresponds to "an unexpected
+/// state or a critical memory error" on real hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusViolation {
+    /// Two masters drove the CA bus in the same cycle (paper case C1).
+    CaConflict {
+        /// Time of the conflicting issue.
+        at: SimTime,
+        /// The command that was already on the bus.
+        existing: Command,
+        /// The late-coming command.
+        incoming: Command,
+    },
+    /// A command was issued to the DRAM while it was refreshing, outside
+    /// the issuer's permitted window.
+    CommandDuringRefresh {
+        /// Time of the offending issue.
+        at: SimTime,
+        /// End of the refresh-busy period.
+        busy_until: SimTime,
+        /// The offending command.
+        command: Command,
+    },
+    /// The NVMC issued a command outside an extra-tRFC window (it may only
+    /// drive the bus inside one).
+    NvmcOutsideWindow {
+        /// Time of the offending issue.
+        at: SimTime,
+        /// The offending command.
+        command: Command,
+    },
+    /// A command was illegal for the current bank state (e.g. READ to a
+    /// precharged bank — paper case C2).
+    BankState {
+        /// Time of the offending issue.
+        at: SimTime,
+        /// The offending command.
+        command: Command,
+        /// Human-readable description of the state conflict.
+        reason: String,
+    },
+    /// A JEDEC timing parameter was violated.
+    Timing {
+        /// Time of the offending issue.
+        at: SimTime,
+        /// The offending command.
+        command: Command,
+        /// The violated parameter (e.g. "tRCD").
+        parameter: &'static str,
+        /// The earliest legal issue time.
+        legal_at: SimTime,
+    },
+}
+
+impl fmt::Display for BusViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusViolation::CaConflict {
+                at,
+                existing,
+                incoming,
+            } => write!(
+                f,
+                "CA bus conflict at {at}: {incoming:?} collided with {existing:?}"
+            ),
+            BusViolation::CommandDuringRefresh {
+                at,
+                busy_until,
+                command,
+            } => write!(
+                f,
+                "{command:?} issued at {at} while DRAM refresh-busy until {busy_until}"
+            ),
+            BusViolation::NvmcOutsideWindow { at, command } => {
+                write!(f, "NVMC issued {command:?} at {at} outside an extra-tRFC window")
+            }
+            BusViolation::BankState {
+                at,
+                command,
+                reason,
+            } => write!(f, "illegal {command:?} at {at}: {reason}"),
+            BusViolation::Timing {
+                at,
+                command,
+                parameter,
+                legal_at,
+            } => write!(
+                f,
+                "{parameter} violation: {command:?} at {at}, legal at {legal_at}"
+            ),
+        }
+    }
+}
+
+impl Error for BusViolation {}
+
+/// Errors from the DDR substrate that are not bus-discipline violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdrError {
+    /// An address was outside the device capacity.
+    AddressOutOfRange {
+        /// The offending byte address.
+        addr: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// An access straddled a boundary the operation cannot cross.
+    Misaligned {
+        /// The offending byte address.
+        addr: u64,
+        /// Required alignment in bytes.
+        align: u64,
+    },
+}
+
+impl fmt::Display for DdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdrError::AddressOutOfRange { addr, capacity } => {
+                write!(f, "address {addr:#x} out of range (capacity {capacity:#x})")
+            }
+            DdrError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#x} not aligned to {align}")
+            }
+        }
+    }
+}
+
+impl Error for DdrError {}

@@ -1,0 +1,582 @@
+//! The host integrated memory controller (iMC).
+//!
+//! Models exactly what the paper relies on from the Skylake iMC:
+//!
+//! - periodic REFRESH at tREFI, preceded by PRECHARGE-ALL (DDR4 has no
+//!   per-bank refresh, §III-B), with the programmed — possibly stretched —
+//!   tRFC honoured before any further command;
+//! - open-page row-buffer policy with per-bank open-row tracking;
+//! - pipelined column accesses at tCCD spacing for streaming transfers.
+//!
+//! The iMC *postpones* refresh while a command sequence is in flight and
+//! catches up at the next pump point, as real controllers do (JEDEC allows
+//! up to 8 postponed refreshes).
+
+use crate::bus::{BusMaster, SharedBus};
+use crate::command::Command;
+use crate::device::DecodedAddr;
+use crate::error::BusViolation;
+use crate::timing::TimingParams;
+use nvdimmc_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load / READ burst.
+    Read,
+    /// A store / WRITE burst.
+    Write,
+}
+
+/// iMC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImcConfig {
+    /// Refresh interval; defaults to the timing's tREFI.
+    pub trefi: SimDuration,
+    /// Upper bound on retry iterations when a command must be delayed to a
+    /// later legal instant.
+    pub max_retries: u32,
+}
+
+impl ImcConfig {
+    /// Configuration matching `timing`.
+    pub fn from_timing(timing: &TimingParams) -> Self {
+        ImcConfig {
+            trefi: timing.trefi,
+            max_retries: 16,
+        }
+    }
+}
+
+/// iMC counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImcStats {
+    /// Column accesses that hit an open row.
+    pub row_hits: u64,
+    /// Column accesses that required (PRE+)ACT.
+    pub row_misses: u64,
+    /// REFRESH commands issued.
+    pub refreshes: u64,
+    /// Refreshes elided because the clock jumped past them during pure
+    /// CPU activity (JEDEC allows postponing at most 8; older ones are
+    /// treated as having completed in the untracked interval).
+    pub refreshes_elided: u64,
+    /// Bytes read over the bus.
+    pub bytes_read: u64,
+    /// Bytes written over the bus.
+    pub bytes_written: u64,
+    /// Total time host commands spent waiting out programmed-tRFC blocks.
+    pub refresh_stall: SimDuration,
+}
+
+/// The outcome of a single cacheline access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// When the column command was issued.
+    pub issued_at: SimTime,
+    /// When the data burst completed.
+    pub data_end: SimTime,
+}
+
+/// The host memory controller.
+///
+/// Holds only *its own view* of the DRAM (open rows, refresh schedule); the
+/// DRAM itself lives behind the [`SharedBus`], because the NVMC sees the
+/// same device.
+#[derive(Debug)]
+pub struct Imc {
+    cfg: ImcConfig,
+    next_refresh: SimTime,
+    open_rows: Vec<Option<u32>>,
+    stats: ImcStats,
+}
+
+impl Imc {
+    /// Creates an iMC with the first refresh due one tREFI in.
+    pub fn new(cfg: ImcConfig) -> Self {
+        Imc {
+            next_refresh: SimTime::ZERO + cfg.trefi,
+            cfg,
+            open_rows: vec![None; 16],
+            stats: ImcStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ImcStats {
+        self.stats
+    }
+
+    /// The configured refresh interval.
+    pub fn trefi(&self) -> SimDuration {
+        self.cfg.trefi
+    }
+
+    /// Changes the refresh interval (the paper's tREFI2/tREFI4 studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trefi` is zero.
+    pub fn set_trefi(&mut self, trefi: SimDuration) {
+        assert!(trefi > SimDuration::ZERO, "tREFI must be positive");
+        self.cfg.trefi = trefi;
+    }
+
+    /// When the next refresh is due.
+    pub fn next_refresh_due(&self) -> SimTime {
+        self.next_refresh
+    }
+
+    /// Issues a host command, retrying at the violation-reported legal
+    /// instant for ordinary timing delays (tCCD, tRAS, tRP, refresh
+    /// blocks). Hard protocol errors propagate.
+    fn issue_retry(
+        &mut self,
+        bus: &mut SharedBus,
+        mut at: SimTime,
+        cmd: Command,
+    ) -> Result<(SimTime, SimTime), BusViolation> {
+        for _ in 0..=self.cfg.max_retries {
+            match bus.issue(BusMaster::HostImc, at, cmd) {
+                Ok(end) => return Ok((at, end)),
+                Err(BusViolation::Timing { legal_at, .. }) => at = at.max(legal_at),
+                Err(BusViolation::CommandDuringRefresh { busy_until, .. }) => {
+                    self.stats.refresh_stall += busy_until.since(at);
+                    at = busy_until;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(BusViolation::Timing {
+            at,
+            command: cmd,
+            parameter: "retry-budget",
+            legal_at: at,
+        })
+    }
+
+    /// Issues any refreshes due at or before `now`; returns the instant the
+    /// host may proceed (which may be later than `now` if a refresh window
+    /// covers it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus violations (none are expected from a well-behaved
+    /// host; surfacing them is the point of the model).
+    pub fn pump_refresh(
+        &mut self,
+        bus: &mut SharedBus,
+        mut now: SimTime,
+    ) -> Result<SimTime, BusViolation> {
+        // JEDEC permits postponing up to 8 refreshes. If the clock jumped
+        // further than that during bus-idle CPU work, the missed refreshes
+        // are deemed to have completed in that interval (they would have —
+        // the bus was idle); only the allowed backlog is issued live.
+        let cap = self.cfg.trefi * 8;
+        let horizon = now.saturating_since(self.next_refresh);
+        if horizon > cap {
+            let missed = (horizon - cap).div_ceil(self.cfg.trefi);
+            self.stats.refreshes_elided += missed;
+            self.next_refresh += self.cfg.trefi * missed;
+        }
+        while self.next_refresh <= now {
+            let due = self.next_refresh;
+            // Precharge all banks, then refresh once tRP has elapsed. A
+            // refresh that fell due during bus-idle CPU work is issued
+            // retroactively at its due time — it really did happen then —
+            // so it only stalls the host when it overlaps bus activity.
+            let (prea_at, _) = self.issue_retry(bus, due, Command::PrechargeAll)?;
+            let trp = bus.device().timing().trp;
+            let (ref_at, _) = self.issue_retry(bus, prea_at + trp, Command::Refresh)?;
+            self.open_rows.fill(None);
+            self.stats.refreshes += 1;
+            self.next_refresh = due + self.cfg.trefi;
+            // Host is blocked for the programmed tRFC.
+            let resume = bus.host_ready_at(ref_at);
+            if resume > now {
+                self.stats.refresh_stall += resume.since(now.max(ref_at));
+                now = resume;
+            }
+        }
+        Ok(now)
+    }
+
+    /// Performs one 64-byte access at `addr`, including any row
+    /// activation, returning issue and completion instants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus violations and address decode failures (as
+    /// [`BusViolation::BankState`]).
+    pub fn access(
+        &mut self,
+        bus: &mut SharedBus,
+        at: SimTime,
+        addr: u64,
+        kind: AccessKind,
+    ) -> Result<AccessResult, BusViolation> {
+        let at = self.pump_refresh(bus, at)?;
+        let dec = self.decode(bus, at, addr)?;
+        let col_at = self.open_row(bus, at, &dec)?;
+        self.column_access(bus, col_at, &dec, kind)
+    }
+
+    fn decode(
+        &self,
+        bus: &SharedBus,
+        at: SimTime,
+        addr: u64,
+    ) -> Result<DecodedAddr, BusViolation> {
+        bus.device()
+            .mapping()
+            .decode(addr)
+            .map_err(|e| BusViolation::BankState {
+                at,
+                command: Command::Deselect,
+                reason: e.to_string(),
+            })
+    }
+
+    /// Ensures `dec.row` is open in `dec.bank`; returns the earliest
+    /// instant a column command may issue.
+    fn open_row(
+        &mut self,
+        bus: &mut SharedBus,
+        at: SimTime,
+        dec: &DecodedAddr,
+    ) -> Result<SimTime, BusViolation> {
+        let idx = usize::from(dec.bank.index());
+        match self.open_rows[idx] {
+            Some(row) if row == dec.row => {
+                self.stats.row_hits += 1;
+                Ok(at)
+            }
+            Some(_) => {
+                self.stats.row_misses += 1;
+                let (pre_at, _) =
+                    self.issue_retry(bus, at, Command::Precharge { bank: dec.bank })?;
+                let trp = bus.device().timing().trp;
+                let (act_at, rw_ready) = self.issue_retry(
+                    bus,
+                    pre_at + trp,
+                    Command::Activate {
+                        bank: dec.bank,
+                        row: dec.row,
+                    },
+                )?;
+                let _ = act_at;
+                self.open_rows[idx] = Some(dec.row);
+                Ok(rw_ready)
+            }
+            None => {
+                self.stats.row_misses += 1;
+                let (_, rw_ready) = self.issue_retry(
+                    bus,
+                    at,
+                    Command::Activate {
+                        bank: dec.bank,
+                        row: dec.row,
+                    },
+                )?;
+                self.open_rows[idx] = Some(dec.row);
+                Ok(rw_ready)
+            }
+        }
+    }
+
+    fn column_access(
+        &mut self,
+        bus: &mut SharedBus,
+        at: SimTime,
+        dec: &DecodedAddr,
+        kind: AccessKind,
+    ) -> Result<AccessResult, BusViolation> {
+        let cmd = match kind {
+            AccessKind::Read => Command::Read {
+                bank: dec.bank,
+                col: dec.col,
+                auto_precharge: false,
+            },
+            AccessKind::Write => Command::Write {
+                bank: dec.bank,
+                col: dec.col,
+                auto_precharge: false,
+            },
+        };
+        let (issued_at, data_end) = self.issue_retry(bus, at, cmd)?;
+        match kind {
+            AccessKind::Read => self.stats.bytes_read += 64,
+            AccessKind::Write => self.stats.bytes_written += 64,
+        }
+        Ok(AccessResult {
+            issued_at,
+            data_end,
+        })
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, moving real data.
+    /// Returns when the last burst completed.
+    ///
+    /// Column commands are pipelined at tCCD spacing, so streaming reads
+    /// approach the bus bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus violations.
+    pub fn read_bytes(
+        &mut self,
+        bus: &mut SharedBus,
+        at: SimTime,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<SimTime, BusViolation> {
+        self.read_bytes_paced(bus, at, addr, buf, SimDuration::ZERO)
+    }
+
+    /// Like [`Imc::read_bytes`], but issues column commands no faster than
+    /// `line_interval` apart. A CPU-driven copy loads one cacheline per
+    /// load-buffer round trip, so its bus *exposure* is spread across the
+    /// whole copy — which is what makes the host sensitive to refresh
+    /// frequency (paper Figure 13).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus violations.
+    pub fn read_bytes_paced(
+        &mut self,
+        bus: &mut SharedBus,
+        at: SimTime,
+        addr: u64,
+        buf: &mut [u8],
+        line_interval: SimDuration,
+    ) -> Result<SimTime, BusViolation> {
+        let len = buf.len() as u64;
+        self.transfer(
+            bus,
+            at,
+            addr,
+            len,
+            AccessKind::Read,
+            line_interval,
+            |bus, dec, line, dst| {
+                let data = bus.device_mut().burst_read(dec.bank, dec.col);
+                dst.copy_from_slice(&data[line.off..line.off + line.len]);
+            },
+            buf,
+        )
+    }
+
+    /// Writes `data` starting at `addr`, moving real bytes (with
+    /// read-modify-write for partial bursts). Returns when the last burst
+    /// completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus violations.
+    pub fn write_bytes(
+        &mut self,
+        bus: &mut SharedBus,
+        at: SimTime,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<SimTime, BusViolation> {
+        self.write_bytes_paced(bus, at, addr, data, SimDuration::ZERO)
+    }
+
+    /// Like [`Imc::write_bytes`] with a minimum per-line spacing (see
+    /// [`Imc::read_bytes_paced`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus violations.
+    pub fn write_bytes_paced(
+        &mut self,
+        bus: &mut SharedBus,
+        at: SimTime,
+        addr: u64,
+        data: &[u8],
+        line_interval: SimDuration,
+    ) -> Result<SimTime, BusViolation> {
+        let mut tmp = data.to_vec();
+        self.transfer(
+            bus,
+            at,
+            addr,
+            data.len() as u64,
+            AccessKind::Write,
+            line_interval,
+            |bus, dec, line, src| {
+                let mut burst = if line.len == 64 {
+                    [0u8; 64]
+                } else {
+                    bus.device_mut().burst_read(dec.bank, dec.col)
+                };
+                burst[line.off..line.off + line.len].copy_from_slice(&src[..line.len]);
+                bus.device_mut().burst_write(dec.bank, dec.col, &burst);
+            },
+            &mut tmp,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transfer<F>(
+        &mut self,
+        bus: &mut SharedBus,
+        at: SimTime,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+        line_interval: SimDuration,
+        mut mover: F,
+        scratch: &mut [u8],
+    ) -> Result<SimTime, BusViolation>
+    where
+        F: FnMut(&mut SharedBus, &DecodedAddr, LineSpan, &mut [u8]),
+    {
+        let mut pos = 0u64;
+        let mut next_issue = at;
+        let mut last_end = at;
+        while pos < len {
+            let a = addr + pos;
+            let off = (a % 64) as usize;
+            let n = (64 - off as u64).min(len - pos) as usize;
+            let t = self.pump_refresh(bus, next_issue)?;
+            let dec = self.decode(bus, t, a)?;
+            let col_at = self.open_row(bus, t, &dec)?;
+            let res = self.column_access(bus, col_at, &dec, kind)?;
+            mover(
+                bus,
+                &dec,
+                LineSpan { off, len: n },
+                &mut scratch[pos as usize..pos as usize + n],
+            );
+            // Pipeline the next column command at tCCD spacing, or at the
+            // caller's pace when slower.
+            next_issue = res.issued_at + bus.device().timing().tccd_l.max(line_interval);
+            last_end = res.data_end;
+            pos += n as u64;
+        }
+        Ok(last_end)
+    }
+}
+
+/// The byte span of one access within a 64-byte burst.
+#[derive(Debug, Clone, Copy)]
+struct LineSpan {
+    off: usize,
+    len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DramDevice;
+    use crate::timing::{SpeedBin, TimingParams};
+
+    const CAP: u64 = 1 << 27;
+
+    fn setup() -> (Imc, SharedBus) {
+        let timing = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        let bus = SharedBus::new(DramDevice::new(timing, CAP));
+        let imc = Imc::new(ImcConfig::from_timing(&timing));
+        (imc, bus)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (mut imc, mut bus) = setup();
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let t0 = SimTime::from_ns(100);
+        let end = imc.write_bytes(&mut bus, t0, 8192, &payload).unwrap();
+        assert!(end > t0);
+        let mut out = vec![0u8; 4096];
+        imc.read_bytes(&mut bus, end, 8192, &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn unaligned_access_roundtrip() {
+        let (mut imc, mut bus) = setup();
+        let payload = [0xABu8; 100];
+        let t0 = SimTime::from_ns(100);
+        let end = imc.write_bytes(&mut bus, t0, 1000, &payload).unwrap();
+        let mut out = [0u8; 100];
+        imc.read_bytes(&mut bus, end, 1000, &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn row_hits_on_sequential_lines() {
+        let (mut imc, mut bus) = setup();
+        let mut buf = vec![0u8; 4096];
+        imc.read_bytes(&mut bus, SimTime::from_ns(100), 0, &mut buf)
+            .unwrap();
+        let s = imc.stats();
+        // 64 lines in one 4KB page share a single row: 1 miss, 63 hits.
+        assert_eq!(s.row_misses, 1);
+        assert_eq!(s.row_hits, 63);
+    }
+
+    #[test]
+    fn refresh_issued_at_trefi_cadence() {
+        let (mut imc, mut bus) = setup();
+        // Pump well past 10 refresh intervals.
+        let t = SimTime::ZERO + imc.trefi() * 10 + SimDuration::from_us(1.0);
+        imc.pump_refresh(&mut bus, t).unwrap();
+        // Ten refreshes were due. Those beyond the 8-deep postponement
+        // budget are elided (deemed done during the idle jump); the rest
+        // are issued live, possibly crossing one more due point.
+        let s = imc.stats();
+        let covered = s.refreshes + s.refreshes_elided;
+        assert!((10..=12).contains(&covered), "covered = {covered}");
+        assert!(s.refreshes <= 10 && s.refreshes >= 8, "live = {}", s.refreshes);
+        assert_eq!(bus.stats().refreshes, s.refreshes);
+    }
+
+    #[test]
+    fn streaming_read_beats_serialized_latency() {
+        let (mut imc, mut bus) = setup();
+        let mut buf = vec![0u8; 65536];
+        let t0 = SimTime::from_ns(100);
+        let end = imc.read_bytes(&mut bus, t0, 0, &mut buf).unwrap();
+        let elapsed = end.since(t0);
+        let bw = 65536.0 / elapsed.as_secs_f64() / 1e9; // GB/s
+        // DDR4-1600 peak is 12.8 GB/s; pipelined reads should exceed 5 GB/s
+        // (tCCD_L-limited ~10 GB/s minus ACT/refresh overhead).
+        assert!(bw > 5.0, "streaming bandwidth {bw:.2} GB/s too low");
+    }
+
+    #[test]
+    fn refresh_stall_grows_with_faster_trefi() {
+        // The Figure 13 mechanism: quadrupling the refresh rate costs host
+        // bandwidth.
+        let run = |trefi_us: f64| {
+            let timing = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600)
+                .with_trefi(SimDuration::from_us(trefi_us));
+            let mut bus = SharedBus::new(DramDevice::new(timing, CAP));
+            let mut imc = Imc::new(ImcConfig::from_timing(&timing));
+            let mut t = SimTime::from_ns(100);
+            let mut buf = vec![0u8; 4096];
+            for i in 0..200u64 {
+                t = imc
+                    .read_bytes(&mut bus, t, (i * 4096) % (CAP / 2), &mut buf)
+                    .unwrap();
+            }
+            t.since(SimTime::from_ns(100)).as_us_f64()
+        };
+        let slow = run(7.8);
+        let fast = run(1.95);
+        assert!(
+            fast > slow * 1.02,
+            "tREFI4 runtime {fast:.1}us not slower than tREFI {slow:.1}us"
+        );
+    }
+
+    #[test]
+    fn set_trefi_validates() {
+        let (mut imc, _) = setup();
+        imc.set_trefi(SimDuration::from_us(3.9));
+        assert_eq!(imc.trefi(), SimDuration::from_us(3.9));
+    }
+}

@@ -1,0 +1,259 @@
+//! A minimal DAX-aware filesystem layout.
+//!
+//! The paper mounts the nvdc block device as XFS with `-o dax` (§VI).
+//! What the NVDIMM-C data path actually needs from the filesystem is the
+//! offset→block mapping that feeds `device_access` (§IV-B): "when an
+//! application accesses a block on our device, the kernel layer of the
+//! DAX-aware filesystem calls the `device_access` function to retrieve a
+//! virtual address of that block". This module provides files as extents
+//! of device blocks; the driver side lives in the core crate.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Errors from the DAX filesystem shim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaxFsError {
+    /// File already exists.
+    Exists(String),
+    /// File not found.
+    NotFound(String),
+    /// Offset beyond the file's size.
+    OffsetOutOfRange {
+        /// The offending byte offset.
+        offset: u64,
+        /// File length in bytes.
+        file_bytes: u64,
+    },
+    /// The device has no free blocks left.
+    DeviceFull,
+}
+
+impl std::fmt::Display for DaxFsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaxFsError::Exists(n) => write!(f, "file '{n}' already exists"),
+            DaxFsError::NotFound(n) => write!(f, "file '{n}' not found"),
+            DaxFsError::OffsetOutOfRange { offset, file_bytes } => {
+                write!(f, "offset {offset} beyond file of {file_bytes} bytes")
+            }
+            DaxFsError::DeviceFull => write!(f, "device full"),
+        }
+    }
+}
+
+impl std::error::Error for DaxFsError {}
+
+/// A file: an ordered list of device block numbers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaxFile {
+    blocks: Vec<u64>,
+}
+
+impl DaxFile {
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The device block backing file-block `index`.
+    pub fn block(&self, index: usize) -> Option<u64> {
+        self.blocks.get(index).copied()
+    }
+}
+
+/// The filesystem: allocates device blocks to named files.
+///
+/// Blocks are allocated with modest extent contiguity (first-fit runs), as
+/// XFS would; the NVDIMM-C driver does not care beyond the block numbers.
+///
+/// # Example
+///
+/// ```
+/// use nvdimmc_host::DaxFs;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut fs = DaxFs::new(1 << 20, 4096); // 1 MB device
+/// fs.create("data.db", 10 * 4096)?;
+/// let (block, within) = fs.resolve("data.db", 4096 * 3 + 17)?;
+/// assert_eq!(within, 17);
+/// # let _ = block;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DaxFs {
+    block_bytes: u64,
+    total_blocks: u64,
+    next_free: u64,
+    free_list: Vec<u64>,
+    files: HashMap<String, DaxFile>,
+}
+
+impl DaxFs {
+    /// Creates a filesystem over a device of `device_bytes` with the given
+    /// block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero or exceeds the device.
+    pub fn new(device_bytes: u64, block_bytes: u64) -> Self {
+        assert!(block_bytes > 0, "block size must be positive");
+        let total_blocks = device_bytes / block_bytes;
+        assert!(total_blocks > 0, "device smaller than one block");
+        DaxFs {
+            block_bytes,
+            total_blocks,
+            next_free: 0,
+            free_list: Vec::new(),
+            files: HashMap::new(),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Free blocks remaining.
+    pub fn free_blocks(&self) -> u64 {
+        (self.total_blocks - self.next_free) + self.free_list.len() as u64
+    }
+
+    fn alloc(&mut self) -> Result<u64, DaxFsError> {
+        if let Some(b) = self.free_list.pop() {
+            return Ok(b);
+        }
+        if self.next_free < self.total_blocks {
+            let b = self.next_free;
+            self.next_free += 1;
+            return Ok(b);
+        }
+        Err(DaxFsError::DeviceFull)
+    }
+
+    /// Creates a file of `bytes` (rounded up to whole blocks).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name exists or the device is full.
+    pub fn create(&mut self, name: &str, bytes: u64) -> Result<(), DaxFsError> {
+        if self.files.contains_key(name) {
+            return Err(DaxFsError::Exists(name.to_owned()));
+        }
+        let nblocks = bytes.div_ceil(self.block_bytes);
+        let mut blocks = Vec::with_capacity(nblocks as usize);
+        for _ in 0..nblocks {
+            match self.alloc() {
+                Ok(b) => blocks.push(b),
+                Err(e) => {
+                    // Roll back partial allocation.
+                    self.free_list.extend(blocks);
+                    return Err(e);
+                }
+            }
+        }
+        self.files.insert(name.to_owned(), DaxFile { blocks });
+        Ok(())
+    }
+
+    /// Deletes a file, freeing its blocks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file does not exist.
+    pub fn remove(&mut self, name: &str) -> Result<(), DaxFsError> {
+        let f = self
+            .files
+            .remove(name)
+            .ok_or_else(|| DaxFsError::NotFound(name.to_owned()))?;
+        self.free_list.extend(f.blocks);
+        Ok(())
+    }
+
+    /// Looks up a file.
+    pub fn file(&self, name: &str) -> Option<&DaxFile> {
+        self.files.get(name)
+    }
+
+    /// Resolves a byte offset in a file to `(device_block, offset_within)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown files or offsets beyond the file.
+    pub fn resolve(&self, name: &str, offset: u64) -> Result<(u64, u64), DaxFsError> {
+        let f = self
+            .files
+            .get(name)
+            .ok_or_else(|| DaxFsError::NotFound(name.to_owned()))?;
+        let idx = (offset / self.block_bytes) as usize;
+        match f.blocks.get(idx) {
+            Some(&b) => Ok((b, offset % self.block_bytes)),
+            None => Err(DaxFsError::OffsetOutOfRange {
+                offset,
+                file_bytes: f.blocks.len() as u64 * self.block_bytes,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_resolve() {
+        let mut fs = DaxFs::new(1 << 20, 4096);
+        fs.create("a", 3 * 4096).unwrap();
+        let (b0, o0) = fs.resolve("a", 0).unwrap();
+        let (b2, o2) = fs.resolve("a", 2 * 4096 + 5).unwrap();
+        assert_eq!(o0, 0);
+        assert_eq!(o2, 5);
+        assert_ne!(b0, b2);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut fs = DaxFs::new(1 << 20, 4096);
+        fs.create("a", 4096).unwrap();
+        assert!(matches!(fs.create("a", 4096), Err(DaxFsError::Exists(_))));
+    }
+
+    #[test]
+    fn offset_bounds_checked() {
+        let mut fs = DaxFs::new(1 << 20, 4096);
+        fs.create("a", 4096).unwrap();
+        assert!(matches!(
+            fs.resolve("a", 4096),
+            Err(DaxFsError::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn device_full_rolls_back() {
+        let mut fs = DaxFs::new(8192, 4096); // 2 blocks
+        assert!(matches!(
+            fs.create("big", 3 * 4096),
+            Err(DaxFsError::DeviceFull)
+        ));
+        assert_eq!(fs.free_blocks(), 2, "partial allocation rolled back");
+        fs.create("ok", 2 * 4096).unwrap();
+    }
+
+    #[test]
+    fn remove_frees_blocks() {
+        let mut fs = DaxFs::new(8192, 4096);
+        fs.create("a", 8192).unwrap();
+        assert_eq!(fs.free_blocks(), 0);
+        fs.remove("a").unwrap();
+        assert_eq!(fs.free_blocks(), 2);
+        assert!(fs.file("a").is_none());
+    }
+
+    #[test]
+    fn rounds_size_up_to_blocks() {
+        let mut fs = DaxFs::new(1 << 20, 4096);
+        fs.create("a", 1).unwrap();
+        assert_eq!(fs.file("a").unwrap().block_count(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! The kernel physical memory map and `memmap=nn$ss` reservations.
+//!
+//! The nvdc driver claims its DRAM-cache address space by marking it
+//! reserved at boot (paper §IV-B): "memory from ss to ss+nn-1 is excluded
+//! from normal usage". This module models the map so tests can assert the
+//! OS never hands reserved frames to anyone else.
+
+use serde::{Deserialize, Serialize};
+
+/// What a physical region is used for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Normal kernel-managed RAM.
+    SystemRam,
+    /// Reserved via `memmap=nn$ss` for a named driver.
+    Reserved {
+        /// Owning driver (e.g. "nvdc").
+        owner: String,
+    },
+}
+
+/// One region of the physical map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Start physical address.
+    pub base: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Usage.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// Exclusive end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes
+    }
+
+    /// Whether `addr` falls inside.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    fn overlaps(&self, base: u64, bytes: u64) -> bool {
+        base < self.end() && self.base < base + bytes
+    }
+}
+
+/// The physical memory map.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryMap {
+    regions: Vec<Region>,
+}
+
+/// Errors manipulating the map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemmapError {
+    /// The requested reservation overlaps an existing region.
+    Overlap {
+        /// Requested base.
+        base: u64,
+        /// Requested length.
+        bytes: u64,
+    },
+    /// Zero-length region.
+    Empty,
+}
+
+impl std::fmt::Display for MemmapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemmapError::Overlap { base, bytes } => {
+                write!(f, "reservation {base:#x}+{bytes:#x} overlaps an existing region")
+            }
+            MemmapError::Empty => write!(f, "zero-length region"),
+        }
+    }
+}
+
+impl std::error::Error for MemmapError {}
+
+impl MemoryMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a System RAM range.
+    ///
+    /// # Errors
+    ///
+    /// Fails on overlap or zero length.
+    pub fn add_system_ram(&mut self, base: u64, bytes: u64) -> Result<(), MemmapError> {
+        self.add(base, bytes, RegionKind::SystemRam)
+    }
+
+    /// Applies a `memmap=bytes$base` style reservation for `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on overlap with anything other than System RAM it carves out
+    /// of, or zero length. (For simplicity the model requires reservations
+    /// to be declared before RAM is handed to the allocator, as the kernel
+    /// parameter does.)
+    pub fn reserve(&mut self, base: u64, bytes: u64, owner: &str) -> Result<(), MemmapError> {
+        self.add(
+            base,
+            bytes,
+            RegionKind::Reserved {
+                owner: owner.to_owned(),
+            },
+        )
+    }
+
+    fn add(&mut self, base: u64, bytes: u64, kind: RegionKind) -> Result<(), MemmapError> {
+        if bytes == 0 {
+            return Err(MemmapError::Empty);
+        }
+        if self.regions.iter().any(|r| r.overlaps(base, bytes)) {
+            return Err(MemmapError::Overlap { base, bytes });
+        }
+        self.regions.push(Region { base, bytes, kind });
+        self.regions.sort_by_key(|r| r.base);
+        Ok(())
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn find(&self, addr: u64) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// Whether `addr` is usable by the OS page allocator.
+    pub fn is_system_ram(&self, addr: u64) -> bool {
+        matches!(
+            self.find(addr),
+            Some(Region {
+                kind: RegionKind::SystemRam,
+                ..
+            })
+        )
+    }
+
+    /// Whether `[addr, addr+len)` lies fully inside a reservation owned by
+    /// `owner`.
+    pub fn owned_by(&self, addr: u64, len: u64, owner: &str) -> bool {
+        self.regions.iter().any(|r| {
+            matches!(&r.kind, RegionKind::Reserved { owner: o } if o == owner)
+                && addr >= r.base
+                && addr + len <= r.end()
+        })
+    }
+
+    /// All regions, sorted by base.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_reserves_16gb() {
+        // Table I: 256 GB RAM + a 16 GB reserved window for the DRAM cache.
+        let mut map = MemoryMap::new();
+        map.add_system_ram(0, 128 << 30).unwrap();
+        map.reserve(128 << 30, 16 << 30, "nvdc").unwrap();
+        map.add_system_ram(144 << 30, 128 << 30).unwrap();
+        assert!(map.is_system_ram(1 << 20));
+        assert!(!map.is_system_ram((128 << 30) + 4096));
+        assert!(map.owned_by(128 << 30, 16 << 30, "nvdc"));
+        assert!(!map.owned_by(128 << 30, 16 << 30, "other"));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut map = MemoryMap::new();
+        map.add_system_ram(0, 1 << 20).unwrap();
+        assert!(matches!(
+            map.reserve(4096, 4096, "x"),
+            Err(MemmapError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let mut map = MemoryMap::new();
+        assert_eq!(map.reserve(0, 0, "x"), Err(MemmapError::Empty));
+    }
+
+    #[test]
+    fn find_respects_bounds() {
+        let mut map = MemoryMap::new();
+        map.reserve(1000, 100, "nvdc").unwrap();
+        assert!(map.find(999).is_none());
+        assert!(map.find(1000).is_some());
+        assert!(map.find(1099).is_some());
+        assert!(map.find(1100).is_none());
+    }
+}

@@ -1,0 +1,292 @@
+//! Virtual memory: page table and TLB.
+//!
+//! DAX (paper §II-A) exposes device pages straight into user address
+//! space: an access faults if no PTE exists, the fault handler asks the
+//! driver for a page frame (cachefill on the NVDIMM-C path), and the PTE
+//! is installed. This module supplies that machinery; the driver logic
+//! lives in the core crate.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Page size used throughout (4 KB, the paper's mapping granularity).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pte {
+    /// Physical frame number.
+    pub pfn: u64,
+    /// Dirty bit (set by stores).
+    pub dirty: bool,
+    /// Accessed bit.
+    pub accessed: bool,
+}
+
+/// A page fault: no translation for the faulting virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault {
+    /// The faulting virtual page number.
+    pub vpn: u64,
+}
+
+impl std::fmt::Display for PageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page fault at vpn {:#x}", self.vpn)
+    }
+}
+
+impl std::error::Error for PageFault {}
+
+/// Paging statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PagingStats {
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// TLB misses that found a PTE (page walk).
+    pub walks: u64,
+    /// Faults (no PTE).
+    pub faults: u64,
+}
+
+/// A software page table: VPN → PTE.
+#[derive(Debug, Default, Clone)]
+pub struct PageTable {
+    entries: HashMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a translation.
+    pub fn map(&mut self, vpn: u64, pfn: u64) {
+        self.entries.insert(
+            vpn,
+            Pte {
+                pfn,
+                dirty: false,
+                accessed: false,
+            },
+        );
+    }
+
+    /// Removes a translation, returning the old PTE.
+    pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Looks up a translation.
+    pub fn get(&self, vpn: u64) -> Option<&Pte> {
+        self.entries.get(&vpn)
+    }
+
+    /// Mutable lookup (to set dirty/accessed).
+    pub fn get_mut(&mut self, vpn: u64) -> Option<&mut Pte> {
+        self.entries.get_mut(&vpn)
+    }
+
+    /// Number of installed translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over (vpn, pte).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Pte)> {
+        self.entries.iter()
+    }
+}
+
+/// A fully-associative TLB with FIFO replacement.
+#[derive(Debug)]
+pub struct Tlb {
+    capacity: usize,
+    order: std::collections::VecDeque<u64>,
+    map: HashMap<u64, u64>, // vpn -> pfn
+    stats: PagingStats,
+}
+
+impl Tlb {
+    /// Creates a TLB holding `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb {
+            capacity,
+            order: std::collections::VecDeque::new(),
+            map: HashMap::new(),
+            stats: PagingStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PagingStats {
+        self.stats
+    }
+
+    /// Translates `vpn` via the TLB, falling back to a page walk. A miss
+    /// with no PTE returns the fault for the caller's handler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageFault`] when no translation exists — the DAX entry
+    /// point into the driver.
+    pub fn translate(
+        &mut self,
+        table: &mut PageTable,
+        vpn: u64,
+        is_store: bool,
+    ) -> Result<u64, PageFault> {
+        if let Some(&pfn) = self.map.get(&vpn) {
+            self.stats.tlb_hits += 1;
+            if is_store {
+                if let Some(pte) = table.get_mut(vpn) {
+                    pte.dirty = true;
+                }
+            }
+            return Ok(pfn);
+        }
+        match table.get_mut(vpn) {
+            Some(pte) => {
+                self.stats.walks += 1;
+                pte.accessed = true;
+                if is_store {
+                    pte.dirty = true;
+                }
+                let pfn = pte.pfn;
+                self.insert(vpn, pfn);
+                Ok(pfn)
+            }
+            None => {
+                self.stats.faults += 1;
+                Err(PageFault { vpn })
+            }
+        }
+    }
+
+    /// Inserts a translation, evicting FIFO if full.
+    pub fn insert(&mut self, vpn: u64, pfn: u64) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(vpn) {
+            e.insert(pfn);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        self.order.push_back(vpn);
+        self.map.insert(vpn, pfn);
+    }
+
+    /// Drops one translation (single-page shootdown).
+    pub fn flush_page(&mut self, vpn: u64) {
+        if self.map.remove(&vpn).is_some() {
+            self.order.retain(|&v| v != vpn);
+        }
+    }
+
+    /// Drops everything (full shootdown).
+    pub fn flush_all(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Resident translations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_then_map_then_hit() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(4);
+        assert_eq!(tlb.translate(&mut pt, 7, false), Err(PageFault { vpn: 7 }));
+        pt.map(7, 1234);
+        assert_eq!(tlb.translate(&mut pt, 7, false), Ok(1234)); // walk
+        assert_eq!(tlb.translate(&mut pt, 7, false), Ok(1234)); // TLB hit
+        let s = tlb.stats();
+        assert_eq!((s.faults, s.walks, s.tlb_hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn store_sets_dirty_bit() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(4);
+        pt.map(1, 10);
+        tlb.translate(&mut pt, 1, true).unwrap();
+        assert!(pt.get(1).unwrap().dirty);
+        // Loads do not.
+        pt.map(2, 20);
+        tlb.translate(&mut pt, 2, false).unwrap();
+        assert!(!pt.get(2).unwrap().dirty);
+    }
+
+    #[test]
+    fn store_through_tlb_hit_still_sets_dirty() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(4);
+        pt.map(3, 30);
+        tlb.translate(&mut pt, 3, false).unwrap(); // warm TLB, clean
+        tlb.translate(&mut pt, 3, true).unwrap(); // dirty via hit path
+        assert!(pt.get(3).unwrap().dirty);
+    }
+
+    #[test]
+    fn tlb_capacity_evicts_fifo() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(2);
+        for vpn in 0..3 {
+            pt.map(vpn, vpn * 10);
+            tlb.translate(&mut pt, vpn, false).unwrap();
+        }
+        assert_eq!(tlb.len(), 2);
+        // vpn 0 evicted: next translate is a walk, not a hit.
+        let before = tlb.stats().walks;
+        tlb.translate(&mut pt, 0, false).unwrap();
+        assert_eq!(tlb.stats().walks, before + 1);
+    }
+
+    #[test]
+    fn unmap_and_shootdown() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(4);
+        pt.map(5, 50);
+        tlb.translate(&mut pt, 5, false).unwrap();
+        pt.unmap(5);
+        tlb.flush_page(5);
+        assert_eq!(tlb.translate(&mut pt, 5, false), Err(PageFault { vpn: 5 }));
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(8);
+        for vpn in 0..5 {
+            pt.map(vpn, vpn);
+            tlb.translate(&mut pt, vpn, false).unwrap();
+        }
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+    }
+}

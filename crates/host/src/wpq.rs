@@ -1,0 +1,185 @@
+//! The iMC write-pending queue (WPQ) and the platform persistence domain.
+//!
+//! On ADR platforms, stores that reached the WPQ are flushed to the DIMM
+//! on power failure, so `clflush` + `sfence` suffices for persistence
+//! (§V-C). NVDIMM-C *weakens* this: the FPGA's power-fail dump of the DRAM
+//! cache races with the WPQ drain, so entries still in the WPQ "possibly
+//! become a weak persistence domain". This model makes that race explicit
+//! and testable.
+
+use crate::memory::Memory;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One pending store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pending {
+    addr: u64,
+    data: Vec<u8>,
+}
+
+/// WPQ counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WpqStats {
+    /// Stores accepted.
+    pub enqueued: u64,
+    /// Stores drained to the DIMM in normal operation.
+    pub drained: u64,
+    /// Stores flushed by ADR on power failure.
+    pub adr_flushed: u64,
+    /// Stores lost on power failure (weak persistence domain).
+    pub lost: u64,
+}
+
+/// The write-pending queue inside the memory controller.
+///
+/// # Example
+///
+/// ```
+/// use nvdimmc_host::{Memory, VecMemory, WritePendingQueue};
+///
+/// let mut mem = VecMemory::new(4096);
+/// let mut wpq = WritePendingQueue::new(16);
+/// wpq.enqueue(0, &[1, 2, 3]);
+/// // Power fails with ADR working: the store still lands.
+/// wpq.power_fail(&mut mem, true);
+/// let mut buf = [0u8; 3];
+/// mem.read(0, &mut buf);
+/// assert_eq!(buf, [1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct WritePendingQueue {
+    capacity: usize,
+    queue: VecDeque<Pending>,
+    stats: WpqStats,
+}
+
+impl WritePendingQueue {
+    /// Creates a WPQ holding up to `capacity` stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "WPQ capacity must be positive");
+        WritePendingQueue {
+            capacity,
+            queue: VecDeque::new(),
+            stats: WpqStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> WpqStats {
+        self.stats
+    }
+
+    /// Pending store count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no stores are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Accepts a store. If full, the oldest entry is considered drained
+    /// first (the iMC never drops stores in normal operation) — the caller
+    /// must pass the memory to drain into via [`WritePendingQueue::drain_oldest`];
+    /// here we simply report whether backpressure occurred.
+    pub fn enqueue(&mut self, addr: u64, data: &[u8]) -> bool {
+        self.stats.enqueued += 1;
+        self.queue.push_back(Pending {
+            addr,
+            data: data.to_vec(),
+        });
+        self.queue.len() > self.capacity
+    }
+
+    /// Drains the oldest pending store into memory (normal operation).
+    /// Returns `false` when empty.
+    pub fn drain_oldest(&mut self, mem: &mut impl Memory) -> bool {
+        match self.queue.pop_front() {
+            Some(p) => {
+                mem.write(p.addr, &p.data);
+                self.stats.drained += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains everything (e.g. behind an `sfence` on a strongly-ordered
+    /// platform model).
+    pub fn drain_all(&mut self, mem: &mut impl Memory) {
+        while self.drain_oldest(mem) {}
+    }
+
+    /// Power failure. With `adr_works`, every pending store is flushed
+    /// (the platform persistence domain). Without it — the NVDIMM-C weak
+    /// domain, where the FPGA's dump races the drain — pending stores are
+    /// lost.
+    pub fn power_fail(&mut self, mem: &mut impl Memory, adr_works: bool) {
+        if adr_works {
+            while let Some(p) = self.queue.pop_front() {
+                mem.write(p.addr, &p.data);
+                self.stats.adr_flushed += 1;
+            }
+        } else {
+            self.stats.lost += self.queue.len() as u64;
+            self.queue.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::VecMemory;
+
+    #[test]
+    fn normal_drain_applies_in_order() {
+        let mut mem = VecMemory::new(64);
+        let mut wpq = WritePendingQueue::new(4);
+        wpq.enqueue(0, &[1]);
+        wpq.enqueue(0, &[2]); // same address, later value
+        wpq.drain_all(&mut mem);
+        let mut b = [0u8; 1];
+        mem.read(0, &mut b);
+        assert_eq!(b[0], 2, "later store wins");
+        assert_eq!(wpq.stats().drained, 2);
+    }
+
+    #[test]
+    fn adr_flushes_on_power_fail() {
+        let mut mem = VecMemory::new(64);
+        let mut wpq = WritePendingQueue::new(4);
+        wpq.enqueue(8, &[7]);
+        wpq.power_fail(&mut mem, true);
+        let mut b = [0u8; 1];
+        mem.read(8, &mut b);
+        assert_eq!(b[0], 7);
+        assert_eq!(wpq.stats().adr_flushed, 1);
+    }
+
+    #[test]
+    fn weak_domain_loses_pending_stores() {
+        let mut mem = VecMemory::new(64);
+        let mut wpq = WritePendingQueue::new(4);
+        wpq.enqueue(8, &[7]);
+        wpq.power_fail(&mut mem, false);
+        let mut b = [0u8; 1];
+        mem.read(8, &mut b);
+        assert_eq!(b[0], 0, "store lost in the weak persistence domain");
+        assert_eq!(wpq.stats().lost, 1);
+    }
+
+    #[test]
+    fn backpressure_reported_when_full() {
+        let mut wpq = WritePendingQueue::new(2);
+        assert!(!wpq.enqueue(0, &[0]));
+        assert!(!wpq.enqueue(1, &[0]));
+        assert!(wpq.enqueue(2, &[0]), "third store exceeds capacity");
+    }
+}

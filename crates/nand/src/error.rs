@@ -1,0 +1,95 @@
+//! Error types for the NAND substrate.
+
+use crate::geometry::PhysPage;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the NAND media, FTL or controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NandError {
+    /// A physical address was outside the configured geometry.
+    AddressOutOfRange {
+        /// The offending address.
+        page: PhysPage,
+    },
+    /// A logical page number exceeded the exported capacity.
+    LogicalOutOfRange {
+        /// The offending logical page number.
+        lpn: u64,
+        /// Number of exported logical pages.
+        capacity_pages: u64,
+    },
+    /// Programming a page that is not in the erased state.
+    ProgramWithoutErase {
+        /// The offending address.
+        page: PhysPage,
+    },
+    /// Programming pages of a block out of order (NAND requires sequential
+    /// page programming within a block).
+    NonSequentialProgram {
+        /// The offending address.
+        page: PhysPage,
+        /// The next programmable page index in that block.
+        expected_page: u32,
+    },
+    /// Reading a page that was never programmed.
+    ReadUnwritten {
+        /// The offending address.
+        page: PhysPage,
+    },
+    /// The block is marked bad.
+    BadBlock {
+        /// The offending address.
+        page: PhysPage,
+    },
+    /// ECC failed to correct the data (more errors than SEC-DED handles).
+    Uncorrectable {
+        /// The offending address.
+        page: PhysPage,
+    },
+    /// The FTL ran out of writable blocks (device full beyond
+    /// over-provisioning).
+    OutOfSpace,
+    /// A page buffer had the wrong length.
+    BadPageSize {
+        /// Bytes supplied.
+        got: usize,
+        /// Bytes required.
+        want: usize,
+    },
+}
+
+impl fmt::Display for NandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NandError::AddressOutOfRange { page } => {
+                write!(f, "physical page {page:?} out of range")
+            }
+            NandError::LogicalOutOfRange {
+                lpn,
+                capacity_pages,
+            } => write!(f, "logical page {lpn} out of range ({capacity_pages} pages)"),
+            NandError::ProgramWithoutErase { page } => {
+                write!(f, "program to non-erased page {page:?}")
+            }
+            NandError::NonSequentialProgram {
+                page,
+                expected_page,
+            } => write!(
+                f,
+                "non-sequential program to {page:?} (expected page {expected_page})"
+            ),
+            NandError::ReadUnwritten { page } => write!(f, "read of unwritten page {page:?}"),
+            NandError::BadBlock { page } => write!(f, "access to bad block at {page:?}"),
+            NandError::Uncorrectable { page } => {
+                write!(f, "uncorrectable ECC error at {page:?}")
+            }
+            NandError::OutOfSpace => write!(f, "no writable blocks remain"),
+            NandError::BadPageSize { got, want } => {
+                write!(f, "page buffer of {got} bytes, expected {want}")
+            }
+        }
+    }
+}
+
+impl Error for NandError {}

@@ -1,0 +1,189 @@
+//! NAND array geometry and physical addressing.
+
+use crate::error::NandError;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the Z-NAND array.
+///
+/// The paper's PoC carries two 64 GB Z-NAND packages on two channels. For
+/// unit tests a much smaller geometry keeps memory bounded; the sparse page
+/// store makes the full geometry usable too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NandGeometry {
+    /// Independent channels (the PoC has 2).
+    pub channels: u32,
+    /// Dies per channel.
+    pub dies_per_channel: u32,
+    /// Planes per die.
+    pub planes_per_die: u32,
+    /// Blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Pages per block.
+    pub pages_per_block: u32,
+    /// Data bytes per page (4 KB — the paper's ECC granularity).
+    pub page_bytes: u32,
+}
+
+impl NandGeometry {
+    /// The paper's media: 2 channels × 64 GB Z-NAND.
+    pub fn znand_128gb() -> Self {
+        NandGeometry {
+            channels: 2,
+            dies_per_channel: 4,
+            planes_per_die: 2,
+            blocks_per_plane: 4096,
+            pages_per_block: 512,
+            page_bytes: 4096,
+        }
+    }
+
+    /// A figure-scale geometry (512 MB raw): big enough that the DRAM
+    /// cache (64 MB in figure runs) is a small fraction of the media, as
+    /// in the paper (16 GB / 128 GB), while keeping runs fast.
+    pub fn medium() -> Self {
+        NandGeometry {
+            channels: 2,
+            dies_per_channel: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 128,
+            pages_per_block: 128,
+            page_bytes: 4096,
+        }
+    }
+
+    /// A tiny geometry for fast tests (2 channels, 32 MB total).
+    pub fn small_for_tests() -> Self {
+        NandGeometry {
+            channels: 2,
+            dies_per_channel: 1,
+            planes_per_die: 2,
+            blocks_per_plane: 32,
+            pages_per_block: 64,
+            page_bytes: 4096,
+        }
+    }
+
+    /// Total blocks in the array.
+    pub fn total_blocks(&self) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.dies_per_channel)
+            * u64::from(self.planes_per_die)
+            * u64::from(self.blocks_per_plane)
+    }
+
+    /// Total pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() * u64::from(self.pages_per_block)
+    }
+
+    /// Total raw capacity in bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_pages() * u64::from(self.page_bytes)
+    }
+
+    /// Decomposes a flat block index into (channel, die, plane, block).
+    ///
+    /// Blocks are striped channel-first so consecutive blocks land on
+    /// different channels (maximising parallelism).
+    pub fn split_block(&self, flat: u64) -> (u32, u32, u32, u32) {
+        let ch = (flat % u64::from(self.channels)) as u32;
+        let rest = flat / u64::from(self.channels);
+        let die = (rest % u64::from(self.dies_per_channel)) as u32;
+        let rest = rest / u64::from(self.dies_per_channel);
+        let plane = (rest % u64::from(self.planes_per_die)) as u32;
+        let block = (rest / u64::from(self.planes_per_die)) as u32;
+        (ch, die, plane, block)
+    }
+
+    /// Recomposes a flat block index.
+    pub fn flat_block(&self, ch: u32, die: u32, plane: u32, block: u32) -> u64 {
+        ((u64::from(block) * u64::from(self.planes_per_die) + u64::from(plane))
+            * u64::from(self.dies_per_channel)
+            + u64::from(die))
+            * u64::from(self.channels)
+            + u64::from(ch)
+    }
+}
+
+/// A physical page address: flat block index + page within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysPage {
+    /// Flat block index (see [`NandGeometry::split_block`]).
+    pub block: u64,
+    /// Page within the block.
+    pub page: u32,
+}
+
+impl PhysPage {
+    /// Creates a physical page address, validating against `geo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::AddressOutOfRange`] for addresses beyond the
+    /// geometry.
+    pub fn new(geo: &NandGeometry, block: u64, page: u32) -> Result<Self, NandError> {
+        let p = PhysPage { block, page };
+        if block >= geo.total_blocks() || page >= geo.pages_per_block {
+            return Err(NandError::AddressOutOfRange { page: p });
+        }
+        Ok(p)
+    }
+
+    /// The channel this page's block lives on.
+    pub fn channel(&self, geo: &NandGeometry) -> u32 {
+        geo.split_block(self.block).0
+    }
+
+    /// Flat page index across the whole array.
+    pub fn flat_index(&self, geo: &NandGeometry) -> u64 {
+        self.block * u64::from(geo.pages_per_block) + u64::from(self.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_capacity() {
+        let g = NandGeometry::znand_128gb();
+        assert_eq!(g.raw_bytes(), 128 * (1u64 << 30));
+    }
+
+    #[test]
+    fn small_geometry_capacity() {
+        let g = NandGeometry::small_for_tests();
+        assert_eq!(g.raw_bytes(), 32 * (1u64 << 20));
+    }
+
+    #[test]
+    fn block_split_roundtrip() {
+        let g = NandGeometry::znand_128gb();
+        for flat in [0u64, 1, 2, 17, 1000, g.total_blocks() - 1] {
+            let (c, d, p, b) = g.split_block(flat);
+            assert_eq!(g.flat_block(c, d, p, b), flat);
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_alternate_channels() {
+        let g = NandGeometry::small_for_tests();
+        assert_ne!(g.split_block(0).0, g.split_block(1).0);
+    }
+
+    #[test]
+    fn phys_page_validation() {
+        let g = NandGeometry::small_for_tests();
+        assert!(PhysPage::new(&g, 0, 0).is_ok());
+        assert!(PhysPage::new(&g, g.total_blocks(), 0).is_err());
+        assert!(PhysPage::new(&g, 0, g.pages_per_block).is_err());
+    }
+
+    #[test]
+    fn flat_page_index_is_dense() {
+        let g = NandGeometry::small_for_tests();
+        let a = PhysPage::new(&g, 0, g.pages_per_block - 1).unwrap();
+        let b = PhysPage::new(&g, 1, 0).unwrap();
+        assert_eq!(a.flat_index(&g) + 1, b.flat_index(&g));
+    }
+}

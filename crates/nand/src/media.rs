@@ -1,0 +1,440 @@
+//! The raw Z-NAND array.
+//!
+//! Models the physical constraints the FTL exists to hide: erase-before-
+//! program, sequential page programming within a block, per-die busy times
+//! (Z-NAND reads are ~3 µs but programs are ~100 µs and erases ~1 ms),
+//! wear accumulation, wear-dependent bit errors, and end-of-life block
+//! failure.
+
+use crate::error::NandError;
+use crate::geometry::{NandGeometry, PhysPage};
+use nvdimmc_sim::{DeterministicRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// NAND operation latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NandTiming {
+    /// Array read time (tR). Z-NAND's headline feature: ~3 µs.
+    pub read: SimDuration,
+    /// Page program time (tPROG), ~100 µs for SLC Z-NAND.
+    pub program: SimDuration,
+    /// Block erase time (tBERS), ~1 ms.
+    pub erase: SimDuration,
+    /// Channel transfer time for one stored page. The paper's PoC clocks
+    /// the NAND PHY at 50 MHz — "a tenfold of the maximum operating
+    /// frequency supported by the Z-NAND devices" slower — so this is
+    /// configurable (PoC ≈ 8 µs, ASIC-class ≈ 1 µs).
+    pub xfer: SimDuration,
+}
+
+impl NandTiming {
+    /// Z-NAND behind the PoC's 50 MHz FPGA PHY.
+    pub fn znand_poc() -> Self {
+        NandTiming {
+            read: SimDuration::from_us(3.0),
+            program: SimDuration::from_us(100.0),
+            erase: SimDuration::from_ms(1.0),
+            xfer: SimDuration::from_us(8.0),
+        }
+    }
+
+    /// Z-NAND behind a full-speed controller.
+    pub fn znand_asic() -> Self {
+        NandTiming {
+            xfer: SimDuration::from_us(1.0),
+            ..Self::znand_poc()
+        }
+    }
+}
+
+/// Media counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediaStats {
+    /// Page reads served.
+    pub reads: u64,
+    /// Pages programmed.
+    pub programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Bit flips injected (wear model).
+    pub bitflips_injected: u64,
+    /// Reads that preempted (suspended) an in-flight program/erase.
+    pub reads_suspending: u64,
+    /// Program/erase operations that failed and marked a block bad.
+    pub failures: u64,
+}
+
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    erase_count: u32,
+    /// Next programmable page (sequential-programming pointer). Pages
+    /// below this are programmed.
+    next_page: u32,
+    bad: bool,
+}
+
+/// The Z-NAND array: all channels/dies/planes/blocks.
+///
+/// Stores real bytes (sparsely) so data survives end-to-end through the
+/// FTL and the NVDIMM-C cache above it.
+#[derive(Debug)]
+pub struct ZNandArray {
+    geo: NandGeometry,
+    timing: NandTiming,
+    blocks: Vec<BlockMeta>,
+    data: HashMap<u64, Vec<u8>>,
+    die_busy: Vec<SimTime>,
+    rng: DeterministicRng,
+    /// Probability of one injected bit flip per page read at zero wear;
+    /// scales linearly up to 100× at the endurance limit.
+    ber_per_read: f64,
+    /// Erase-count endurance limit; beyond it erases may brick the block.
+    endurance: u32,
+    stats: MediaStats,
+}
+
+impl ZNandArray {
+    /// Creates a pristine array.
+    pub fn new(geo: NandGeometry, timing: NandTiming, seed: u64) -> Self {
+        let nblocks = geo.total_blocks() as usize;
+        let ndies = (geo.channels * geo.dies_per_channel) as usize;
+        ZNandArray {
+            geo,
+            timing,
+            blocks: vec![
+                BlockMeta {
+                    erase_count: 0,
+                    next_page: 0,
+                    bad: false,
+                };
+                nblocks
+            ],
+            data: HashMap::new(),
+            die_busy: vec![SimTime::ZERO; ndies],
+            rng: DeterministicRng::new(seed),
+            ber_per_read: 1e-4,
+            endurance: 50_000,
+            stats: MediaStats::default(),
+        }
+    }
+
+    /// Sets the base bit-error rate per page read (testing hook).
+    pub fn set_ber_per_read(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in 0..=1");
+        self.ber_per_read = p;
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> &NandGeometry {
+        &self.geo
+    }
+
+    /// The timing parameters.
+    pub fn timing(&self) -> &NandTiming {
+        &self.timing
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MediaStats {
+        self.stats
+    }
+
+    /// Erase count of `block`.
+    pub fn erase_count(&self, block: u64) -> u32 {
+        self.blocks[block as usize].erase_count
+    }
+
+    /// Whether `block` is marked bad.
+    pub fn is_bad(&self, block: u64) -> bool {
+        self.blocks[block as usize].bad
+    }
+
+    /// Next programmable page index in `block`.
+    pub fn write_pointer(&self, block: u64) -> u32 {
+        self.blocks[block as usize].next_page
+    }
+
+    fn die_index(&self, block: u64) -> usize {
+        let (ch, die, _, _) = self.geo.split_block(block);
+        (ch * self.geo.dies_per_channel + die) as usize
+    }
+
+    fn check(&self, p: PhysPage) -> Result<(), NandError> {
+        if p.block >= self.geo.total_blocks() || p.page >= self.geo.pages_per_block {
+            return Err(NandError::AddressOutOfRange { page: p });
+        }
+        if self.blocks[p.block as usize].bad {
+            return Err(NandError::BadBlock { page: p });
+        }
+        Ok(())
+    }
+
+    fn occupy_die(&mut self, block: u64, at: SimTime, dur: SimDuration) -> SimTime {
+        let die = self.die_index(block);
+        let start = self.die_busy[die].max(at);
+        let done = start + dur;
+        self.die_busy[die] = done;
+        done
+    }
+
+    /// When the die owning `block` becomes free.
+    pub fn die_free_at(&self, block: u64) -> SimTime {
+        self.die_busy[self.die_index(block)]
+    }
+
+    /// Reads a stored page. Returns the stored bytes and the completion
+    /// instant (queueing behind the die + tR + transfer).
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range/bad-block addresses or unprogrammed pages.
+    pub fn read(&mut self, p: PhysPage, at: SimTime) -> Result<(Vec<u8>, SimTime), NandError> {
+        self.check(p)?;
+        let meta = &self.blocks[p.block as usize];
+        if p.page >= meta.next_page {
+            return Err(NandError::ReadUnwritten { page: p });
+        }
+        let wear_scale = 1.0 + 99.0 * f64::from(meta.erase_count) / f64::from(self.endurance);
+        let flip = self.rng.gen_bool((self.ber_per_read * wear_scale).min(1.0));
+        let idx = p.flat_index(&self.geo);
+        let mut bytes = self
+            .data
+            .get(&idx)
+            .cloned()
+            .expect("programmed page must have data");
+        if flip {
+            let bit = self.rng.gen_range(0..(bytes.len() as u64 * 8));
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            self.stats.bitflips_injected += 1;
+        }
+        // Z-NAND supports program/erase suspend: reads preempt queued
+        // programs instead of waiting out their ~100 us tPROG. The die's
+        // program backlog is unaffected (suspend-resume), so reads see
+        // only tR + transfer.
+        let die = self.die_index(p.block);
+        if self.die_busy[die] > at {
+            self.stats.reads_suspending += 1;
+        }
+        let done = at + self.timing.read + self.timing.xfer;
+        self.stats.reads += 1;
+        Ok((bytes, done))
+    }
+
+    /// Programs a page. NAND constraints: the block's pages must be
+    /// programmed in order, each exactly once between erases.
+    ///
+    /// # Errors
+    ///
+    /// Fails for bad blocks, reprogramming, or out-of-order programming.
+    pub fn program(
+        &mut self,
+        p: PhysPage,
+        stored: &[u8],
+        at: SimTime,
+    ) -> Result<SimTime, NandError> {
+        self.check(p)?;
+        let meta = &mut self.blocks[p.block as usize];
+        if p.page < meta.next_page {
+            return Err(NandError::ProgramWithoutErase { page: p });
+        }
+        if p.page > meta.next_page {
+            return Err(NandError::NonSequentialProgram {
+                page: p,
+                expected_page: meta.next_page,
+            });
+        }
+        meta.next_page += 1;
+        let idx = p.flat_index(&self.geo);
+        self.data.insert(idx, stored.to_vec());
+        let done = self.occupy_die(p.block, at, self.timing.xfer + self.timing.program);
+        self.stats.programs += 1;
+        Ok(done)
+    }
+
+    /// Erases a block. Past the endurance limit, erases may fail and mark
+    /// the block bad.
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range/bad blocks, or probabilistically at end of
+    /// life (returning [`NandError::BadBlock`] after marking it).
+    pub fn erase(&mut self, block: u64, at: SimTime) -> Result<SimTime, NandError> {
+        let p = PhysPage { block, page: 0 };
+        self.check(p)?;
+        let endurance = self.endurance;
+        let meta = &mut self.blocks[block as usize];
+        meta.erase_count += 1;
+        if meta.erase_count > endurance {
+            // Past rated life: 2% failure chance per further erase.
+            let dies = self.rng.gen_bool(0.02);
+            if dies {
+                self.blocks[block as usize].bad = true;
+                self.stats.failures += 1;
+                return Err(NandError::BadBlock { page: p });
+            }
+        }
+        let meta = &mut self.blocks[block as usize];
+        meta.next_page = 0;
+        let pages = u64::from(self.geo.pages_per_block);
+        let base = block * pages;
+        for page in 0..pages {
+            self.data.remove(&(base + page));
+        }
+        let done = self.occupy_die(block, at, self.timing.erase);
+        self.stats.erases += 1;
+        Ok(done)
+    }
+
+    /// Marks a block bad (factory bad-block table or controller decision).
+    pub fn mark_bad(&mut self, block: u64) {
+        self.blocks[block as usize].bad = true;
+    }
+
+    /// Test hook: flip `n` specific bits of a stored page in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not programmed.
+    pub fn corrupt(&mut self, p: PhysPage, bit_offsets: &[u64]) {
+        let idx = p.flat_index(&self.geo);
+        let bytes = self.data.get_mut(&idx).expect("page not programmed");
+        for &bit in bit_offsets {
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> ZNandArray {
+        let mut a = ZNandArray::new(
+            NandGeometry::small_for_tests(),
+            NandTiming::znand_poc(),
+            42,
+        );
+        a.set_ber_per_read(0.0);
+        a
+    }
+
+    #[test]
+    fn program_read_roundtrip() {
+        let mut a = array();
+        let p = PhysPage { block: 0, page: 0 };
+        let stored = vec![9u8; 100];
+        let done = a.program(p, &stored, SimTime::ZERO).unwrap();
+        assert!(done >= SimTime::ZERO + a.timing().program);
+        let (bytes, _) = a.read(p, done).unwrap();
+        assert_eq!(bytes, stored);
+    }
+
+    #[test]
+    fn sequential_programming_enforced() {
+        let mut a = array();
+        let err = a.program(PhysPage { block: 0, page: 1 }, &[0], SimTime::ZERO);
+        assert!(matches!(err, Err(NandError::NonSequentialProgram { .. })));
+    }
+
+    #[test]
+    fn reprogram_without_erase_rejected() {
+        let mut a = array();
+        let p = PhysPage { block: 0, page: 0 };
+        a.program(p, &[1], SimTime::ZERO).unwrap();
+        let err = a.program(p, &[2], SimTime::from_us(200));
+        assert!(matches!(err, Err(NandError::ProgramWithoutErase { .. })));
+    }
+
+    #[test]
+    fn erase_resets_block() {
+        let mut a = array();
+        let p = PhysPage { block: 3, page: 0 };
+        a.program(p, &[1], SimTime::ZERO).unwrap();
+        let done = a.erase(3, SimTime::from_us(1_000)).unwrap();
+        assert_eq!(a.erase_count(3), 1);
+        assert_eq!(a.write_pointer(3), 0);
+        assert!(matches!(
+            a.read(p, done),
+            Err(NandError::ReadUnwritten { .. })
+        ));
+        // Reprogramming page 0 is legal again.
+        a.program(p, &[2], done).unwrap();
+    }
+
+    #[test]
+    fn read_unwritten_rejected() {
+        let mut a = array();
+        let err = a.read(PhysPage { block: 0, page: 0 }, SimTime::ZERO);
+        assert!(matches!(err, Err(NandError::ReadUnwritten { .. })));
+    }
+
+    #[test]
+    fn die_busy_serializes_same_die_parallelizes_other_channel() {
+        let mut a = array();
+        // Blocks 0 and 2 share channel 0 (stride 2); block 1 is channel 1.
+        let d0 = a
+            .program(PhysPage { block: 0, page: 0 }, &[1], SimTime::ZERO)
+            .unwrap();
+        let d2 = a
+            .program(PhysPage { block: 2, page: 0 }, &[1], SimTime::ZERO)
+            .unwrap();
+        let d1 = a
+            .program(PhysPage { block: 1, page: 0 }, &[1], SimTime::ZERO)
+            .unwrap();
+        assert!(d2 > d0, "same die serializes");
+        assert_eq!(d1, d0, "other channel runs in parallel");
+    }
+
+    #[test]
+    fn bad_block_rejected() {
+        let mut a = array();
+        a.mark_bad(5);
+        assert!(matches!(
+            a.program(PhysPage { block: 5, page: 0 }, &[1], SimTime::ZERO),
+            Err(NandError::BadBlock { .. })
+        ));
+        assert!(a.is_bad(5));
+    }
+
+    #[test]
+    fn wear_increases_bitflip_rate() {
+        let mut a = ZNandArray::new(
+            NandGeometry::small_for_tests(),
+            NandTiming::znand_poc(),
+            7,
+        );
+        a.set_ber_per_read(0.005);
+        let mut t = SimTime::ZERO;
+        let p = PhysPage { block: 0, page: 0 };
+        // Phase 1: young block, 300 reads.
+        t = a.program(p, &[0u8; 64], t).unwrap();
+        for _ in 0..300 {
+            let (_, t2) = a.read(p, t).unwrap();
+            t = t2;
+        }
+        let flips_young = a.stats().bitflips_injected;
+        // Phase 2: artificially worn to end of life, 300 reads.
+        a.blocks[0].erase_count = a.endurance;
+        for _ in 0..300 {
+            let (_, t2) = a.read(p, t).unwrap();
+            t = t2;
+        }
+        let flips_old = a.stats().bitflips_injected - flips_young;
+        assert!(
+            flips_old > flips_young.max(1) * 5,
+            "worn block flipped {flips_old} vs young {flips_young}"
+        );
+    }
+
+    #[test]
+    fn corrupt_hook_flips_bits() {
+        let mut a = array();
+        let p = PhysPage { block: 0, page: 0 };
+        a.program(p, &[0u8; 8], SimTime::ZERO).unwrap();
+        a.corrupt(p, &[0, 9]);
+        let (bytes, _) = a.read(p, SimTime::from_us(1_000)).unwrap();
+        assert_eq!(bytes[0], 0x01);
+        assert_eq!(bytes[1], 0x02);
+    }
+}

@@ -1,0 +1,41 @@
+//! # nvdimmc-sim — discrete-event simulation engine
+//!
+//! Foundation crate for the NVDIMM-C reproduction. It provides:
+//!
+//! - [`SimTime`] / [`SimDuration`] — integer picosecond simulation time, so
+//!   that DDR4 clock arithmetic (e.g. 1.25 ns cycles at DDR4-1600) is exact;
+//! - [`EventQueue`] — a deterministic, cancellable priority queue of timed
+//!   events (ties broken by insertion order);
+//! - [`stats`] — counters, latency histograms with percentiles, bandwidth
+//!   time series and rate meters used by every experiment harness;
+//! - [`rng`] — deterministic random number helpers (uniform, Zipfian) so
+//!   every experiment is reproducible from a seed;
+//! - [`queueing`] — a small closed-loop queueing model used to project
+//!   multi-threaded throughput from single-stream service times.
+//!
+//! # Example
+//!
+//! ```
+//! use nvdimmc_sim::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::from_ns(30), "late");
+//! q.schedule(SimTime::from_ns(10), "early");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_ns(10), "early"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod queueing;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventHandle, EventQueue};
+pub use queueing::ClosedLoopModel;
+pub use rng::{DeterministicRng, Zipf};
+pub use stats::{Counter, Histogram, RateMeter, TimeSeries};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,206 @@
+//! A closed-loop queueing model for projecting multi-threaded throughput.
+//!
+//! The paper's thread-count sweeps (Figure 9) run N fio threads against one
+//! device. We model each operation's service time as a *serializable* part
+//! (demand on the shared bottleneck: the device, the shared memory channel,
+//! or the tRFC window budget) plus a *parallel* part (per-thread CPU work
+//! that scales with thread count). For a closed system with N customers,
+//! throughput follows the classic bound
+//!
+//! ```text
+//! X(N) = N / (S_par + N * S_serial)     (asymptotically 1 / S_serial)
+//! ```
+//!
+//! which is exact for a two-station closed network with a delay station
+//! (`S_par`) and a single queueing station (`S_serial`) under deterministic
+//! service; it reproduces the saturation knees the paper reports (baseline
+//! saturates near 8 threads, Uncached near 4).
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Closed-loop throughput model with a single bottleneck station.
+///
+/// # Example
+///
+/// ```
+/// use nvdimmc_sim::{ClosedLoopModel, SimDuration};
+///
+/// // A device with 1.0us parallel work and 0.5us serialized work per op:
+/// let m = ClosedLoopModel::new(SimDuration::from_us(1.0), SimDuration::from_us(0.5));
+/// let x1 = m.throughput_ops_per_s(1);
+/// let x16 = m.throughput_ops_per_s(16);
+/// assert!(x16 > x1);
+/// assert!(x16 <= m.saturation_ops_per_s() * 1.0001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopModel {
+    /// Per-operation work that parallelises across threads (CPU-side driver
+    /// path, libpmem copy setup, ...).
+    pub parallel: SimDuration,
+    /// Per-operation demand on the shared bottleneck (device service,
+    /// window budget, memory channel).
+    pub serial: SimDuration,
+    /// Optional hard cap on aggregate throughput (ops/s), e.g. the paper's
+    /// observed peak where scaling stops.
+    pub cap_ops_per_s: Option<f64>,
+}
+
+impl ClosedLoopModel {
+    /// Builds a model from the two service-time components.
+    pub fn new(parallel: SimDuration, serial: SimDuration) -> Self {
+        ClosedLoopModel {
+            parallel,
+            serial,
+            cap_ops_per_s: None,
+        }
+    }
+
+    /// Builds a model calibrated from two measured points: single-thread
+    /// latency and saturated throughput.
+    ///
+    /// `x1` (ops/s) fixes `S_par + S_serial`; `xmax` fixes `S_serial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xmax < x1` (a device cannot saturate below its
+    /// single-thread throughput).
+    pub fn from_calibration(x1_ops_per_s: f64, xmax_ops_per_s: f64) -> Self {
+        assert!(
+            xmax_ops_per_s >= x1_ops_per_s,
+            "saturated throughput below single-thread throughput"
+        );
+        let total = 1.0 / x1_ops_per_s; // seconds per op
+        let serial = 1.0 / xmax_ops_per_s;
+        let parallel = (total - serial).max(0.0);
+        ClosedLoopModel {
+            parallel: SimDuration::from_secs_f64(parallel),
+            serial: SimDuration::from_secs_f64(serial),
+            cap_ops_per_s: Some(xmax_ops_per_s),
+        }
+    }
+
+    /// Adds a hard throughput cap (ops/s).
+    pub fn with_cap(mut self, cap_ops_per_s: f64) -> Self {
+        self.cap_ops_per_s = Some(cap_ops_per_s);
+        self
+    }
+
+    /// Aggregate throughput for `n` closed-loop threads, in ops/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn throughput_ops_per_s(&self, n: u32) -> f64 {
+        assert!(n > 0, "thread count must be positive");
+        let n_f = n as f64;
+        let denom = self.parallel.as_secs_f64() + n_f * self.serial.as_secs_f64();
+        let x = if denom == 0.0 { f64::INFINITY } else { n_f / denom };
+        match self.cap_ops_per_s {
+            Some(cap) => x.min(cap),
+            None => x,
+        }
+    }
+
+    /// The asymptotic (N → ∞) throughput in ops/s.
+    pub fn saturation_ops_per_s(&self) -> f64 {
+        let x = if self.serial == SimDuration::ZERO {
+            f64::INFINITY
+        } else {
+            1.0 / self.serial.as_secs_f64()
+        };
+        match self.cap_ops_per_s {
+            Some(cap) => x.min(cap),
+            None => x,
+        }
+    }
+
+    /// Mean per-operation response time at `n` threads (Little's law).
+    pub fn response_time(&self, n: u32) -> SimDuration {
+        let x = self.throughput_ops_per_s(n);
+        SimDuration::from_secs_f64(n as f64 / x)
+    }
+
+    /// The smallest thread count at which throughput reaches `frac`
+    /// (e.g. 0.9) of saturation — the "knee" of the scaling curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not in `(0, 1]`.
+    pub fn knee(&self, frac: f64) -> u32 {
+        assert!(frac > 0.0 && frac <= 1.0, "fraction must be in (0,1]");
+        let target = self.saturation_ops_per_s() * frac;
+        for n in 1..=1024 {
+            if self.throughput_ops_per_s(n) >= target {
+                return n;
+            }
+        }
+        1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_matches_total_service() {
+        let m = ClosedLoopModel::new(SimDuration::from_us(1.0), SimDuration::from_us(0.5));
+        let x1 = m.throughput_ops_per_s(1);
+        assert!((x1 - 1.0 / 1.5e-6).abs() / x1 < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_threads() {
+        let m = ClosedLoopModel::new(SimDuration::from_us(1.0), SimDuration::from_us(0.5));
+        let mut last = 0.0;
+        for n in 1..=64 {
+            let x = m.throughput_ops_per_s(n);
+            assert!(x >= last);
+            last = x;
+        }
+    }
+
+    #[test]
+    fn saturation_is_inverse_serial() {
+        let m = ClosedLoopModel::new(SimDuration::from_us(1.0), SimDuration::from_us(2.0));
+        assert!((m.saturation_ops_per_s() - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn calibration_reproduces_both_points() {
+        // Baseline from the paper: 646 KIOPS at 1 thread, 2123 KIOPS peak.
+        let m = ClosedLoopModel::from_calibration(646e3, 2123e3);
+        let x1 = m.throughput_ops_per_s(1);
+        assert!((x1 - 646e3).abs() / 646e3 < 1e-6);
+        assert!((m.saturation_ops_per_s() - 2123e3).abs() / 2123e3 < 1e-6);
+    }
+
+    #[test]
+    fn uncached_saturates_early() {
+        // Uncached: ~14.3 KIOPS at 1 thread, 24.3 KIOPS saturated: the knee
+        // (90% of saturation) should arrive within a handful of threads,
+        // matching the paper's "saturated at four threads".
+        let m = ClosedLoopModel::from_calibration(14.3e3, 24.3e3);
+        assert!(m.knee(0.85) <= 5, "knee = {}", m.knee(0.85));
+    }
+
+    #[test]
+    fn response_time_grows_with_contention() {
+        let m = ClosedLoopModel::new(SimDuration::from_us(1.0), SimDuration::from_us(0.5));
+        assert!(m.response_time(16) > m.response_time(1));
+    }
+
+    #[test]
+    fn cap_limits_throughput() {
+        let m = ClosedLoopModel::new(SimDuration::from_us(0.1), SimDuration::from_ns(1)).with_cap(1e6);
+        assert_eq!(m.throughput_ops_per_s(64), 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        ClosedLoopModel::new(SimDuration::from_us(1.0), SimDuration::from_us(1.0))
+            .throughput_ops_per_s(0);
+    }
+}

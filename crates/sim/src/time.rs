@@ -1,0 +1,396 @@
+//! Simulation time in integer picoseconds.
+//!
+//! DDR4 timing parameters are defined in fractions of nanoseconds (a
+//! DDR4-1600 clock period is 1.25 ns), so floating point time would
+//! accumulate rounding error over millions of refresh cycles. All simulation
+//! time in this workspace is therefore an integer number of picoseconds.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An absolute point in simulation time, in picoseconds since simulation
+/// start.
+///
+/// # Example
+///
+/// ```
+/// use nvdimmc_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_ns(350);
+/// assert_eq!(t.as_ps(), 350_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in picoseconds.
+///
+/// # Example
+///
+/// ```
+/// use nvdimmc_sim::SimDuration;
+///
+/// let trfc = SimDuration::from_ns(350);
+/// let trefi = SimDuration::from_us(7.8);
+/// assert!(trefi > trfc);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinitely far"
+    /// sentinel deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant at `ps` picoseconds after simulation start.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates an instant at `ns` nanoseconds after simulation start.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates an instant at `us` microseconds after simulation start.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Picoseconds since simulation start.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds since simulation start (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Microseconds since simulation start, as a float.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since called with a later instant"),
+        )
+    }
+
+    /// Saturating duration since `earlier`; zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration of `ps` picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Creates a duration of `ns` nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * 1_000)
+    }
+
+    /// Creates a duration from a float number of nanoseconds (rounded).
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns >= 0.0, "duration must be non-negative");
+        SimDuration((ns * 1e3).round() as u64)
+    }
+
+    /// Creates a duration from a float number of microseconds (rounded).
+    pub fn from_us(us: f64) -> Self {
+        assert!(us >= 0.0, "duration must be non-negative");
+        SimDuration((us * 1e6).round() as u64)
+    }
+
+    /// Creates a duration from a float number of milliseconds (rounded).
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(ms >= 0.0, "duration must be non-negative");
+        SimDuration((ms * 1e9).round() as u64)
+    }
+
+    /// Creates a duration from a float number of seconds (rounded).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0, "duration must be non-negative");
+        SimDuration((s * 1e12).round() as u64)
+    }
+
+    /// Picoseconds in this duration.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds in this duration (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Nanoseconds in this duration, as a float.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Microseconds in this duration, as a float.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds in this duration, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(other.0).map(SimDuration)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by a float factor (rounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Integer division rounding up: the number of whole `step`s needed to
+    /// cover this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn div_ceil(self, step: SimDuration) -> u64 {
+        assert!(step.0 > 0, "division step must be non-zero");
+        self.0.div_ceil(step.0)
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    /// Ratio of two durations.
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", ps as f64 / 1e12)
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", ps as f64 / 1e6)
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", ps as f64 / 1e3)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_exact() {
+        assert_eq!(SimTime::from_ns(350).as_ps(), 350_000);
+        assert_eq!(SimTime::from_us(7).as_ns(), 7_000);
+        assert_eq!(SimDuration::from_us(7.8).as_ns(), 7_800);
+        assert_eq!(SimDuration::from_ns_f64(1.25).as_ps(), 1_250);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t0 = SimTime::from_ns(100);
+        let d = SimDuration::from_ns(250);
+        let t1 = t0 + d;
+        assert_eq!(t1.since(t0), d);
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1 - d, t0);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_ns(10);
+        let late = SimTime::from_ns(20);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_ns(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_on_underflow() {
+        let _ = SimTime::from_ns(1).since(SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn div_ceil_counts_windows() {
+        // 23.4us of work split into 7.8us refresh windows -> exactly 3.
+        let work = SimDuration::from_us(23.4);
+        let win = SimDuration::from_us(7.8);
+        assert_eq!(work.div_ceil(win), 3);
+        // A hair more requires a 4th window.
+        assert_eq!((work + SimDuration::from_ps(1)).div_ceil(win), 4);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_ns(100);
+        assert_eq!(d.mul_f64(1.5), SimDuration::from_ns(150));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_ns(350)), "350.000ns");
+        assert_eq!(format!("{}", SimDuration::from_us(7.8)), "7.800us");
+        assert_eq!(format!("{}", SimDuration::from_ps(5)), "5ps");
+    }
+
+    #[test]
+    fn ratio_of_durations() {
+        let a = SimDuration::from_us(7.8);
+        let b = SimDuration::from_us(3.9);
+        assert!((a / b - 2.0).abs() < 1e-12);
+    }
+}

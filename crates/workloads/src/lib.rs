@@ -1,0 +1,34 @@
+//! # nvdimmc-workloads — the paper's workload suite (Table II)
+//!
+//! Drives any [`nvdimmc_core::BlockDevice`] (the NVDIMM-C [`System`] or
+//! the emulated-pmem baseline) with the workloads the paper evaluates:
+//!
+//! - [`fio`] — a flexible-I/O-tester clone: random/sequential read/write
+//!   sweeps over block size, plus the closed-loop multi-thread projection
+//!   used for the thread-count figures;
+//! - [`filecopy`] — the §VII-B1 experiment: copy a large file from a
+//!   rate-capped SSD onto the device, recording throughput over time;
+//! - [`stream`] — the §VII-A validation: a STREAM-like kernel that
+//!   verifies every result against a host-memory oracle while the refresh
+//!   detector and FPGA stay active;
+//! - [`tpch`] — synthetic access-pattern profiles for the 22 TPC-H
+//!   queries (SAP HANA, SF100) and the LRC/LRU hit-rate study;
+//! - [`mixedload`] — the SAP in-house mixed-load benchmark: N concurrent
+//!   users running checksummed transactions with end-to-end validation.
+//!
+//! [`System`]: nvdimmc_core::System
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filecopy;
+pub mod fio;
+pub mod mixedload;
+pub mod stream;
+pub mod tpch;
+
+pub use filecopy::{CopyReport, FileCopy};
+pub use fio::{FioJob, FioReport, RwMode};
+pub use mixedload::{MixedLoad, MixedLoadReport};
+pub use stream::{StreamReport, StreamValidator};
+pub use tpch::{QueryProfile, TpchReport, TpchRunner};

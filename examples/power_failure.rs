@@ -1,0 +1,59 @@
+//! The paper's §V-C persistence-domain story, end to end:
+//!
+//! 1. data the application persisted (`clflush` + `sfence`, the libpmem
+//!    contract) survives power failure via the FPGA's battery-backed dump
+//!    of dirty DRAM-cache slots to Z-NAND;
+//! 2. stores still sitting in the volatile CPU cache are lost when ADR is
+//!    absent — the "weak persistence domain".
+//!
+//! ```text
+//! cargo run --release --example power_failure
+//! ```
+
+use nvdimmc::core::{BlockDevice, NvdimmCConfig, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = System::new(NvdimmCConfig::small_for_tests())?;
+
+    // A "database commit record" the application persists properly...
+    sys.write_at(0, b"committed transaction #42")?;
+    sys.persist(0, 25)?;
+    // ...and a record it never flushed.
+    sys.write_at(8192, b"unflushed scribble")?;
+
+    println!("power fails (no ADR: the weak persistence domain of Sec. V-C)...");
+    let report = sys.power_fail(false)?;
+    println!(
+        "  FPGA dumped {} dirty slots ({} KB) to Z-NAND on battery power",
+        report.slots_flushed,
+        report.bytes_flushed >> 10
+    );
+
+    println!("rebooting (volatile state gone, Z-NAND intact)...");
+    let mut sys = sys.into_recovered()?;
+
+    let mut committed = [0u8; 25];
+    sys.read_at(0, &mut committed)?;
+    let mut scribble = [0u8; 18];
+    sys.read_at(8192, &mut scribble)?;
+
+    println!(
+        "  persisted record: {:?} -> {}",
+        std::str::from_utf8(&committed)?,
+        if &committed == b"committed transaction #42" {
+            "SURVIVED"
+        } else {
+            "LOST"
+        }
+    );
+    println!(
+        "  unflushed record: {} (expected on the weak domain)",
+        if &scribble == b"unflushed scribble" {
+            "survived (was evicted to DRAM in time)"
+        } else {
+            "LOST"
+        }
+    );
+    assert_eq!(&committed, b"committed transaction #42");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! The paper's Figure 11 scenario: TPC-H-shaped query traffic on
+//! NVDIMM-C versus the emulated-pmem baseline.
+//!
+//! ```text
+//! cargo run --release --example tpch_hana            # headline queries
+//! cargo run --release --example tpch_hana -- --all   # all 22
+//! ```
+
+use nvdimmc::core::{EmulatedPmem, NvdimmCConfig, PerfParams, System, PAGE_BYTES};
+use nvdimmc::ddr::{SpeedBin, TimingParams};
+use nvdimmc::workloads::tpch::{queries, TpchRunner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let all = std::env::args().any(|a| a == "--all");
+    let cache = 8u64 << 20;
+    let runner = TpchRunner::new(cache);
+    let qs = queries();
+    let selected: Vec<_> = if all {
+        qs.iter().collect()
+    } else {
+        // The two queries the paper quotes, plus a middle-of-the-pack one.
+        qs.iter().filter(|q| [1, 9, 20].contains(&q.id)).collect()
+    };
+
+    println!("query  baseline    nvdimm-c    slowdown   (paper: Q1 3.3x, Q20 78x)");
+    for q in selected {
+        let mut cfg = NvdimmCConfig::figure_scale();
+        cfg.cache_slots = cache / PAGE_BYTES;
+        let mut sys = System::new(cfg)?;
+        let nv = runner.run_query(&mut sys, q)?;
+        let mut pm = EmulatedPmem::new(
+            256 << 20,
+            TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600),
+            PerfParams::poc(),
+        )?;
+        let base = runner.run_query(&mut pm, q)?;
+        println!(
+            "Q{:<4}  {:>9}  {:>9}  {:>7.1}x   hit rate {:.1}%",
+            q.id,
+            format!("{}", base.elapsed),
+            format!("{}", nv.elapsed),
+            nv.elapsed.as_secs_f64() / base.elapsed.as_secs_f64(),
+            sys.cache_stats().hit_rate() * 100.0,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! Cross-crate integration tests: the full stack — driver, CP mailbox,
+//! refresh detector, shared bus, FTL, ECC, media — exercised together.
+
+use nvdimmc::core::{
+    BlockDevice, CoreError, EmulatedPmem, EvictionPolicyKind, NvdimmCConfig, PerfParams, System,
+    PAGE_BYTES,
+};
+use nvdimmc::ddr::{SpeedBin, TimingParams};
+use nvdimmc::sim::{DeterministicRng, SimDuration};
+use nvdimmc::workloads::{FioJob, MixedLoad, StreamValidator};
+
+fn page(fill: u8) -> Vec<u8> {
+    vec![fill; PAGE_BYTES as usize]
+}
+
+#[test]
+fn data_integrity_through_full_stack_under_churn() {
+    // Random reads/writes with a reference model, sized to keep the
+    // system constantly evicting through the CP/NAND path.
+    let mut cfg = NvdimmCConfig::small_for_tests();
+    cfg.cache_slots = 24;
+    let mut sys = System::new(cfg).unwrap();
+    let pages = 96u64;
+    let mut oracle: Vec<Vec<u8>> = (0..pages).map(|_| page(0)).collect();
+    let mut rng = DeterministicRng::new(2026);
+    for _ in 0..800 {
+        let p = rng.gen_range(0..pages);
+        if rng.gen_bool(0.6) {
+            let mut data = page(0);
+            rng.fill_bytes(&mut data);
+            sys.write_at(p * PAGE_BYTES, &data).unwrap();
+            oracle[p as usize] = data;
+        } else {
+            let mut buf = page(0);
+            sys.read_at(p * PAGE_BYTES, &mut buf).unwrap();
+            assert_eq!(buf, oracle[p as usize], "page {p} diverged");
+        }
+    }
+    assert!(sys.stats().writebacks > 50, "churn must hit the NAND path");
+    assert_eq!(sys.bus_stats().violations_rejected, 0);
+    // Final sweep.
+    for p in 0..pages {
+        let mut buf = page(0);
+        sys.read_at(p * PAGE_BYTES, &mut buf).unwrap();
+        assert_eq!(buf, oracle[p as usize], "final sweep page {p}");
+    }
+}
+
+#[test]
+fn sub_page_byte_addressability_with_eviction() {
+    let mut cfg = NvdimmCConfig::small_for_tests();
+    cfg.cache_slots = 8;
+    let mut sys = System::new(cfg).unwrap();
+    // Scatter small writes at odd offsets across many pages.
+    for i in 0..32u64 {
+        let payload = [i as u8; 13];
+        sys.write_at(i * PAGE_BYTES + 1000 + i, &payload).unwrap();
+    }
+    for i in 0..32u64 {
+        let mut buf = [0u8; 13];
+        sys.read_at(i * PAGE_BYTES + 1000 + i, &mut buf).unwrap();
+        assert_eq!(buf, [i as u8; 13], "offset write {i} corrupted");
+    }
+}
+
+#[test]
+fn power_failure_recovery_preserves_persisted_state() {
+    let mut sys = System::new(NvdimmCConfig::small_for_tests()).unwrap();
+    let mut rng = DeterministicRng::new(7);
+    let mut committed = Vec::new();
+    for i in 0..16u64 {
+        let mut data = page(0);
+        rng.fill_bytes(&mut data);
+        sys.write_at(i * PAGE_BYTES, &data).unwrap();
+        sys.persist(i * PAGE_BYTES, PAGE_BYTES).unwrap();
+        committed.push(data);
+    }
+    let report = sys.power_fail(false).unwrap();
+    assert!(report.slots_flushed >= 16);
+    let mut sys = sys.into_recovered().unwrap();
+    for (i, expect) in committed.iter().enumerate() {
+        let mut buf = page(0);
+        sys.read_at(i as u64 * PAGE_BYTES, &mut buf).unwrap();
+        assert_eq!(&buf, expect, "persisted page {i} lost across power fail");
+    }
+}
+
+#[test]
+fn repeated_power_cycles_accumulate_no_corruption() {
+    let mut sys = System::new(NvdimmCConfig::small_for_tests()).unwrap();
+    for cycle in 0..4u8 {
+        let data = page(0x10 + cycle);
+        sys.write_at(0, &data).unwrap();
+        sys.persist(0, PAGE_BYTES).unwrap();
+        sys.power_fail(cycle % 2 == 0).unwrap();
+        sys = sys.into_recovered().unwrap();
+        let mut buf = page(0);
+        sys.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, data, "cycle {cycle}");
+    }
+}
+
+#[test]
+fn stream_validation_passes_on_every_policy() {
+    for policy in [
+        EvictionPolicyKind::Lrc,
+        EvictionPolicyKind::Lru,
+        EvictionPolicyKind::Clock,
+    ] {
+        let mut cfg = NvdimmCConfig::small_for_tests().with_eviction(policy);
+        cfg.cache_slots = 16;
+        let mut sys = System::new(cfg).unwrap();
+        let report = StreamValidator {
+            elements: 8192,
+            iterations: 2,
+            scalar: 2.0,
+        }
+        .run(&mut sys)
+        .unwrap();
+        assert_eq!(report.mismatches, 0, "{policy:?} corrupted STREAM data");
+    }
+}
+
+#[test]
+fn mixed_load_full_stack() {
+    let mut cfg = NvdimmCConfig::small_for_tests();
+    // Records span ~8 pages; 4 slots force continuous CP traffic.
+    cfg.cache_slots = 4;
+    let mut sys = System::new(cfg).unwrap();
+    let report = MixedLoad {
+        users: 120,
+        records_per_user: 4,
+        transactions_per_user: 4,
+        seed: 5,
+    }
+    .run(&mut sys)
+    .unwrap();
+    assert_eq!(report.validation_errors, 0);
+    assert!(sys.stats().cachefills > 0, "IMDB churn reached the CP path");
+}
+
+#[test]
+fn nvdimmc_never_beats_pmem_at_4k_but_wins_small() {
+    // The paper's relative-performance story in one test.
+    let timing = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+    let mut pm = EmulatedPmem::new(16 << 20, timing, PerfParams::poc()).unwrap();
+    let mut sys = System::new(NvdimmCConfig::small_for_tests()).unwrap();
+    let span = 4u64 << 20;
+    for p in 0..span / PAGE_BYTES {
+        sys.prefault(p).unwrap();
+    }
+    let big = FioJob::rand_read_4k(span, 800);
+    let base_4k = big.run(&mut pm).unwrap().kiops();
+    let nv_4k = big.run(&mut sys).unwrap().kiops();
+    assert!(nv_4k < base_4k, "4K: NVDC {nv_4k:.0} vs pmem {base_4k:.0}");
+
+    let small = FioJob {
+        block_size: 128,
+        ..FioJob::rand_read_4k(span, 800)
+    };
+    let base_s = small.run(&mut pm).unwrap().kiops();
+    let nv_s = small.run(&mut sys).unwrap().kiops();
+    assert!(
+        nv_s > base_s,
+        "128B: NVDC {nv_s:.0} must beat pmem {base_s:.0} (paper: 1.15x)"
+    );
+}
+
+#[test]
+fn wear_leveling_spreads_erases_under_host_churn() {
+    let mut cfg = NvdimmCConfig::small_for_tests();
+    cfg.cache_slots = 8;
+    // Shrink the media so sustained writebacks wrap it several times.
+    cfg.nvmc.ftl.geometry.blocks_per_plane = 8; // 32 blocks x 64 pages
+    let mut sys = System::new(cfg).unwrap();
+    let mut rng = DeterministicRng::new(9);
+    let data = page(0xAA);
+    for _ in 0..3_000 {
+        let p = rng.gen_range(0..64);
+        sys.write_at(p * PAGE_BYTES, &data).unwrap();
+    }
+    let ftl = sys.ftl_stats();
+    assert!(ftl.gc_runs > 0, "sustained writes must trigger GC");
+    assert!(
+        ftl.write_amplification() < 4.0,
+        "WAF {} out of control",
+        ftl.write_amplification()
+    );
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let mut sys = System::new(NvdimmCConfig::small_for_tests()).unwrap();
+    let cap = sys.capacity_bytes();
+    match sys.read_at(cap, &mut [0u8; 1]) {
+        Err(CoreError::OutOfRange { .. }) => {}
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+    // Device still usable after the error.
+    sys.write_at(0, &page(1)).unwrap();
+}
+
+#[test]
+fn think_time_advances_clock_without_breaking_refresh() {
+    let mut sys = System::new(NvdimmCConfig::small_for_tests()).unwrap();
+    sys.write_at(0, &page(1)).unwrap();
+    // Jump the clock far (hours of think time), then resume I/O.
+    sys.advance(SimDuration::from_secs_f64(1.0));
+    let mut buf = page(0);
+    sys.read_at(0, &mut buf).unwrap();
+    assert_eq!(buf, page(1));
+    assert_eq!(sys.bus_stats().violations_rejected, 0);
+}
