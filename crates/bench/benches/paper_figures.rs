@@ -4,9 +4,7 @@
 //! benches exist for regression tracking of the simulator itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nvdimmc_core::{
-    BlockDevice, EmulatedPmem, NvdimmCConfig, PerfParams, System, PAGE_BYTES,
-};
+use nvdimmc_core::{BlockDevice, EmulatedPmem, NvdimmCConfig, PerfParams, System, PAGE_BYTES};
 use nvdimmc_ddr::{SpeedBin, TimingParams};
 use nvdimmc_sim::SimDuration;
 use nvdimmc_workloads::{FileCopy, FioJob, MixedLoad, StreamValidator, TpchRunner};
@@ -32,7 +30,7 @@ fn bench_fig8(c: &mut Criterion) {
         b.iter(|| {
             let mut dev = pmem();
             FioJob::rand_read_4k(16 << 20, 300).run(&mut dev).unwrap()
-        })
+        });
     });
     g.bench_function("nvdc_cached_randread_4k", |b| {
         b.iter(|| {
@@ -43,7 +41,7 @@ fn bench_fig8(c: &mut Criterion) {
             FioJob::rand_read_4k(512 * PAGE_BYTES, 300)
                 .run(&mut sys)
                 .unwrap()
-        })
+        });
     });
     g.bench_function("nvdc_uncached_randread_4k", |b| {
         b.iter(|| {
@@ -57,7 +55,7 @@ fn bench_fig8(c: &mut Criterion) {
             FioJob::rand_read_4k(32 * PAGE_BYTES, 40)
                 .run(&mut sys)
                 .unwrap()
-        })
+        });
     });
     g.finish();
 }
@@ -80,7 +78,7 @@ fn bench_fig7(c: &mut Criterion) {
             }
             .run(&mut sys)
             .unwrap()
-        })
+        });
     });
     g.finish();
 }
@@ -102,7 +100,7 @@ fn bench_fig10(c: &mut Criterion) {
                 }
                 .run(&mut sys)
                 .unwrap()
-            })
+            });
         });
     }
     g.finish();
@@ -121,7 +119,7 @@ fn bench_fig11(c: &mut Criterion) {
                 cfg.cache_slots = (2 << 20) / PAGE_BYTES;
                 let mut sys = System::new(cfg).unwrap();
                 runner.run_query(&mut sys, &q).unwrap()
-            })
+            });
         });
     }
     g.finish();
@@ -133,16 +131,15 @@ fn bench_fig12_13(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("hypothetical_td_1850ns", |b| {
         b.iter(|| {
-            let cfg = NvdimmCConfig::small_for_tests()
-                .with_hypothetical(SimDuration::from_us(1.85));
+            let cfg =
+                NvdimmCConfig::small_for_tests().with_hypothetical(SimDuration::from_us(1.85));
             let mut sys = System::new(cfg).unwrap();
             FioJob::rand_read_4k(24 << 20, 300).run(&mut sys).unwrap()
-        })
+        });
     });
     g.bench_function("cached_trefi4", |b| {
         b.iter(|| {
-            let cfg =
-                NvdimmCConfig::small_for_tests().with_trefi(SimDuration::from_us(1.95));
+            let cfg = NvdimmCConfig::small_for_tests().with_trefi(SimDuration::from_us(1.95));
             let mut sys = System::new(cfg).unwrap();
             for p in 0..256 {
                 sys.prefault(p).unwrap();
@@ -150,7 +147,7 @@ fn bench_fig12_13(c: &mut Criterion) {
             FioJob::rand_read_4k(256 * PAGE_BYTES, 300)
                 .run(&mut sys)
                 .unwrap()
-        })
+        });
     });
     g.finish();
 }
@@ -165,7 +162,7 @@ fn bench_validation(c: &mut Criterion) {
             let report = StreamValidator::small().run(&mut sys).unwrap();
             assert_eq!(report.mismatches, 0);
             report
-        })
+        });
     });
     g.bench_function("mixed_load_50_users", |b| {
         b.iter(|| {
@@ -173,7 +170,7 @@ fn bench_validation(c: &mut Criterion) {
             let report = MixedLoad::small().run(&mut sys).unwrap();
             assert_eq!(report.validation_errors, 0);
             report
-        })
+        });
     });
     g.finish();
 }

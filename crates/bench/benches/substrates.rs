@@ -18,7 +18,7 @@ fn bench_ecc(c: &mut Criterion) {
         b.iter(|| {
             x = x.rotate_left(1);
             Ecc::encode(x)
-        })
+        });
     });
     g.bench_function("page_codec_roundtrip_4k", |b| {
         let codec = PageCodec::new(4096);
@@ -26,11 +26,11 @@ fn bench_ecc(c: &mut Criterion) {
         b.iter(|| {
             let stored = codec.encode(&page).unwrap();
             codec.decode(&stored).unwrap()
-        })
+        });
     });
     g.bench_function("crc32_4k", |b| {
         let page = vec![0x5Cu8; 4096];
-        b.iter(|| crc32(&page))
+        b.iter(|| crc32(&page));
     });
     g.finish();
 }
@@ -44,7 +44,7 @@ fn bench_detector(c: &mut Criterion) {
         b.iter(|| {
             det.feed_command(&other);
             det.feed_command(&refresh)
-        })
+        });
     });
     g.finish();
 }
@@ -62,7 +62,7 @@ fn bench_dram(c: &mut Criterion) {
             t = imc.read_bytes(&mut bus, t, addr, &mut buf).unwrap();
             addr = (addr + 4096) % (1 << 23);
             t
-        })
+        });
     });
     g.bench_function("bus_issue_act_rd_pre", |b| {
         let timing = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
@@ -88,7 +88,7 @@ fn bench_dram(c: &mut Criterion) {
                 .unwrap();
             t = pre + timing.trp;
             t
-        })
+        });
     });
     g.finish();
 }
@@ -107,10 +107,16 @@ fn bench_nand(c: &mut Criterion) {
             t = t2;
             lpn += 1;
             data
-        })
+        });
     });
     g.finish();
 }
 
-criterion_group!(substrates, bench_ecc, bench_detector, bench_dram, bench_nand);
+criterion_group!(
+    substrates,
+    bench_ecc,
+    bench_detector,
+    bench_dram,
+    bench_nand
+);
 criterion_main!(substrates);

@@ -61,6 +61,9 @@ fn main() {
         let t0 = std::time::Instant::now();
         let fig = run();
         println!("{}", fig.render());
-        println!("[{name} regenerated in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        println!(
+            "[{name} regenerated in {:.1}s]\n",
+            t0.elapsed().as_secs_f64()
+        );
     }
 }

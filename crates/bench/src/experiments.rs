@@ -12,16 +12,21 @@ use nvdimmc_core::{
 };
 use nvdimmc_ddr::{SpeedBin, TimingParams};
 use nvdimmc_sim::SimDuration;
-use nvdimmc_workloads::{
-    tpch, FileCopy, FioJob, MixedLoad, RwMode, StreamValidator, TpchRunner,
-};
+use nvdimmc_workloads::{tpch, FileCopy, FioJob, MixedLoad, RwMode, StreamValidator, TpchRunner};
 
 fn paper_timing() -> TimingParams {
     TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600)
 }
 
 fn figure_system() -> System {
-    System::new(NvdimmCConfig::figure_scale()).expect("figure-scale config is valid")
+    checked_system(NvdimmCConfig::figure_scale())
+}
+
+/// Lints `cfg` with nvdimmc-check before construction so a bad
+/// experiment configuration dies loudly instead of producing a figure.
+fn checked_system(cfg: NvdimmCConfig) -> System {
+    nvdimmc_check::assert_config_clean(&cfg);
+    System::new(cfg).expect("config is valid")
 }
 
 fn figure_pmem() -> EmulatedPmem {
@@ -46,7 +51,8 @@ fn make_uncached(sys: &mut System, span: u64) {
     // ...then dirty the cache with a disjoint region, evicting the span.
     let base = span;
     for i in 0..slots {
-        sys.write_at(base + i * PAGE_BYTES, &page).expect("setup write");
+        sys.write_at(base + i * PAGE_BYTES, &page)
+            .expect("setup write");
     }
 }
 
@@ -140,7 +146,7 @@ pub fn validation() -> Figure {
     // hammers the same DRAM — the paper's worst-case aging scenario.
     let mut cfg = NvdimmCConfig::figure_scale();
     cfg.cache_slots = 64 * 1024 * 8 / PAGE_BYTES; // half of one array
-    let mut sys = System::new(cfg).expect("config");
+    let mut sys = checked_system(cfg);
     let v = StreamValidator {
         elements: 64 * 1024, // 3 x 512 KB arrays
         iterations: 4,
@@ -238,8 +244,12 @@ pub fn fig8() -> Figure {
     let ops = 4_000;
 
     let mut pm = figure_pmem();
-    let br = FioJob::rand_read_4k(128 << 20, ops).run(&mut pm).expect("fio");
-    let bw = FioJob::rand_write_4k(128 << 20, ops).run(&mut pm).expect("fio");
+    let br = FioJob::rand_read_4k(128 << 20, ops)
+        .run(&mut pm)
+        .expect("fio");
+    let bw = FioJob::rand_write_4k(128 << 20, ops)
+        .run(&mut pm)
+        .expect("fio");
     f.push(Row::new(
         "Baseline randread",
         "646 KIOPS / 2606 MB/s",
@@ -256,8 +266,12 @@ pub fn fig8() -> Figure {
     for p in 0..span_cached / PAGE_BYTES {
         sys.prefault(p).expect("prefault");
     }
-    let cr = FioJob::rand_read_4k(span_cached, ops).run(&mut sys).expect("fio");
-    let cw = FioJob::rand_write_4k(span_cached, ops).run(&mut sys).expect("fio");
+    let cr = FioJob::rand_read_4k(span_cached, ops)
+        .run(&mut sys)
+        .expect("fio");
+    let cw = FioJob::rand_write_4k(span_cached, ops)
+        .run(&mut sys)
+        .expect("fio");
     f.push(Row::new(
         "NVDC-Cached randread",
         "448 KIOPS / 1835 MB/s",
@@ -273,10 +287,14 @@ pub fn fig8() -> Figure {
     let span_unc = cache_bytes(); // distinct span, all on NAND
     make_uncached(&mut sys, span_unc);
     let uops = 600;
-    let ur = FioJob::rand_read_4k(span_unc, uops).run(&mut sys).expect("fio");
+    let ur = FioJob::rand_read_4k(span_unc, uops)
+        .run(&mut sys)
+        .expect("fio");
     let mut sys = figure_system();
     make_uncached(&mut sys, span_unc);
-    let uw = FioJob::rand_write_4k(span_unc, uops).run(&mut sys).expect("fio");
+    let uw = FioJob::rand_write_4k(span_unc, uops)
+        .run(&mut sys)
+        .expect("fio");
     f.push(Row::new(
         "NVDC-Uncached randread",
         "13 KIOPS / 57.3 MB/s",
@@ -308,18 +326,28 @@ pub fn fig9() -> Figure {
     let serial_uncached = t.trefi * 6; // protocol minimum windows (qd1)
 
     let mut pm = figure_pmem();
-    let br = FioJob::rand_read_4k(128 << 20, 3_000).run(&mut pm).expect("fio");
-    let bw = FioJob::rand_write_4k(128 << 20, 3_000).run(&mut pm).expect("fio");
+    let br = FioJob::rand_read_4k(128 << 20, 3_000)
+        .run(&mut pm)
+        .expect("fio");
+    let bw = FioJob::rand_write_4k(128 << 20, 3_000)
+        .run(&mut pm)
+        .expect("fio");
     let mut sys = figure_system();
     let span = cache_bytes() / 2;
     for p in 0..span / PAGE_BYTES {
         sys.prefault(p).expect("prefault");
     }
-    let cr = FioJob::rand_read_4k(span, 3_000).run(&mut sys).expect("fio");
-    let cw = FioJob::rand_write_4k(span, 3_000).run(&mut sys).expect("fio");
+    let cr = FioJob::rand_read_4k(span, 3_000)
+        .run(&mut sys)
+        .expect("fio");
+    let cw = FioJob::rand_write_4k(span, 3_000)
+        .run(&mut sys)
+        .expect("fio");
     let mut sys = figure_system();
     make_uncached(&mut sys, cache_bytes());
-    let ur = FioJob::rand_read_4k(cache_bytes(), 400).run(&mut sys).expect("fio");
+    let ur = FioJob::rand_read_4k(cache_bytes(), 400)
+        .run(&mut sys)
+        .expect("fio");
 
     for &n in &threads {
         f.push(Row::new(
@@ -450,7 +478,7 @@ pub fn fig11() -> Figure {
     for q in tpch::queries() {
         let mut cfg = NvdimmCConfig::figure_scale();
         cfg.cache_slots = cache / PAGE_BYTES;
-        let mut sys = System::new(cfg).expect("config");
+        let mut sys = checked_system(cfg);
         let nv = runner.run_query(&mut sys, &q).expect("query");
         let mut pm = figure_pmem();
         let base = runner.run_query(&mut pm, &q).expect("query");
@@ -468,13 +496,7 @@ pub fn fig11() -> Figure {
     let foot_pages = 16 * 1024;
     for frac in [1u64, 2, 4, 8, 16] {
         let cache_pages = foot_pages * frac / 16;
-        let hr = tpch::hit_rate_study(
-            &agg,
-            cache_pages,
-            EvictionPolicyKind::Lru,
-            foot_pages,
-            5,
-        );
+        let hr = tpch::hit_rate_study(&agg, cache_pages, EvictionPolicyKind::Lru, foot_pages, 5);
         let paper = match frac {
             1 => "78.7% (1 GB)",
             16 => "99.3% (16 GB)",
@@ -502,10 +524,11 @@ pub fn fig12() -> Figure {
         (3.9, "681 MB/s"),
         (7.8, "451 MB/s"),
     ] {
-        let cfg = NvdimmCConfig::figure_scale()
-            .with_hypothetical(SimDuration::from_us(td_us));
-        let mut sys = System::new(cfg).expect("config");
-        let report = FioJob::rand_read_4k(span, 2_000).run(&mut sys).expect("fio");
+        let cfg = NvdimmCConfig::figure_scale().with_hypothetical(SimDuration::from_us(td_us));
+        let mut sys = checked_system(cfg);
+        let report = FioJob::rand_read_4k(span, 2_000)
+            .run(&mut sys)
+            .expect("fio");
         f.push(
             Row::new(format!("tD = {td_us} us"), paper, mbs(report.mb_per_s())).with_note(
                 if td_us == 0.0 {
@@ -538,11 +561,13 @@ pub fn fig13() -> Figure {
         (1.95, "1530 MB/s (-17%)"),
     ] {
         let cfg = NvdimmCConfig::figure_scale().with_trefi(SimDuration::from_us(trefi_us));
-        let mut sys = System::new(cfg).expect("config");
+        let mut sys = checked_system(cfg);
         for p in 0..span / PAGE_BYTES {
             sys.prefault(p).expect("prefault");
         }
-        let report = FioJob::rand_read_4k(span, 3_000).run(&mut sys).expect("fio");
+        let report = FioJob::rand_read_4k(span, 3_000)
+            .run(&mut sys)
+            .expect("fio");
         f.push(Row::new(
             format!("tREFI = {trefi_us} us"),
             paper,
@@ -577,12 +602,15 @@ pub fn mixedload_validation() -> Figure {
 
 /// Design-choice ablations called out in DESIGN.md.
 pub fn ablations() -> Figure {
-    let mut f = Figure::new("Ablations", "Design-choice studies (beyond the paper's data)");
+    let mut f = Figure::new(
+        "Ablations",
+        "Design-choice studies (beyond the paper's data)",
+    );
     let span = cache_bytes();
     let uncached_bw = |mutate: &dyn Fn(&mut NvdimmCConfig)| {
         let mut cfg = NvdimmCConfig::figure_scale();
         mutate(&mut cfg);
-        let mut sys = System::new(cfg).expect("config");
+        let mut sys = checked_system(cfg);
         make_uncached(&mut sys, span);
         FioJob::rand_read_4k(span, 300)
             .run(&mut sys)
@@ -591,7 +619,11 @@ pub fn ablations() -> Figure {
     };
 
     let poc = uncached_bw(&|_| {});
-    f.push(Row::new("Uncached, PoC FSM (split WB+CF)", "57.3 MB/s", mbs(poc)));
+    f.push(Row::new(
+        "Uncached, PoC FSM (split WB+CF)",
+        "57.3 MB/s",
+        mbs(poc),
+    ));
     let merged = uncached_bw(&|c| c.merge_wb_cf = true);
     f.push(
         Row::new("Uncached, merged WB+CF command", "—", mbs(merged))
@@ -608,8 +640,12 @@ pub fn ablations() -> Figure {
         c.window_xfer_bytes = 8192;
     });
     f.push(
-        Row::new("Uncached, ASIC + merged + 8KB windows", "—", mbs(asic_merged))
-            .with_note("paper §VII-C optimisations 1+3+4 combined"),
+        Row::new(
+            "Uncached, ASIC + merged + 8KB windows",
+            "—",
+            mbs(asic_merged),
+        )
+        .with_note("paper §VII-C optimisations 1+3+4 combined"),
     );
 
     // Eviction policies on a reuse-heavy trace (hit rate).

@@ -1,0 +1,194 @@
+//! Static configuration lint for [`NvdimmCConfig`].
+//!
+//! Catches configurations that would *run* but violate the assumptions the
+//! NVDIMM-C protocol is built on, before any simulation time is spent:
+//!
+//! - `config/invalid` — the config fails its own structural validation
+//!   (slot geometry, zero queue depths, no extra window at all);
+//! - `config/window-too-small` — the extra-tRFC window cannot fit the
+//!   worst-case per-window NVMC transfer the config promises
+//!   (`window_xfer_bytes`), so CP transactions could never make progress;
+//! - `config/host-starved` / `config/host-share-low` — the programmed
+//!   tRFC consumes so much of tREFI that the host's share of the bus drops
+//!   below 10% (error) or 25% (warning) — the paper's Figure 13 territory;
+//! - `config/cache-exceeds-media` — more DRAM cache slots than exported
+//!   Z-NAND pages, so part of the cache can never be used.
+
+use crate::diag::{Diagnostic, Report};
+use nvdimmc_core::{NvdimmCConfig, PAGE_BYTES};
+use nvdimmc_sim::SimDuration;
+
+/// Lints `cfg` and returns every finding.
+pub fn lint_config(cfg: &NvdimmCConfig) -> Report {
+    let mut out = Vec::new();
+    if let Err(msg) = cfg.validate() {
+        out.push(Diagnostic::error_untimed(
+            "config/invalid",
+            format!("configuration fails validation: {msg}"),
+        ));
+    }
+
+    let t = &cfg.timing;
+    let window = t.extra_window();
+    let needed = window_transfer_duration(cfg);
+    if window < needed {
+        out.push(Diagnostic::error_untimed(
+            "config/window-too-small",
+            format!(
+                "extra-tRFC window is {window} but a worst-case {}-byte NVMC transfer \
+                 needs {needed}; CP transactions cannot complete in one window",
+                cfg.window_xfer_bytes
+            ),
+        ));
+    }
+
+    // Host bus share: the fraction of each tREFI period the host keeps.
+    let host_share = 1.0 - t.trfc_total / t.trefi;
+    if host_share < 0.10 {
+        out.push(Diagnostic::error_untimed(
+            "config/host-starved",
+            format!(
+                "programmed tRFC {} of tREFI {} leaves the host only \
+                 {:.0}% of the bus",
+                t.trfc_total,
+                t.trefi,
+                host_share * 100.0
+            ),
+        ));
+    } else if host_share < 0.25 {
+        out.push(Diagnostic::warning(
+            "config/host-share-low",
+            format!(
+                "programmed tRFC {} of tREFI {} leaves the host only \
+                 {:.0}% of the bus (paper Figure 13 territory)",
+                t.trfc_total,
+                t.trefi,
+                host_share * 100.0
+            ),
+        ));
+    }
+
+    let cache_bytes = cfg.cache_slots * PAGE_BYTES;
+    let media_bytes = cfg.nvmc.ftl.export_pages() * u64::from(cfg.nvmc.ftl.geometry.page_bytes);
+    if cache_bytes > media_bytes {
+        out.push(Diagnostic::warning(
+            "config/cache-exceeds-media",
+            format!(
+                "{cache_bytes} bytes of DRAM cache over only {media_bytes} bytes of \
+                 exported media; the surplus slots can never hold distinct pages"
+            ),
+        ));
+    }
+
+    Report::from_diagnostics(out)
+}
+
+/// Worst-case duration of one `window_xfer_bytes` NVMC transfer inside a
+/// window: open the row, stream every burst at tCCD_L, wait out the last
+/// burst, close the row (mirrors the FPGA's conservative DMA budget).
+fn window_transfer_duration(cfg: &NvdimmCConfig) -> SimDuration {
+    let t = &cfg.timing;
+    let bursts = cfg.window_xfer_bytes.div_ceil(t.burst_bytes());
+    t.trcd + t.tccd_l * bursts + t.tcl + t.burst_time() + t.trtp.max(t.twr) + t.trp
+}
+
+/// Panics with the rendered report if `cfg` has error-severity findings.
+/// Warnings are printed but tolerated. Call this from example and bench
+/// entry points so a bad configuration dies loudly before the run.
+///
+/// # Panics
+///
+/// Panics when the lint reports at least one error.
+pub fn assert_config_clean(cfg: &NvdimmCConfig) {
+    let report = lint_config(cfg);
+    if report.errors().count() > 0 {
+        panic!("nvdimmc-check config lint failed:\n{report}");
+    }
+    for w in report.warnings() {
+        eprintln!("nvdimmc-check: {w}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvdimmc_ddr::{SpeedBin, TimingParams};
+
+    #[test]
+    fn shipped_configs_have_no_errors() {
+        for cfg in [
+            NvdimmCConfig::small_for_tests(),
+            NvdimmCConfig::figure_scale(),
+            NvdimmCConfig::poc(),
+        ] {
+            let r = lint_config(&cfg);
+            assert_eq!(r.errors().count(), 0, "{r}");
+        }
+    }
+
+    #[test]
+    fn trefi_sweep_configs_stay_clean_of_errors() {
+        // The tune_refresh example sweeps tREFI down to 1.95us; host share
+        // is still ~36%, which must not trip the starvation rules.
+        for us in [7.8, 3.9, 1.95] {
+            let cfg = NvdimmCConfig::small_for_tests().with_trefi(SimDuration::from_us(us));
+            let r = lint_config(&cfg);
+            assert!(r.is_clean(), "tREFI {us}us: {r}");
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_flagged() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        cfg.cache_slots = 0;
+        let r = lint_config(&cfg);
+        assert!(r.by_rule("config/invalid").count() >= 1, "{r}");
+    }
+
+    #[test]
+    fn tiny_window_is_flagged() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        // 1 tCK of extra window: validation passes (non-zero) but no 4 KB
+        // transfer fits.
+        cfg.timing = TimingParams::jedec(SpeedBin::Ddr4_1600)
+            .with_trfc_total(SimDuration::from_ns(350) + SpeedBin::Ddr4_1600.tck());
+        let r = lint_config(&cfg);
+        assert!(r.by_rule("config/window-too-small").count() == 1, "{r}");
+    }
+
+    #[test]
+    fn starved_host_is_flagged() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        // tREFI barely above tRFC: host keeps ~7% of the bus.
+        cfg.timing = cfg.timing.with_trefi(SimDuration::from_ns(1350));
+        let r = lint_config(&cfg);
+        assert!(r.by_rule("config/host-starved").count() == 1, "{r}");
+    }
+
+    #[test]
+    fn low_host_share_warns() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        // 1.25us tRFC over 1.6us tREFI: ~22% host share.
+        cfg.timing = cfg.timing.with_trefi(SimDuration::from_ns(1600));
+        let r = lint_config(&cfg);
+        assert!(r.by_rule("config/host-share-low").count() == 1, "{r}");
+        assert_eq!(r.errors().count(), 0, "{r}");
+    }
+
+    #[test]
+    fn cache_larger_than_media_warns() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        cfg.dram_bytes = 256 << 20;
+        cfg.cache_slots = (128 << 20) / PAGE_BYTES; // media exports 24 MB
+        let r = lint_config(&cfg);
+        assert!(r.by_rule("config/cache-exceeds-media").count() == 1, "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "config lint failed")]
+    fn assert_config_clean_panics_on_errors() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        cfg.cache_slots = 0;
+        assert_config_clean(&cfg);
+    }
+}

@@ -1,0 +1,222 @@
+//! Structured diagnostics shared by every checker in this crate.
+
+use nvdimmc_ddr::Command;
+use nvdimmc_sim::SimTime;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (e.g. a config that starves the
+    /// host without breaking correctness).
+    Warning,
+    /// A protocol, timing or persistence violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: which rule fired, how severe, when, and the commands
+/// involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `timing/tRCD` or `race/dq-overlap`.
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Simulated instant the finding anchors to, when it has one
+    /// (trace-based rules do; config lints do not).
+    pub at: Option<SimTime>,
+    /// The offending command(s), where applicable.
+    pub commands: Vec<Command>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error finding anchored at `at`.
+    pub fn error(rule: &'static str, at: SimTime, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            at: Some(at),
+            commands: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// An error finding with no time anchor (journal replays anchor to
+    /// event indices, not simulated time).
+    pub fn error_untimed(rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            at: None,
+            commands: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// A warning finding with no time anchor (config lints).
+    pub fn warning(rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            at: None,
+            commands: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the offending commands.
+    #[must_use]
+    pub fn with_commands(mut self, commands: Vec<Command>) -> Self {
+        self.commands = commands;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.rule)?;
+        if let Some(at) = self.at {
+            write!(f, " at {at}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if !self.commands.is_empty() {
+            write!(f, " (commands: ")?;
+            for (i, c) in self.commands.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c:?}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The aggregate result of one or more checker passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Wraps a list of diagnostics.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
+        Report { diagnostics }
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding from `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All findings, in the order they were produced.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Findings at error severity.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings at warning severity.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether nothing fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether the report holds no findings.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Diagnostics whose rule id matches `rule` exactly.
+    pub fn by_rule<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "nvdimmc-check: clean (0 diagnostics)");
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        writeln!(f, "nvdimmc-check: {errors} error(s), {warnings} warning(s)")?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_filters() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        r.push(Diagnostic::error("timing/tRCD", SimTime::from_ns(5), "x"));
+        r.push(Diagnostic::warning("config/host-share-low", "y"));
+        assert!(!r.is_clean());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.warnings().count(), 1);
+        assert_eq!(r.by_rule("timing/tRCD").count(), 1);
+        assert_eq!(r.by_rule("timing/tRP").count(), 0);
+    }
+
+    #[test]
+    fn display_mentions_rule_and_time() {
+        let d = Diagnostic::error("race/dq-overlap", SimTime::from_ns(42), "bursts overlap");
+        let s = d.to_string();
+        assert!(s.contains("race/dq-overlap"), "{s}");
+        assert!(s.contains("42"), "{s}");
+        let mut r = Report::new();
+        r.push(d);
+        assert!(r.to_string().contains("1 error(s)"));
+    }
+
+    #[test]
+    fn clean_report_prints_clean() {
+        assert!(Report::new().to_string().contains("clean"));
+    }
+}

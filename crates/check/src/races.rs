@@ -1,0 +1,213 @@
+//! Multi-master bus-race detector.
+//!
+//! NVDIMM-C hangs two masters — the host iMC and the module's NVMC — off
+//! one DDR4 channel, so the failure the paper's whole tRFC mechanism
+//! exists to prevent is *both driving the pins at once* (paper Figure 2a).
+//! This pass re-derives pin occupancy from a recorded trace and reports
+//! every interval collision:
+//!
+//! - `race/ca-overlap` — two commands whose CA (command/address) slots
+//!   overlap; cross-master overlaps are the paper's case C1.
+//! - `race/dq-overlap` — two data bursts whose DQ windows overlap; a
+//!   read's burst arriving while another master's write burst is still on
+//!   the pins corrupts both.
+
+use crate::diag::Diagnostic;
+use nvdimmc_ddr::TraceEntry;
+
+/// Finds CA-slot and DQ-burst interval collisions in `trace`.
+///
+/// The trace may be in any order; entries are sorted by issue time first.
+/// Each collision produces one error-severity [`Diagnostic`] naming both
+/// masters and carrying both commands.
+pub fn detect_races(trace: &[TraceEntry]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // CA slots are uniform (one tCK wide), so collisions are always between
+    // neighbours in issue order.
+    let mut by_at: Vec<&TraceEntry> = trace.iter().collect();
+    by_at.sort_by_key(|e| e.at);
+    for pair in by_at.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if b.at < a.ca_end {
+            out.push(
+                Diagnostic::error(
+                    "race/ca-overlap",
+                    b.at,
+                    format!(
+                        "CA slots overlap: [{}] {:?} at {} collides with [{}] {:?} at {}{}",
+                        b.master,
+                        b.cmd,
+                        b.at,
+                        a.master,
+                        a.cmd,
+                        a.at,
+                        if a.master == b.master {
+                            ""
+                        } else {
+                            " (multi-master, paper case C1)"
+                        }
+                    ),
+                )
+                .with_commands(vec![a.cmd, b.cmd]),
+            );
+        }
+    }
+
+    // DQ windows start at different offsets (tCL vs tCWL), so track the
+    // latest burst end seen so far rather than only the neighbour.
+    let mut bursts: Vec<&TraceEntry> = trace.iter().filter(|e| e.data.is_some()).collect();
+    bursts.sort_by_key(|e| e.data.expect("filtered").0);
+    let mut last: Option<&TraceEntry> = None;
+    for e in bursts {
+        let (start, _end) = e.data.expect("filtered");
+        if let Some(prev) = last {
+            let (_, prev_end) = prev.data.expect("filtered");
+            if start < prev_end {
+                out.push(
+                    Diagnostic::error(
+                        "race/dq-overlap",
+                        start,
+                        format!(
+                            "DQ bursts overlap: [{}] {:?} occupies the data pins from {start} \
+                             while [{}] {:?} holds them until {prev_end}{}",
+                            e.master,
+                            e.cmd,
+                            prev.master,
+                            prev.cmd,
+                            if prev.master == e.master {
+                                ""
+                            } else {
+                                " (multi-master)"
+                            }
+                        ),
+                    )
+                    .with_commands(vec![prev.cmd, e.cmd]),
+                );
+            }
+        }
+        let replace = match last {
+            None => true,
+            Some(prev) => e.data.expect("filtered").1 > prev.data.expect("filtered").1,
+        };
+        if replace {
+            last = Some(e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvdimmc_ddr::{BankAddr, BusMaster, Command, SpeedBin, TimingParams};
+    use nvdimmc_sim::{SimDuration, SimTime};
+
+    fn t() -> TimingParams {
+        TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600)
+    }
+
+    fn rd(master: BusMaster, at: SimTime) -> TraceEntry {
+        TraceEntry::observe(
+            master,
+            at,
+            Command::Read {
+                bank: BankAddr::new(0, 0),
+                col: 0,
+                auto_precharge: false,
+            },
+            &t(),
+        )
+    }
+
+    #[test]
+    fn disjoint_slots_are_clean() {
+        let p = t();
+        let a = rd(BusMaster::HostImc, SimTime::from_ns(100));
+        let b = rd(BusMaster::Nvmc, SimTime::from_ns(100) + p.tccd_l);
+        assert!(detect_races(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn same_cycle_commands_collide_on_ca() {
+        let at = SimTime::from_ns(100);
+        let a = rd(BusMaster::HostImc, at);
+        let b = TraceEntry::observe(BusMaster::Nvmc, at, Command::PrechargeAll, &t());
+        let diags = detect_races(&[a, b]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "race/ca-overlap");
+        assert!(diags[0].message.contains("case C1"), "{}", diags[0].message);
+        assert_eq!(diags[0].commands.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_bursts_collide_on_dq() {
+        // Two reads one tCK apart: CA slots are adjacent (clean) but the
+        // 4-tCK bursts overlap.
+        let p = t();
+        let at = SimTime::from_ns(100);
+        let a = rd(BusMaster::HostImc, at);
+        let b = rd(BusMaster::Nvmc, at + p.speed.tck());
+        let diags = detect_races(&[a, b]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "race/dq-overlap");
+        assert!(diags[0].message.contains("multi-master"));
+    }
+
+    #[test]
+    fn read_after_write_gap_keeps_dq_clean() {
+        // A write then a read spaced per tWTR: write data [at+tCWL,
+        // +burst), read data well after.
+        let p = t();
+        let at = SimTime::from_ns(100);
+        let w = TraceEntry::observe(
+            BusMaster::HostImc,
+            at,
+            Command::Write {
+                bank: BankAddr::new(0, 0),
+                col: 0,
+                auto_precharge: false,
+            },
+            &p,
+        );
+        let r = rd(BusMaster::HostImc, at + p.tcwl + p.burst_time() + p.twtr);
+        assert!(detect_races(&[w, r]).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_input_is_sorted_first() {
+        let p = t();
+        let a = rd(BusMaster::HostImc, SimTime::from_ns(200));
+        let b = rd(BusMaster::Nvmc, SimTime::from_ns(200) + p.speed.tck());
+        // Deliver newest-first; the detector must still see the overlap.
+        let diags = detect_races(&[b, a]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "race/dq-overlap");
+    }
+
+    #[test]
+    fn contained_burst_is_caught_despite_shorter_neighbour() {
+        // Burst A spans a long window; B starts inside A but after a later
+        // C begins — the running-max logic must still flag B against A.
+        let p = t();
+        let at = SimTime::from_ns(100);
+        let w = TraceEntry::observe(
+            BusMaster::HostImc,
+            at,
+            Command::Write {
+                bank: BankAddr::new(0, 0),
+                col: 0,
+                auto_precharge: false,
+            },
+            &p,
+        );
+        // Read issued just after: its burst starts after the write's burst
+        // begins (tCL > tCWL) and overlaps it.
+        let r = rd(BusMaster::Nvmc, at + SimDuration::from_ps(p.speed.tck_ps()));
+        let diags = detect_races(&[w, r]);
+        assert!(
+            diags.iter().any(|d| d.rule == "race/dq-overlap"),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Refresh-window invariant checker.
+//!
+//! The NVDIMM-C protocol (paper §III-B, Figure 2b) gives the NVMC exactly
+//! one legal opportunity to drive the shared bus: the surplus of the
+//! programmed refresh cycle over the silicon's real one. After a snooped
+//! REF at `t`, the window is `[t + tRFC_base, t + tRFC_total)` — before it
+//! the DRAM is still refreshing, after it the host believes the bus is
+//! free again. This pass proves, from the trace alone, that:
+//!
+//! - `refresh/nvmc-outside-window` — every NVMC command falls strictly
+//!   inside such a window;
+//! - `refresh/nvmc-past-close` — every NVMC CA slot *and* data burst also
+//!   finishes before the window closes (a burst that straddles the close
+//!   collides with the resuming host);
+//! - `refresh/host-inside-trfc` — the host issues nothing between a REF
+//!   and the end of the programmed tRFC it promised to honour.
+
+use crate::diag::Diagnostic;
+use nvdimmc_ddr::{BusMaster, Command, TimingParams, TraceEntry};
+use nvdimmc_sim::SimTime;
+
+/// Checks the extra-tRFC window discipline over `trace`.
+pub fn check_refresh_windows(trace: &[TraceEntry], t: &TimingParams) -> Vec<Diagnostic> {
+    let mut entries: Vec<&TraceEntry> = trace.iter().collect();
+    entries.sort_by_key(|e| e.at);
+
+    let mut out = Vec::new();
+    // The most recent snooped REF, if any: (opens, closes, host_resumes).
+    let mut window: Option<(SimTime, SimTime)> = None;
+    let mut last_ref_at: Option<SimTime> = None;
+
+    for e in entries {
+        if matches!(e.cmd, Command::Refresh) {
+            last_ref_at = Some(e.at);
+            window = Some((e.at + t.trfc_base, e.at + t.trfc_total));
+            continue;
+        }
+        match e.master {
+            BusMaster::Nvmc => match window {
+                Some((opens, closes)) if e.at >= opens && e.at < closes => {
+                    if let Some((_, data_end)) = e.data.filter(|&(_, end)| end > closes) {
+                        let end = data_end;
+                        out.push(
+                            Diagnostic::error(
+                                "refresh/nvmc-past-close",
+                                e.at,
+                                format!(
+                                    "[NVMC] {:?} occupies the bus until {end}, past the \
+                                     window close at {closes}",
+                                    e.cmd
+                                ),
+                            )
+                            .with_commands(vec![e.cmd]),
+                        );
+                    }
+                }
+                Some((opens, closes)) => {
+                    out.push(
+                        Diagnostic::error(
+                            "refresh/nvmc-outside-window",
+                            e.at,
+                            format!(
+                                "[NVMC] {:?} at {} outside the extra-tRFC window \
+                                 [{opens}, {closes})",
+                                e.cmd, e.at
+                            ),
+                        )
+                        .with_commands(vec![e.cmd]),
+                    );
+                }
+                None => {
+                    out.push(
+                        Diagnostic::error(
+                            "refresh/nvmc-outside-window",
+                            e.at,
+                            format!(
+                                "[NVMC] {:?} at {} before any snooped REF — no window exists",
+                                e.cmd, e.at
+                            ),
+                        )
+                        .with_commands(vec![e.cmd]),
+                    );
+                }
+            },
+            BusMaster::HostImc => {
+                if let (Some(ref_at), Some((_, closes))) = (last_ref_at, window) {
+                    if e.at > ref_at && e.at < closes {
+                        out.push(
+                            Diagnostic::error(
+                                "refresh/host-inside-trfc",
+                                e.at,
+                                format!(
+                                    "[host iMC] {:?} at {} inside the programmed tRFC it \
+                                     promised to honour (REF at {ref_at}, ends {closes})",
+                                    e.cmd, e.at
+                                ),
+                            )
+                            .with_commands(vec![e.cmd]),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvdimmc_ddr::{BankAddr, SpeedBin};
+    use nvdimmc_sim::SimDuration;
+
+    fn t() -> TimingParams {
+        TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600)
+    }
+
+    fn entry(master: BusMaster, at: SimTime, cmd: Command) -> TraceEntry {
+        TraceEntry::observe(master, at, cmd, &t())
+    }
+
+    fn act(master: BusMaster, at: SimTime) -> TraceEntry {
+        entry(
+            master,
+            at,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn nvmc_inside_window_is_clean() {
+        let p = t();
+        let ref_at = SimTime::from_us(10);
+        let trace = vec![
+            entry(BusMaster::HostImc, ref_at, Command::Refresh),
+            act(BusMaster::Nvmc, ref_at + p.trfc_base),
+            entry(
+                BusMaster::Nvmc,
+                ref_at + p.trfc_base + p.tras,
+                Command::Precharge {
+                    bank: BankAddr::new(0, 0),
+                },
+            ),
+            act(BusMaster::HostImc, ref_at + p.trfc_total),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn nvmc_before_window_opens_is_flagged() {
+        let p = t();
+        let ref_at = SimTime::from_us(10);
+        let trace = vec![
+            entry(BusMaster::HostImc, ref_at, Command::Refresh),
+            // Still inside the silicon refresh: tRFC_base has not elapsed.
+            act(
+                BusMaster::Nvmc,
+                ref_at + p.trfc_base - SimDuration::from_ns(1),
+            ),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "refresh/nvmc-outside-window");
+    }
+
+    #[test]
+    fn nvmc_without_any_ref_is_flagged() {
+        let diags = check_refresh_windows(&[act(BusMaster::Nvmc, SimTime::from_ns(50))], &t());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "refresh/nvmc-outside-window");
+        assert!(diags[0].message.contains("no window"));
+    }
+
+    #[test]
+    fn nvmc_burst_straddling_close_is_flagged() {
+        let p = t();
+        let ref_at = SimTime::from_us(10);
+        let closes = ref_at + p.trfc_total;
+        // A read issued so late its data burst runs past the close.
+        let rd_at = closes - SimDuration::from_ns(1);
+        let trace = vec![
+            entry(BusMaster::HostImc, ref_at, Command::Refresh),
+            entry(
+                BusMaster::Nvmc,
+                rd_at,
+                Command::Read {
+                    bank: BankAddr::new(0, 0),
+                    col: 0,
+                    auto_precharge: false,
+                },
+            ),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "refresh/nvmc-past-close");
+    }
+
+    #[test]
+    fn host_inside_programmed_trfc_is_flagged() {
+        let p = t();
+        let ref_at = SimTime::from_us(10);
+        let trace = vec![
+            entry(BusMaster::HostImc, ref_at, Command::Refresh),
+            // The host breaks its own promise and issues mid-window.
+            act(
+                BusMaster::HostImc,
+                ref_at + p.trfc_base + SimDuration::from_ns(10),
+            ),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "refresh/host-inside-trfc");
+    }
+
+    #[test]
+    fn host_at_window_close_is_clean() {
+        let p = t();
+        let ref_at = SimTime::from_us(10);
+        let trace = vec![
+            entry(BusMaster::HostImc, ref_at, Command::Refresh),
+            act(BusMaster::HostImc, ref_at + p.trfc_total),
+        ];
+        assert!(check_refresh_windows(&trace, &p).is_empty());
+    }
+}

@@ -1,0 +1,545 @@
+//! JEDEC timing linter: an independent replay of the DDR4 rulebook over a
+//! recorded command trace.
+//!
+//! The [`DramDevice`](nvdimmc_ddr::DramDevice) enforces these constraints
+//! inline, but a bug there would vouch for itself — the simulator would
+//! happily accept its own illegal schedules. This linter re-derives every
+//! earliest-legal instant from nothing but the trace and the
+//! [`TimingParams`], so the two implementations cross-check each other.
+//!
+//! Rules: `timing/tRCD`, `timing/tCL`, `timing/tCWL`, `timing/tRP`,
+//! `timing/tRAS`, `timing/tRRD`, `timing/tFAW`, `timing/tWR`,
+//! `timing/tRTP`, `timing/tWTR`, `timing/tCCD`, `timing/tRFC`, plus
+//! `timing/bank-state` for schedules that are ill-formed before any
+//! interval question arises (column command to a closed bank, double
+//! ACTIVATE).
+
+use crate::diag::Diagnostic;
+use nvdimmc_ddr::{BankAddr, Command, TimingParams, TraceEntry};
+use nvdimmc_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Linter view of one bank: enough state to re-derive every per-bank
+/// earliest-legal instant from the trace alone.
+#[derive(Debug, Clone, Copy)]
+struct BankLint {
+    open: bool,
+    earliest_act: SimTime,
+    earliest_rw: SimTime,
+    last_act: SimTime,
+    last_read: Option<SimTime>,
+    last_write_data_end: Option<SimTime>,
+}
+
+impl BankLint {
+    fn new() -> Self {
+        BankLint {
+            open: false,
+            earliest_act: SimTime::ZERO,
+            earliest_rw: SimTime::ZERO,
+            last_act: SimTime::ZERO,
+            last_read: None,
+            last_write_data_end: None,
+        }
+    }
+
+    /// Earliest legal PRECHARGE given what this bank has seen since its
+    /// last ACTIVATE (tRAS, tRTP, tWR each gate it independently).
+    fn earliest_pre(&self, t: &TimingParams) -> SimTime {
+        let mut e = self.last_act + t.tras;
+        if let Some(rd) = self.last_read {
+            e = e.max(rd + t.trtp);
+        }
+        if let Some(wr_end) = self.last_write_data_end {
+            e = e.max(wr_end + t.twr);
+        }
+        e
+    }
+}
+
+/// Whole-rank linter state.
+struct RankLint {
+    banks: Vec<BankLint>,
+    earliest_act_any: SimTime,
+    earliest_act_group: [SimTime; BankAddr::GROUPS as usize],
+    recent_acts: VecDeque<SimTime>,
+    /// Last column command: (issue time, bank group) — for JEDEC tCCD_S/L.
+    last_col: Option<(SimTime, u8)>,
+    /// Earliest READ after the last WRITE burst (rank-wide tWTR).
+    earliest_read: SimTime,
+    /// End of the silicon refresh (tRFC_base after REF).
+    refresh_busy_until: SimTime,
+}
+
+impl RankLint {
+    fn new() -> Self {
+        RankLint {
+            banks: vec![BankLint::new(); usize::from(BankAddr::COUNT)],
+            earliest_act_any: SimTime::ZERO,
+            earliest_act_group: [SimTime::ZERO; BankAddr::GROUPS as usize],
+            recent_acts: VecDeque::new(),
+            last_col: None,
+            earliest_read: SimTime::ZERO,
+            refresh_busy_until: SimTime::ZERO,
+        }
+    }
+}
+
+fn violation(e: &TraceEntry, rule: &'static str, legal_at: SimTime) -> Diagnostic {
+    Diagnostic::error(
+        rule,
+        e.at,
+        format!(
+            "[{}] issued at {}, earliest legal instant is {legal_at}",
+            e.master, e.at
+        ),
+    )
+    .with_commands(vec![e.cmd])
+}
+
+/// Lints `trace` against the JEDEC timing rulebook derived from `t`.
+///
+/// The trace is replayed in time order (entries are sorted by issue time
+/// first, so interleaved multi-master captures are handled). Every finding
+/// is an error-severity [`Diagnostic`] carrying the rule id, the instant
+/// and the offending command.
+pub fn lint_timing(trace: &[TraceEntry], t: &TimingParams) -> Vec<Diagnostic> {
+    let mut entries: Vec<&TraceEntry> = trace.iter().collect();
+    entries.sort_by_key(|e| e.at);
+
+    let mut rank = RankLint::new();
+    let mut out = Vec::new();
+
+    for e in entries {
+        // Silicon is unavailable while the cells refresh; everything except
+        // DES is illegal before tRFC_base elapses.
+        if !matches!(e.cmd, Command::Deselect) && e.at < rank.refresh_busy_until {
+            out.push(violation(e, "timing/tRFC", rank.refresh_busy_until));
+        }
+        match e.cmd {
+            Command::Activate { bank, .. } => lint_activate(e, bank, t, &mut rank, &mut out),
+            Command::Read { bank, .. } | Command::Write { bank, .. } => {
+                lint_column(e, bank, t, &mut rank, &mut out);
+            }
+            Command::Precharge { bank } => {
+                lint_precharge(e, bank, t, &mut rank, &mut out);
+            }
+            Command::PrechargeAll => {
+                for i in 0..BankAddr::COUNT {
+                    lint_precharge(e, BankAddr::from_index(i), t, &mut rank, &mut out);
+                }
+            }
+            Command::Refresh => lint_refresh(e, t, &mut rank, &mut out),
+            Command::SelfRefreshEnter
+            | Command::SelfRefreshExit
+            | Command::ModeRegisterSet { .. }
+            | Command::ZqCalibration
+            | Command::Deselect => {}
+        }
+    }
+    out
+}
+
+fn lint_activate(
+    e: &TraceEntry,
+    bank: BankAddr,
+    t: &TimingParams,
+    rank: &mut RankLint,
+    out: &mut Vec<Diagnostic>,
+) {
+    let group = usize::from(bank.group);
+    if e.at < rank.earliest_act_any {
+        out.push(violation(e, "timing/tRRD", rank.earliest_act_any));
+    } else if e.at < rank.earliest_act_group[group] {
+        out.push(violation(e, "timing/tRRD", rank.earliest_act_group[group]));
+    }
+    // Four-activate window.
+    while let Some(&front) = rank.recent_acts.front() {
+        if e.at.saturating_since(front) >= t.tfaw {
+            rank.recent_acts.pop_front();
+        } else {
+            break;
+        }
+    }
+    if rank.recent_acts.len() >= 4 {
+        let legal = *rank.recent_acts.front().expect("non-empty") + t.tfaw;
+        out.push(violation(e, "timing/tFAW", legal));
+    }
+    let b = &mut rank.banks[usize::from(bank.index())];
+    if b.open {
+        out.push(
+            Diagnostic::error(
+                "timing/bank-state",
+                e.at,
+                format!(
+                    "[{}] ACTIVATE to {bank} which already has an open row",
+                    e.master
+                ),
+            )
+            .with_commands(vec![e.cmd]),
+        );
+    } else if e.at < b.earliest_act {
+        out.push(violation(e, "timing/tRP", b.earliest_act));
+    }
+    b.open = true;
+    b.last_act = e.at;
+    b.earliest_rw = e.at + t.trcd;
+    b.last_read = None;
+    b.last_write_data_end = None;
+    rank.recent_acts.push_back(e.at);
+    rank.earliest_act_any = e.at + t.trrd_s;
+    rank.earliest_act_group[group] = e.at + t.trrd_l;
+}
+
+fn lint_column(
+    e: &TraceEntry,
+    bank: BankAddr,
+    t: &TimingParams,
+    rank: &mut RankLint,
+    out: &mut Vec<Diagnostic>,
+) {
+    let is_read = matches!(e.cmd, Command::Read { .. });
+    // JEDEC column-to-column spacing: tCCD_L within a bank group, tCCD_S
+    // across groups.
+    if let Some((prev_at, prev_group)) = rank.last_col {
+        let gap = if prev_group == bank.group {
+            t.tccd_l
+        } else {
+            t.tccd_s
+        };
+        if e.at < prev_at + gap {
+            out.push(violation(e, "timing/tCCD", prev_at + gap));
+        }
+    }
+    // Write-to-read turnaround is rank-wide.
+    if is_read && e.at < rank.earliest_read {
+        out.push(violation(e, "timing/tWTR", rank.earliest_read));
+    }
+    let auto_precharge = matches!(
+        e.cmd,
+        Command::Read {
+            auto_precharge: true,
+            ..
+        } | Command::Write {
+            auto_precharge: true,
+            ..
+        }
+    );
+    let b = &mut rank.banks[usize::from(bank.index())];
+    if !b.open {
+        out.push(
+            Diagnostic::error(
+                "timing/bank-state",
+                e.at,
+                format!(
+                    "[{}] column command to {bank} which has no open row (paper case C2)",
+                    e.master
+                ),
+            )
+            .with_commands(vec![e.cmd]),
+        );
+        b.open = true; // limp on so one broken entry yields one finding
+        b.last_act = e.at;
+        b.earliest_rw = e.at;
+    } else if e.at < b.earliest_rw {
+        out.push(violation(e, "timing/tRCD", b.earliest_rw));
+    }
+    // The recorded DQ burst must sit exactly tCL (reads) / tCWL (writes)
+    // after the column command — a mismatch means the recorder or the data
+    // path drifted from the rulebook.
+    let (latency, rule) = if is_read {
+        (t.tcl, "timing/tCL")
+    } else {
+        (t.tcwl, "timing/tCWL")
+    };
+    let expect = (e.at + latency, e.at + latency + t.burst_time());
+    if e.data != Some(expect) {
+        out.push(
+            Diagnostic::error(
+                rule,
+                e.at,
+                format!(
+                    "[{}] DQ occupancy {:?} does not match the {} + burst window {:?}",
+                    e.master,
+                    e.data,
+                    if is_read { "tCL" } else { "tCWL" },
+                    expect
+                ),
+            )
+            .with_commands(vec![e.cmd]),
+        );
+    }
+    let data_end = e.data.map_or(e.at, |(_, end)| end);
+    if is_read {
+        b.last_read = Some(e.at);
+    } else {
+        b.last_write_data_end = Some(data_end);
+        rank.earliest_read = data_end + t.twtr;
+    }
+    if auto_precharge {
+        let when = b.earliest_pre(t).max(data_end);
+        b.open = false;
+        b.earliest_act = b.earliest_act.max(when + t.trp);
+    }
+    rank.last_col = Some((e.at, bank.group));
+}
+
+fn lint_precharge(
+    e: &TraceEntry,
+    bank: BankAddr,
+    t: &TimingParams,
+    rank: &mut RankLint,
+    out: &mut Vec<Diagnostic>,
+) {
+    let b = &mut rank.banks[usize::from(bank.index())];
+    // Precharging an idle bank is a JEDEC NOP; only open banks have
+    // interval obligations.
+    if b.open {
+        if e.at < b.last_act + t.tras {
+            out.push(violation(e, "timing/tRAS", b.last_act + t.tras));
+        }
+        if let Some(rd) = b.last_read {
+            if e.at < rd + t.trtp {
+                out.push(violation(e, "timing/tRTP", rd + t.trtp));
+            }
+        }
+        if let Some(wr_end) = b.last_write_data_end {
+            if e.at < wr_end + t.twr {
+                out.push(violation(e, "timing/tWR", wr_end + t.twr));
+            }
+        }
+    }
+    b.open = false;
+    b.earliest_act = b.earliest_act.max(e.at + t.trp);
+}
+
+fn lint_refresh(e: &TraceEntry, t: &TimingParams, rank: &mut RankLint, out: &mut Vec<Diagnostic>) {
+    for i in 0..BankAddr::COUNT {
+        let b = &rank.banks[usize::from(i)];
+        if b.open {
+            out.push(
+                Diagnostic::error(
+                    "timing/bank-state",
+                    e.at,
+                    format!(
+                        "[{}] REFRESH with {} open (PREA required first)",
+                        e.master,
+                        BankAddr::from_index(i)
+                    ),
+                )
+                .with_commands(vec![e.cmd]),
+            );
+        } else if e.at < b.earliest_act {
+            out.push(violation(e, "timing/tRP", b.earliest_act));
+        }
+    }
+    rank.refresh_busy_until = e.at + t.trfc_base;
+    for b in &mut rank.banks {
+        b.open = false;
+        b.earliest_act = b.earliest_act.max(rank.refresh_busy_until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvdimmc_ddr::{BusMaster, SpeedBin};
+    use nvdimmc_sim::SimDuration;
+
+    fn t() -> TimingParams {
+        TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600)
+    }
+
+    fn entry(at: SimTime, cmd: Command) -> TraceEntry {
+        TraceEntry::observe(BusMaster::HostImc, at, cmd, &t())
+    }
+
+    fn act(at: SimTime, bank: BankAddr) -> TraceEntry {
+        entry(at, Command::Activate { bank, row: 1 })
+    }
+
+    fn rd(at: SimTime, bank: BankAddr) -> TraceEntry {
+        entry(
+            at,
+            Command::Read {
+                bank,
+                col: 0,
+                auto_precharge: false,
+            },
+        )
+    }
+
+    fn wr(at: SimTime, bank: BankAddr) -> TraceEntry {
+        entry(
+            at,
+            Command::Write {
+                bank,
+                col: 0,
+                auto_precharge: false,
+            },
+        )
+    }
+
+    fn pre(at: SimTime, bank: BankAddr) -> TraceEntry {
+        entry(at, Command::Precharge { bank })
+    }
+
+    #[test]
+    fn legal_open_read_close_sequence_is_clean() {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let rd_at = t0 + p.trcd;
+        let pre_at = (t0 + p.tras).max(rd_at + p.trtp);
+        let trace = vec![act(t0, b), rd(rd_at, b), pre(pre_at, b)];
+        let diags = lint_timing(&trace, &p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn early_read_fires_trcd() {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let trace = vec![act(t0, b), rd(t0 + SimDuration::from_ns(1), b)];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tRCD");
+        assert_eq!(diags[0].commands.len(), 1);
+    }
+
+    #[test]
+    fn early_reactivate_fires_trp() {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let pre_at = t0 + p.tras;
+        let trace = vec![
+            act(t0, b),
+            pre(pre_at, b),
+            act(pre_at + SimDuration::from_ns(1), b),
+        ];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tRP");
+    }
+
+    #[test]
+    fn early_precharge_fires_tras() {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let trace = vec![act(t0, b), pre(t0 + SimDuration::from_ns(5), b)];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tRAS");
+    }
+
+    #[test]
+    fn back_to_back_activates_fire_trrd() {
+        let p = t();
+        let t0 = SimTime::from_ns(100);
+        let trace = vec![
+            act(t0, BankAddr::new(0, 0)),
+            act(t0 + SimDuration::from_ns(1), BankAddr::new(1, 0)),
+        ];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tRRD");
+    }
+
+    #[test]
+    fn five_activates_in_window_fire_tfaw() {
+        let p = t();
+        let t0 = SimTime::from_ns(100);
+        // Five ACTs to distinct groups at exactly tRRD_S spacing: legal for
+        // tRRD but the fifth lands inside the four-activate window.
+        let spacing = p.trrd_s;
+        assert!(spacing * 4 < p.tfaw, "test premise");
+        let trace: Vec<TraceEntry> = (0..5)
+            .map(|i| {
+                act(
+                    t0 + spacing * i,
+                    BankAddr::new((i % 4) as u8, (i / 4) as u8),
+                )
+            })
+            .collect();
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tFAW");
+    }
+
+    #[test]
+    fn write_then_early_read_fires_twtr() {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let col_at = t0 + p.trcd;
+        let trace = vec![act(t0, b), wr(col_at, b), rd(col_at + p.tccd_l, b)];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tWTR");
+    }
+
+    #[test]
+    fn write_then_early_precharge_fires_twr() {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let wr_at = t0 + p.trcd;
+        // Past tRAS but inside write recovery.
+        let pre_at = (t0 + p.tras).max(wr_at + p.tcwl + p.burst_time());
+        let trace = vec![act(t0, b), wr(wr_at, b), pre(pre_at, b)];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tWR");
+    }
+
+    #[test]
+    fn tight_column_commands_fire_tccd() {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let rd_at = t0 + p.trcd;
+        let trace = vec![act(t0, b), rd(rd_at, b), rd(rd_at + p.tccd_s, b)];
+        // Same bank group: tCCD_L applies, tCCD_S spacing is too tight.
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tCCD");
+    }
+
+    #[test]
+    fn command_during_refresh_fires_trfc() {
+        let p = t();
+        let t0 = SimTime::from_ns(100);
+        let trace = vec![
+            entry(t0, Command::Refresh),
+            act(t0 + SimDuration::from_ns(10), BankAddr::new(0, 0)),
+        ];
+        let diags = lint_timing(&trace, &p);
+        assert!(diags.iter().any(|d| d.rule == "timing/tRFC"), "{diags:?}");
+    }
+
+    #[test]
+    fn column_to_closed_bank_is_case_c2() {
+        let p = t();
+        let trace = vec![rd(SimTime::from_ns(100), BankAddr::new(0, 0))];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/bank-state");
+    }
+
+    #[test]
+    fn corrupted_dq_interval_fires_tcl() {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let mut bad = rd(t0 + p.trcd, b);
+        let (s, e) = bad.data.unwrap();
+        bad.data = Some((s - SimDuration::from_ns(1), e));
+        let trace = vec![act(t0, b), bad];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tCL");
+    }
+}

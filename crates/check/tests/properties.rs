@@ -1,0 +1,260 @@
+//! Property tests for the nvdimmc-check timing linter.
+//!
+//! Two directions of confidence:
+//!
+//! - **Soundness on legal schedules.** Random command streams are pushed
+//!   through the *real* `SharedBus`/`DramDevice` with the iMC's retry
+//!   discipline, so every accepted command is model-legal by construction.
+//!   The recorded trace must then lint completely clean — the offline
+//!   rulebook may never disagree with the inline one on a legal schedule.
+//! - **Sensitivity to injected violations.** Starting from a legal
+//!   hand-built trace, one command is shifted a random number of clock
+//!   cycles too early. Exactly the expected rule must fire, exactly once
+//!   (the shift sizes are chosen to stay inside every *other* constraint).
+
+use nvdimmc_check::{check_trace, lint_timing};
+use nvdimmc_ddr::{
+    BankAddr, BusMaster, BusViolation, Command, DramDevice, SharedBus, SpeedBin, TimingParams,
+    TraceEntry,
+};
+use nvdimmc_sim::SimTime;
+use proptest::prelude::*;
+
+fn t() -> TimingParams {
+    TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600)
+}
+
+fn entry(at: SimTime, cmd: Command) -> TraceEntry {
+    TraceEntry::observe(BusMaster::HostImc, at, cmd, &t())
+}
+
+fn act(at: SimTime, bank: BankAddr) -> TraceEntry {
+    entry(at, Command::Activate { bank, row: 1 })
+}
+
+fn rd(at: SimTime, bank: BankAddr) -> TraceEntry {
+    entry(
+        at,
+        Command::Read {
+            bank,
+            col: 0,
+            auto_precharge: false,
+        },
+    )
+}
+
+fn wr(at: SimTime, bank: BankAddr) -> TraceEntry {
+    entry(
+        at,
+        Command::Write {
+            bank,
+            col: 0,
+            auto_precharge: false,
+        },
+    )
+}
+
+fn pre(at: SimTime, bank: BankAddr) -> TraceEntry {
+    entry(at, Command::Precharge { bank })
+}
+
+/// Pushes `cmd` through the real bus with the iMC's retry discipline:
+/// timing and refresh-busy rejections carry the earliest legal instant, so
+/// the accepted time is model-legal by construction. Returns that time.
+fn issue_retry(bus: &mut SharedBus, mut at: SimTime, cmd: Command) -> SimTime {
+    for _ in 0..64 {
+        match bus.issue(BusMaster::HostImc, at, cmd) {
+            Ok(_) => return at,
+            Err(BusViolation::Timing { legal_at, .. }) => at = legal_at,
+            Err(BusViolation::CommandDuringRefresh { busy_until, .. }) => at = busy_until,
+            Err(other) => panic!("generator produced an ill-formed command: {other}"),
+        }
+    }
+    panic!("no legal slot found for {cmd:?}")
+}
+
+proptest! {
+    /// Any schedule the model accepts must lint clean: random
+    /// (bank, operation, gap) streams, made well-formed by a per-bank
+    /// open/closed state machine and made timing-legal by the bus's own
+    /// `legal_at` feedback, produce traces with zero diagnostics across
+    /// all three trace passes.
+    #[test]
+    fn model_legal_schedules_lint_clean(
+        ops in prop::collection::vec(
+            (0u8..BankAddr::COUNT, 0u8..4, 1u64..8),
+            1..120,
+        )
+    ) {
+        let p = t();
+        let mut bus = SharedBus::new(DramDevice::new(p, 1 << 24));
+        bus.attach_recorder();
+        let mut open = [false; BankAddr::COUNT as usize];
+        let mut now = SimTime::from_ns(10);
+        for (sel, op, gap) in ops {
+            let bank = BankAddr::from_index(sel);
+            let at = now + p.speed.tck() * gap;
+            now = if op == 3 {
+                // Refresh: close every row first (PREA), then REF.
+                let prea = issue_retry(&mut bus, at, Command::PrechargeAll);
+                open = [false; BankAddr::COUNT as usize];
+                issue_retry(&mut bus, prea + p.speed.tck(), Command::Refresh)
+            } else if open[usize::from(sel)] {
+                match op {
+                    0 => issue_retry(
+                        &mut bus,
+                        at,
+                        Command::Read { bank, col: 0, auto_precharge: false },
+                    ),
+                    1 => issue_retry(
+                        &mut bus,
+                        at,
+                        Command::Write { bank, col: 0, auto_precharge: false },
+                    ),
+                    _ => {
+                        open[usize::from(sel)] = false;
+                        issue_retry(&mut bus, at, Command::Precharge { bank })
+                    }
+                }
+            } else {
+                open[usize::from(sel)] = true;
+                issue_retry(
+                    &mut bus,
+                    at,
+                    Command::Activate { bank, row: u32::from(sel) },
+                )
+            };
+        }
+        let trace = bus.take_trace();
+        prop_assert!(!trace.is_empty());
+        let report = check_trace(&trace, &p);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// A column command a few cycles inside tRCD fires `timing/tRCD` and
+    /// nothing else.
+    #[test]
+    fn injected_trcd_violation_fires_exactly_trcd(k in 1u64..=3) {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let delta = p.speed.tck() * k;
+        let trace = vec![act(t0, b), rd(t0 + p.trcd - delta, b)];
+        let diags = lint_timing(&trace, &p);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "timing/tRCD");
+        prop_assert_eq!(diags[0].at, Some(t0 + p.trcd - delta));
+    }
+
+    /// Re-activating a few cycles inside tRP fires `timing/tRP` only.
+    #[test]
+    fn injected_trp_violation_fires_exactly_trp(k in 1u64..=3) {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let delta = p.speed.tck() * k;
+        let pre_at = t0 + p.tras;
+        let trace = vec![act(t0, b), pre(pre_at, b), act(pre_at + p.trp - delta, b)];
+        let diags = lint_timing(&trace, &p);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "timing/tRP");
+    }
+
+    /// Precharging a few cycles inside tRAS fires `timing/tRAS` only.
+    #[test]
+    fn injected_tras_violation_fires_exactly_tras(k in 1u64..=3) {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let delta = p.speed.tck() * k;
+        let trace = vec![act(t0, b), pre(t0 + p.tras - delta, b)];
+        let diags = lint_timing(&trace, &p);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "timing/tRAS");
+    }
+
+    /// A second ACTIVATE a few cycles inside tRRD_S fires `timing/tRRD`
+    /// only (different bank group, so the short parameter governs).
+    #[test]
+    fn injected_trrd_violation_fires_exactly_trrd(k in 1u64..=3) {
+        let p = t();
+        let t0 = SimTime::from_ns(100);
+        let delta = p.speed.tck() * k;
+        prop_assume!(delta < p.trrd_s);
+        let trace = vec![
+            act(t0, BankAddr::new(0, 0)),
+            act(t0 + p.trrd_s - delta, BankAddr::new(1, 0)),
+        ];
+        let diags = lint_timing(&trace, &p);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "timing/tRRD");
+    }
+
+    /// A fifth ACTIVATE inside the four-activate window fires
+    /// `timing/tFAW` only, for any tRRD-legal spacing that keeps four
+    /// gaps under tFAW.
+    #[test]
+    fn injected_tfaw_violation_fires_exactly_tfaw(j in 0u64..=2) {
+        let p = t();
+        let t0 = SimTime::from_ns(100);
+        let spacing = p.trrd_l + p.speed.tck() * j;
+        prop_assume!(spacing * 4 < p.tfaw);
+        let trace: Vec<TraceEntry> = (0..5u64)
+            .map(|i| act(t0 + spacing * i, BankAddr::new((i % 4) as u8, (i / 4) as u8)))
+            .collect();
+        let diags = lint_timing(&trace, &p);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "timing/tFAW");
+    }
+
+    /// A READ a few cycles inside the write-to-read turnaround fires
+    /// `timing/tWTR` only (the spacing stays tCCD-legal).
+    #[test]
+    fn injected_twtr_violation_fires_exactly_twtr(k in 1u64..=3) {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let delta = p.speed.tck() * k;
+        let wr_at = t0 + p.trcd;
+        let earliest_read = wr_at + p.tcwl + p.burst_time() + p.twtr;
+        prop_assume!(earliest_read - delta >= wr_at + p.tccd_l);
+        let trace = vec![act(t0, b), wr(wr_at, b), rd(earliest_read - delta, b)];
+        let diags = lint_timing(&trace, &p);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "timing/tWTR");
+    }
+
+    /// A PRECHARGE a few cycles inside write recovery fires `timing/tWR`
+    /// only (the instant is already past tRAS).
+    #[test]
+    fn injected_twr_violation_fires_exactly_twr(k in 1u64..=3) {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let delta = p.speed.tck() * k;
+        let wr_at = t0 + p.trcd;
+        let wr_end = wr_at + p.tcwl + p.burst_time();
+        prop_assume!(wr_end + p.twr - delta >= t0 + p.tras);
+        let trace = vec![act(t0, b), wr(wr_at, b), pre(wr_end + p.twr - delta, b)];
+        let diags = lint_timing(&trace, &p);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "timing/tWR");
+    }
+
+    /// Back-to-back column commands a few cycles inside tCCD_L fire
+    /// `timing/tCCD` only (same bank group, so the long parameter
+    /// governs).
+    #[test]
+    fn injected_tccd_violation_fires_exactly_tccd(k in 1u64..=3) {
+        let p = t();
+        let b = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let delta = p.speed.tck() * k;
+        prop_assume!(delta < p.tccd_l);
+        let rd_at = t0 + p.trcd;
+        let trace = vec![act(t0, b), rd(rd_at, b), rd(rd_at + p.tccd_l - delta, b)];
+        let diags = lint_timing(&trace, &p);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "timing/tCCD");
+    }
+}

@@ -61,11 +61,7 @@ impl EmulatedPmem {
     /// # Errors
     ///
     /// Returns [`CoreError::Config`] if `capacity` is zero.
-    pub fn new(
-        capacity: u64,
-        timing: TimingParams,
-        perf: PerfParams,
-    ) -> Result<Self, CoreError> {
+    pub fn new(capacity: u64, timing: TimingParams, perf: PerfParams) -> Result<Self, CoreError> {
         if capacity == 0 {
             return Err(CoreError::Config("pmem capacity must be positive".into()));
         }

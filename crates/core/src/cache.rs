@@ -215,9 +215,7 @@ impl DramCache {
                 }
                 self.lrc_queue.pop_front();
             },
-            EvictionPolicyKind::Lru => {
-                self.lru_index.iter().next().expect("resident ⇒ indexed").1
-            }
+            EvictionPolicyKind::Lru => self.lru_index.iter().next().expect("resident ⇒ indexed").1,
             EvictionPolicyKind::Clock => {
                 let n = self.slots.len() as u64;
                 loop {
@@ -311,9 +309,10 @@ impl DramCache {
     /// Iterates over resident `(slot, page, dirty)` entries — the
     /// power-fail flush walks this via the metadata area.
     pub fn resident_entries(&self) -> impl Iterator<Item = (u64, u64, bool)> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, m)| {
-            m.nand_page.map(|p| (i as u64, p, m.dirty))
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.nand_page.map(|p| (i as u64, p, m.dirty)))
     }
 }
 
@@ -449,10 +448,7 @@ mod tests {
                     Some(s) => s,
                     None => {
                         let (victim, vpage, _) = c.pick_victim().unwrap();
-                        assert_eq!(
-                            vpage, reference[0],
-                            "LRU victim diverged from reference"
-                        );
+                        assert_eq!(vpage, reference[0], "LRU victim diverged from reference");
                         reference.remove(0);
                         c.evict(victim);
                         victim

@@ -50,7 +50,10 @@ struct DramBackdoor<'a>(&'a mut SharedBus);
 
 impl Memory for DramBackdoor<'_> {
     fn read(&mut self, addr: u64, buf: &mut [u8]) {
-        self.0.device().peek(addr, buf).expect("backdoor read in range");
+        self.0
+            .device()
+            .peek(addr, buf)
+            .expect("backdoor read in range");
     }
     fn write(&mut self, addr: u64, data: &[u8]) {
         self.0
@@ -232,6 +235,34 @@ impl System {
         &self.cache
     }
 
+    /// Enables or disables bus-trace capture for `nvdimmc-check`. Enabling
+    /// attaches a fresh [`nvdimmc_ddr::TraceRecorder`] to the shared bus;
+    /// disabling drops the recorder and whatever it held.
+    pub fn set_trace_capture(&mut self, on: bool) {
+        if on {
+            self.bus.attach_recorder();
+        } else {
+            self.bus.detach_recorder();
+        }
+    }
+
+    /// Drains the captured bus trace (empty when capture is off).
+    pub fn take_trace(&mut self) -> Vec<nvdimmc_ddr::TraceEntry> {
+        self.bus.take_trace()
+    }
+
+    /// Enables or disables the CPU-cache persistence journal for
+    /// `nvdimmc-check`'s pmemcheck-style pass. Enabling clears any
+    /// previously captured events.
+    pub fn set_persist_journal(&mut self, on: bool) {
+        self.cpu.set_journal(on);
+    }
+
+    /// Drains the captured persistence journal (empty when capture is off).
+    pub fn take_persist_journal(&mut self) -> Vec<nvdimmc_host::PersistEvent> {
+        self.cpu.take_journal()
+    }
+
     fn next_phase(&mut self) -> u8 {
         // 1..=15, never 0, so an all-zero mailbox never decodes as new.
         self.phase = (self.phase % 15) + 1;
@@ -266,7 +297,13 @@ impl System {
 
     /// Runs one CP transaction to completion: publish the command with
     /// explicit coherence, then drive refresh windows until the FPGA acks.
-    fn cp_transaction(&mut self, opcode: CpOpcode, dram_slot: u64, nand_page: u64, wb_nand_page: Option<u64>) -> Result<(), CoreError> {
+    fn cp_transaction(
+        &mut self,
+        opcode: CpOpcode,
+        dram_slot: u64,
+        nand_page: u64,
+        wb_nand_page: Option<u64>,
+    ) -> Result<(), CoreError> {
         // Catch up any refresh backlog from plain host activity while the
         // FPGA is still idle, so the wait loop below sees at most one new
         // refresh per iteration.
@@ -347,12 +384,7 @@ impl System {
                 // the writeback and the fill, processed in parallel. (A
                 // never-written fill page skips the fill entirely, so the
                 // plain writeback is used instead.)
-                self.cp_transaction(
-                    CpOpcode::WritebackCachefill,
-                    victim,
-                    fill_page,
-                    Some(vpage),
-                )?;
+                self.cp_transaction(CpOpcode::WritebackCachefill, victim, fill_page, Some(vpage))?;
                 filled = true;
             } else {
                 self.cp_transaction(CpOpcode::Writeback, victim, vpage, None)?;
@@ -496,15 +528,26 @@ impl System {
         let first = offset / PAGE_BYTES;
         let last = (offset + len - 1) / PAGE_BYTES;
         let mut lines = 0u64;
+        let mut flushed = Vec::new();
         for page in first..=last {
             if let Some(slot) = self.cache.peek(page) {
                 let addr = self.layout.slot_addr(slot);
                 self.cpu
                     .clflush_range(&mut DramBackdoor(&mut self.bus), addr, PAGE_BYTES);
+                flushed.push(addr);
                 lines += PAGE_BYTES / 64;
             }
         }
         self.cpu.sfence();
+        // Declare durability only now that the flush+fence sequence is
+        // complete — the journal checker verifies the claim against the
+        // events that precede it.
+        for addr in flushed {
+            self.cpu.journal_push(nvdimmc_host::PersistEvent::Claim {
+                addr,
+                len: PAGE_BYTES,
+            });
+        }
         self.clock += self.cfg.perf.clflush_line * lines;
         Ok(())
     }
@@ -558,13 +601,16 @@ impl BlockDevice for System {
             // load-driven copy.
             let pace = self.cfg.perf.copy_time(64);
             let mut scratch = vec![0u8; n];
-            let end = self
-                .imc
-                .read_bytes_paced(&mut self.bus, self.clock, addr, &mut scratch, pace)?;
+            let end =
+                self.imc
+                    .read_bytes_paced(&mut self.bus, self.clock, addr, &mut scratch, pace)?;
             self.clock = end;
             // Function: through the CPU cache (sees dirty lines).
-            self.cpu
-                .load(&mut DramBackdoor(&mut self.bus), addr, &mut buf[pos..pos + n]);
+            self.cpu.load(
+                &mut DramBackdoor(&mut self.bus),
+                addr,
+                &mut buf[pos..pos + n],
+            );
             pos += n;
         }
         // The CPU-side copy overlaps the bus transfer; the slower wins.
@@ -600,9 +646,9 @@ impl BlockDevice for System {
             // transfer; tCWL ≈ tCL at this fidelity), paced at copy rate.
             let pace = self.cfg.perf.copy_time(64);
             let mut scratch = vec![0u8; n];
-            let end = self
-                .imc
-                .read_bytes_paced(&mut self.bus, self.clock, addr, &mut scratch, pace)?;
+            let end =
+                self.imc
+                    .read_bytes_paced(&mut self.bus, self.clock, addr, &mut scratch, pace)?;
             self.clock = end;
             // Function: stores land in the CPU cache (write-back!); the
             // DRAM array only sees them at clflush/eviction time — which
@@ -631,6 +677,8 @@ impl System {
     ///
     /// Propagates NAND errors from the dump.
     pub fn power_fail(&mut self, adr_works: bool) -> Result<PowerFailReport, CoreError> {
+        self.cpu
+            .journal_push(nvdimmc_host::PersistEvent::PowerFail { adr: adr_works });
         if adr_works {
             self.cpu.flush_all(&mut DramBackdoor(&mut self.bus));
         } else {
@@ -688,7 +736,8 @@ mod tests {
     /// takes the full writeback+cachefill path.
     fn dirty_cache_with_nand_backed(s: &mut System, slots: u64) {
         for i in 0..slots {
-            s.write_at(i * PAGE_BYTES, &page(0x40 | (i % 32) as u8)).unwrap();
+            s.write_at(i * PAGE_BYTES, &page(0x40 | (i % 32) as u8))
+                .unwrap();
         }
         for i in slots..2 * slots {
             s.write_at(i * PAGE_BYTES, &page(0x20)).unwrap();
@@ -892,8 +941,8 @@ mod tests {
     fn hypothetical_mode_scales_with_td() {
         let run = |td_us: f64| {
             let slots = 32;
-            let mut cfg = NvdimmCConfig::small_for_tests()
-                .with_hypothetical(SimDuration::from_us(td_us));
+            let mut cfg =
+                NvdimmCConfig::small_for_tests().with_hypothetical(SimDuration::from_us(td_us));
             cfg.cache_slots = slots;
             let mut s = System::new(cfg).unwrap();
             let mut buf = page(0);
@@ -906,7 +955,10 @@ mod tests {
         let t0 = run(0.0);
         let t39 = run(3.9);
         let t78 = run(7.8);
-        assert!(t0 < t39 && t39 < t78, "tD ordering: {t0:.2} {t39:.2} {t78:.2}");
+        assert!(
+            t0 < t39 && t39 < t78,
+            "tD ordering: {t0:.2} {t39:.2} {t78:.2}"
+        );
     }
 
     #[test]

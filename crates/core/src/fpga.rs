@@ -179,8 +179,7 @@ impl Fpga {
                             CpOpcode::Cachefill => {
                                 // Start the NAND read as soon as decode
                                 // finishes; the DMA waits on its data.
-                                let (data, ready) =
-                                    nvmc.read_page(cmd.nand_page, self.ready_at)?;
+                                let (data, ready) = nvmc.read_page(cmd.nand_page, self.ready_at)?;
                                 self.ready_at = ready + self.step_delay;
                                 FpgaState::CfDmaWrite { cmd, data }
                             }
@@ -290,7 +289,10 @@ impl Fpga {
         len: u64,
         start: SimTime,
     ) -> Result<(Vec<u8>, SimTime), CoreError> {
-        assert!(addr.is_multiple_of(64) && len.is_multiple_of(64), "DMA is cacheline-granular");
+        assert!(
+            addr.is_multiple_of(64) && len.is_multiple_of(64),
+            "DMA is cacheline-granular"
+        );
         let dec = bus
             .device()
             .mapping()
@@ -328,7 +330,11 @@ impl Fpga {
         // both gate the precharge.
         let act_at = rw_at - t.trcd;
         let pre_at = (act_at + t.tras).max(last_issue + t.trtp.max(t.tccd_l));
-        bus.issue(BusMaster::Nvmc, pre_at, Command::Precharge { bank: dec.bank })?;
+        bus.issue(
+            BusMaster::Nvmc,
+            pre_at,
+            Command::Precharge { bank: dec.bank },
+        )?;
         self.stats.dma_bytes += len;
         Ok((out, last_end.max(pre_at + t.trp)))
     }
@@ -383,13 +389,16 @@ impl Fpga {
         // Write recovery (and tRAS) before precharge.
         let act_at = rw_at - t.trcd;
         let pre_at = (act_at + t.tras).max(last_burst_end + t.twr);
-        bus.issue(BusMaster::Nvmc, pre_at, Command::Precharge { bank: dec.bank })?;
+        bus.issue(
+            BusMaster::Nvmc,
+            pre_at,
+            Command::Precharge { bank: dec.bank },
+        )?;
         let _ = last_end;
         self.stats.dma_bytes += data.len() as u64;
         Ok(pre_at + t.trp)
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -485,7 +494,9 @@ mod tests {
         let mut r = rig(6.0, 4096);
         // Put a page on NAND.
         let data = vec![0xB7u8; 4096];
-        r.nvmc.write_page(9, &data, SimTime::ZERO).expect("nand write");
+        r.nvmc
+            .write_page(9, &data, SimTime::ZERO)
+            .expect("nand write");
         r.publish(&CpCommand {
             phase: 1,
             opcode: CpOpcode::Cachefill,
@@ -496,7 +507,10 @@ mod tests {
         let windows = r.run_until_ack(1, 64);
         // Paper §V-A: three windows minimum (poll, data, ack); the FSM
         // delay may skip a few.
-        assert!((3..=8).contains(&windows), "cachefill took {windows} windows");
+        assert!(
+            (3..=8).contains(&windows),
+            "cachefill took {windows} windows"
+        );
         let mut slot = vec![0u8; 4096];
         r.bus
             .device()
@@ -522,7 +536,10 @@ mod tests {
             wb_nand_page: None,
         });
         let windows = r.run_until_ack(2, 64);
-        assert!((3..=8).contains(&windows), "writeback took {windows} windows");
+        assert!(
+            (3..=8).contains(&windows),
+            "writeback took {windows} windows"
+        );
         let (read_back, _) = r.nvmc.read_page(21, r.clock).expect("nand read");
         assert_eq!(read_back, data);
         assert_eq!(r.fpga.stats().writebacks, 1);
@@ -547,7 +564,11 @@ mod tests {
         for _ in 0..6 {
             r.one_window();
         }
-        assert_eq!(r.fpga.stats().cachefills, fills, "phase replay executed twice");
+        assert_eq!(
+            r.fpga.stats().cachefills,
+            fills,
+            "phase replay executed twice"
+        );
     }
 
     #[test]

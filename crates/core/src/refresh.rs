@@ -283,14 +283,23 @@ mod tests {
     #[test]
     fn self_refresh_entry_not_detected() {
         let mut det = RefreshDetector::new();
-        assert_eq!(det.feed_command(&CaPins::encode(&Command::SelfRefreshEnter)), 0);
-        assert!(det.stats().sre_rejected > 0, "SRE pattern seen and rejected");
+        assert_eq!(
+            det.feed_command(&CaPins::encode(&Command::SelfRefreshEnter)),
+            0
+        );
+        assert!(
+            det.stats().sre_rejected > 0,
+            "SRE pattern seen and rejected"
+        );
     }
 
     #[test]
     fn self_refresh_exit_not_detected() {
         let mut det = RefreshDetector::new();
-        assert_eq!(det.feed_command(&CaPins::encode(&Command::SelfRefreshExit)), 0);
+        assert_eq!(
+            det.feed_command(&CaPins::encode(&Command::SelfRefreshExit)),
+            0
+        );
     }
 
     #[test]
@@ -307,7 +316,10 @@ mod tests {
     fn pipeline_emits_timed_events() {
         let mut p = DetectorPipeline::new();
         let log = vec![
-            (SimTime::from_ns(100), CaPins::encode(&Command::PrechargeAll)),
+            (
+                SimTime::from_ns(100),
+                CaPins::encode(&Command::PrechargeAll),
+            ),
             (SimTime::from_ns(120), CaPins::encode(&Command::Refresh)),
             (SimTime::from_ns(900), CaPins::encode(&Command::Deselect)),
             (SimTime::from_us(8), CaPins::encode(&Command::Refresh)),

@@ -97,6 +97,7 @@ impl Bank {
     ) -> Result<(), BusViolation> {
         if let BankState::Active { row: open } = self.state {
             return Err(BusViolation::BankState {
+                master: None,
                 at,
                 command: *cmd,
                 reason: format!("ACTIVATE while row {open} is already open"),
@@ -104,6 +105,7 @@ impl Bank {
         }
         if at < self.earliest_act {
             return Err(BusViolation::Timing {
+                master: None,
                 at,
                 command: *cmd,
                 parameter: "tRP",
@@ -158,6 +160,7 @@ impl Bank {
     fn check_rw(&self, at: SimTime, cmd: &Command) -> Result<(), BusViolation> {
         match self.state {
             BankState::Idle => Err(BusViolation::BankState {
+                master: None,
                 at,
                 command: *cmd,
                 // Paper Figure 2a case C2: a column command to a row the
@@ -167,6 +170,7 @@ impl Bank {
             BankState::Active { .. } => {
                 if at < self.earliest_rw {
                     Err(BusViolation::Timing {
+                        master: None,
                         at,
                         command: *cmd,
                         parameter: "tRCD",
@@ -193,6 +197,7 @@ impl Bank {
     ) -> Result<(), BusViolation> {
         if self.state != BankState::Idle && at < self.earliest_pre {
             return Err(BusViolation::Timing {
+                master: None,
                 at,
                 command: *cmd,
                 parameter: "tRAS/tWR/tRTP",
@@ -337,7 +342,8 @@ mod tests {
     fn precharge_idle_bank_is_nop() {
         let timing = t();
         let mut b = Bank::new();
-        b.precharge(SimTime::from_ns(5), &timing, &pre_cmd()).unwrap();
+        b.precharge(SimTime::from_ns(5), &timing, &pre_cmd())
+            .unwrap();
         assert!(b.is_idle());
     }
 

@@ -12,6 +12,7 @@ use crate::ca::CaPins;
 use crate::command::Command;
 use crate::device::DramDevice;
 use crate::error::BusViolation;
+use crate::trace::{TraceEntry, TraceRecorder};
 use nvdimmc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,15 @@ pub enum BusMaster {
     HostImc,
     /// The NVDIMM-C internal controller (the FPGA / NVMC).
     Nvmc,
+}
+
+impl std::fmt::Display for BusMaster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BusMaster::HostImc => "host iMC",
+            BusMaster::Nvmc => "NVMC",
+        })
+    }
 }
 
 /// The refresh window the NVMC may use.
@@ -104,6 +114,7 @@ pub struct SharedBus {
     capture_ca: bool,
     ca_log: Vec<(SimTime, CaPins)>,
     prev_cke: bool,
+    recorder: Option<TraceRecorder>,
 }
 
 impl SharedBus {
@@ -119,7 +130,33 @@ impl SharedBus {
             capture_ca: false,
             ca_log: Vec::new(),
             prev_cke: true,
+            recorder: None,
         }
+    }
+
+    /// Attaches a [`TraceRecorder`]: every subsequently *accepted* command
+    /// is captured for offline verification by `nvdimmc-check`. Replaces
+    /// any recorder already attached.
+    pub fn attach_recorder(&mut self) {
+        self.recorder = Some(TraceRecorder::new());
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&TraceRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detaches and returns the recorder (with whatever it captured).
+    pub fn detach_recorder(&mut self) -> Option<TraceRecorder> {
+        self.recorder.take()
+    }
+
+    /// Takes the recorded trace, leaving the recorder attached and empty.
+    /// Returns an empty trace when no recorder is attached.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.recorder
+            .as_mut()
+            .map_or_else(Vec::new, TraceRecorder::take)
     }
 
     /// Enables pin-level CA capture (consumed by the NVDIMM-C refresh
@@ -176,9 +213,8 @@ impl SharedBus {
             Ok(end) => Ok(end),
             Err(v) => {
                 match v {
-                    BusViolation::Timing { .. }
-                    | BusViolation::CommandDuringRefresh { .. } => {
-                        self.stats.retries_rejected += 1
+                    BusViolation::Timing { .. } | BusViolation::CommandDuringRefresh { .. } => {
+                        self.stats.retries_rejected += 1;
                     }
                     _ => self.stats.violations_rejected += 1,
                 }
@@ -200,7 +236,9 @@ impl SharedBus {
                     return Err(BusViolation::CaConflict {
                         at,
                         existing: last_cmd,
+                        existing_master: last_master,
                         incoming: cmd,
+                        incoming_master: master,
                     });
                 }
                 return Err(BusViolation::Timing {
@@ -208,6 +246,7 @@ impl SharedBus {
                     command: cmd,
                     parameter: "tCK",
                     legal_at: self.ca_busy_until,
+                    master: Some(master),
                 });
             }
         }
@@ -220,6 +259,7 @@ impl SharedBus {
                         at,
                         busy_until: self.host_blocked_until,
                         command: cmd,
+                        master: Some(master),
                     });
                 }
                 // Window-exit invariant: when the host first resumes after
@@ -233,6 +273,7 @@ impl SharedBus {
                                 at,
                                 command: cmd,
                                 reason: "NVMC left a bank open past its window".to_owned(),
+                                master: Some(master),
                             });
                         }
                         self.window = None;
@@ -252,12 +293,11 @@ impl SharedBus {
                 // closes, or its beats would collide with host commands.
                 if cmd.is_data_transfer() {
                     let t = self.device.timing();
-                    let data_end = at
-                        + match cmd {
+                    let data_end =
+                        at + match cmd {
                             Command::Read { .. } => t.tcl,
                             _ => t.tcwl,
-                        }
-                        + t.burst_time();
+                        } + t.burst_time();
                     if data_end > w.closes {
                         return Err(BusViolation::NvmcOutsideWindow { at, command: cmd });
                     }
@@ -266,9 +306,15 @@ impl SharedBus {
         }
 
         // --- Silicon-level checks & effects ---
-        let end = self.device.issue(at, cmd)?;
+        let end = self
+            .device
+            .issue(at, cmd)
+            .map_err(|v| v.with_master(master))?;
 
         // --- Post-accept bookkeeping ---
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(master, at, cmd, self.device.timing());
+        }
         let tck = self.device.timing().speed.tck();
         self.ca_busy_until = at + tck;
         self.last_cmd = Some((master, cmd));
@@ -501,11 +547,7 @@ mod tests {
     fn violations_do_not_mutate_state() {
         let mut b = bus();
         let before = b.device().stats();
-        let _ = b.issue(
-            BusMaster::Nvmc,
-            SimTime::from_us(3),
-            Command::PrechargeAll,
-        );
+        let _ = b.issue(BusMaster::Nvmc, SimTime::from_us(3), Command::PrechargeAll);
         assert_eq!(b.device().stats(), before);
         assert_eq!(b.stats().violations_rejected, 1);
         assert_eq!(b.stats().retries_rejected, 0);

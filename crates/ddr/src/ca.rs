@@ -184,10 +184,7 @@ impl CaPins {
         }
         if !p.act_n {
             let bank = BankAddr::new(p.bg, p.ba);
-            return Some(Command::Activate {
-                bank,
-                row: p.addr,
-            });
+            return Some(Command::Activate { bank, row: p.addr });
         }
         match (p.ras_n, p.cas_n, p.we_n) {
             (false, false, false) => Some(Command::ModeRegisterSet {
@@ -229,7 +226,9 @@ impl CaPins {
     /// The six pin levels the NVDIMM-C FPGA monitors, in the paper's order:
     /// CKE, CS_n, ACT_n, RAS_n, CAS_n, WE_n.
     pub fn monitored_pins(&self) -> [bool; 6] {
-        [self.cke, self.cs_n, self.act_n, self.ras_n, self.cas_n, self.we_n]
+        [
+            self.cke, self.cs_n, self.act_n, self.ras_n, self.cas_n, self.we_n,
+        ]
     }
 
     /// Whether these pins show the refresh state the detector matches:
@@ -253,7 +252,10 @@ mod tests {
         let b = BankAddr::new(2, 1);
         vec![
             Command::Deselect,
-            Command::Activate { bank: b, row: 0x1_55AA },
+            Command::Activate {
+                bank: b,
+                row: 0x1_55AA,
+            },
             Command::Read {
                 bank: b,
                 col: 0x3F8,

@@ -101,8 +101,7 @@ impl AddressMapping {
 
     /// Re-encodes (bank, row, col) into the flat byte address of the burst.
     pub fn encode(&self, bank: BankAddr, row: u32, col: u16) -> u64 {
-        ((u64::from(row) * u64::from(BankAddr::COUNT) + u64::from(bank.index()))
-            * COLS_PER_ROW
+        ((u64::from(row) * u64::from(BankAddr::COUNT) + u64::from(bank.index())) * COLS_PER_ROW
             + u64::from(col))
             * BURST_BYTES
     }
@@ -192,6 +191,12 @@ pub struct DramDevice {
     earliest_after_srx: SimTime,
     /// Column-command spacing (tCCD).
     earliest_col_cmd: SimTime,
+    /// Earliest READ after the last WRITE's data burst (rank-wide tWTR).
+    earliest_read_after_write: SimTime,
+    /// Earliest WRITE after the last READ: the write's DQ burst (tCWL
+    /// after issue) must not start before the read's burst leaves the
+    /// pins (read-to-write turnaround).
+    earliest_write_after_read: SimTime,
     stats: DeviceStats,
 }
 
@@ -215,6 +220,8 @@ impl DramDevice {
             in_self_refresh: false,
             earliest_after_srx: SimTime::ZERO,
             earliest_col_cmd: SimTime::ZERO,
+            earliest_read_after_write: SimTime::ZERO,
+            earliest_write_after_read: SimTime::ZERO,
             stats: DeviceStats::default(),
         }
     }
@@ -259,6 +266,7 @@ impl DramDevice {
     fn check_not_refreshing(&self, at: SimTime, cmd: &Command) -> Result<(), BusViolation> {
         if at < self.refresh_busy_until {
             return Err(BusViolation::CommandDuringRefresh {
+                master: None,
                 at,
                 busy_until: self.refresh_busy_until,
                 command: *cmd,
@@ -266,6 +274,7 @@ impl DramDevice {
         }
         if self.in_self_refresh {
             return Err(BusViolation::BankState {
+                master: None,
                 at,
                 command: *cmd,
                 reason: "device is in self-refresh".to_owned(),
@@ -273,6 +282,7 @@ impl DramDevice {
         }
         if at < self.earliest_after_srx {
             return Err(BusViolation::Timing {
+                master: None,
                 at,
                 command: *cmd,
                 parameter: "tXS",
@@ -297,6 +307,7 @@ impl DramDevice {
                 self.check_not_refreshing(at, &cmd)?;
                 if row >= self.mapping.rows() {
                     return Err(BusViolation::BankState {
+                        master: None,
                         at,
                         command: cmd,
                         reason: format!("row {row} beyond device ({} rows)", self.mapping.rows()),
@@ -306,6 +317,7 @@ impl DramDevice {
                 let group = usize::from(bank.group);
                 if at < self.earliest_act_any {
                     return Err(BusViolation::Timing {
+                        master: None,
                         at,
                         command: cmd,
                         parameter: "tRRD_S",
@@ -314,6 +326,7 @@ impl DramDevice {
                 }
                 if at < self.earliest_act_same_group[group] {
                     return Err(BusViolation::Timing {
+                        master: None,
                         at,
                         command: cmd,
                         parameter: "tRRD_L",
@@ -330,6 +343,7 @@ impl DramDevice {
                 }
                 if self.recent_acts.len() >= 4 {
                     return Err(BusViolation::Timing {
+                        master: None,
                         at,
                         command: cmd,
                         parameter: "tFAW",
@@ -347,14 +361,28 @@ impl DramDevice {
                 self.check_not_refreshing(at, &cmd)?;
                 if at < self.earliest_col_cmd {
                     return Err(BusViolation::Timing {
+                        master: None,
                         at,
                         command: cmd,
                         parameter: "tCCD",
                         legal_at: self.earliest_col_cmd,
                     });
                 }
+                if at < self.earliest_read_after_write {
+                    return Err(BusViolation::Timing {
+                        master: None,
+                        at,
+                        command: cmd,
+                        parameter: "tWTR",
+                        legal_at: self.earliest_read_after_write,
+                    });
+                }
                 let end = self.banks[usize::from(bank.index())].read(at, &self.timing, &cmd)?;
                 self.earliest_col_cmd = at + self.timing.tccd_l;
+                // A later WRITE drives DQ tCWL after issue; keep it off the
+                // pins until this read's burst has left them.
+                self.earliest_write_after_read =
+                    self.earliest_write_after_read.max(end - self.timing.tcwl);
                 self.stats.reads += 1;
                 self.auto_precharge_if_requested(&cmd, end);
                 Ok(end)
@@ -363,14 +391,25 @@ impl DramDevice {
                 self.check_not_refreshing(at, &cmd)?;
                 if at < self.earliest_col_cmd {
                     return Err(BusViolation::Timing {
+                        master: None,
                         at,
                         command: cmd,
                         parameter: "tCCD",
                         legal_at: self.earliest_col_cmd,
                     });
                 }
+                if at < self.earliest_write_after_read {
+                    return Err(BusViolation::Timing {
+                        master: None,
+                        at,
+                        command: cmd,
+                        parameter: "tRTW",
+                        legal_at: self.earliest_write_after_read,
+                    });
+                }
                 let end = self.banks[usize::from(bank.index())].write(at, &self.timing, &cmd)?;
                 self.earliest_col_cmd = at + self.timing.tccd_l;
+                self.earliest_read_after_write = end + self.timing.twtr;
                 self.stats.writes += 1;
                 self.auto_precharge_if_requested(&cmd, end);
                 Ok(end)
@@ -387,6 +426,7 @@ impl DramDevice {
                 for b in &self.banks {
                     if !b.is_idle() && at < b.earliest_precharge() {
                         return Err(BusViolation::Timing {
+                            master: None,
                             at,
                             command: cmd,
                             parameter: "tRAS/tWR/tRTP",
@@ -405,6 +445,7 @@ impl DramDevice {
                 self.check_not_refreshing(at, &cmd)?;
                 if let Some(open) = self.banks.iter().find(|b| !b.is_idle()) {
                     return Err(BusViolation::BankState {
+                        master: None,
                         at,
                         command: cmd,
                         reason: format!(
@@ -417,6 +458,7 @@ impl DramDevice {
                 for b in &self.banks {
                     if at < b.earliest_activate() {
                         return Err(BusViolation::Timing {
+                            master: None,
                             at,
                             command: cmd,
                             parameter: "tRP",
@@ -437,6 +479,7 @@ impl DramDevice {
                 self.check_not_refreshing(at, &cmd)?;
                 if !self.all_banks_idle() {
                     return Err(BusViolation::BankState {
+                        master: None,
                         at,
                         command: cmd,
                         reason: "SRE with open banks".to_owned(),
@@ -448,6 +491,7 @@ impl DramDevice {
             Command::SelfRefreshExit => {
                 if !self.in_self_refresh {
                     return Err(BusViolation::BankState {
+                        master: None,
                         at,
                         command: cmd,
                         reason: "SRX while not in self-refresh".to_owned(),
@@ -611,16 +655,28 @@ mod tests {
         .unwrap();
         let data = [0xCDu8; 64];
         d.burst_write(dec.bank, dec.col, &data);
-        let rd_at = wr_at + d.timing().tccd_l;
-        d.issue(
-            rd_at,
-            Command::Read {
-                bank: dec.bank,
-                col: dec.col,
-                auto_precharge: false,
-            },
-        )
-        .unwrap();
+        // A read one tCCD after the write violates the write-to-read
+        // turnaround; it becomes legal once tWTR elapses after the burst.
+        let t = *d.timing();
+        let early = wr_at + t.tccd_l;
+        let rd_cmd = Command::Read {
+            bank: dec.bank,
+            col: dec.col,
+            auto_precharge: false,
+        };
+        let err = d.issue(early, rd_cmd);
+        assert!(
+            matches!(
+                err,
+                Err(BusViolation::Timing {
+                    parameter: "tWTR",
+                    ..
+                })
+            ),
+            "{err:?}"
+        );
+        let rd_at = wr_at + t.tcwl + t.burst_time() + t.twtr;
+        d.issue(rd_at, rd_cmd).unwrap();
         assert_eq!(d.burst_read(dec.bank, dec.col), data);
     }
 
@@ -706,7 +762,8 @@ mod tests {
     #[test]
     fn self_refresh_entry_and_exit() {
         let mut d = dev();
-        d.issue(SimTime::from_ns(10), Command::SelfRefreshEnter).unwrap();
+        d.issue(SimTime::from_ns(10), Command::SelfRefreshEnter)
+            .unwrap();
         let err = d.issue(SimTime::from_ns(20), Command::Refresh);
         assert!(matches!(err, Err(BusViolation::BankState { .. })));
         let t_exit = SimTime::from_us(5);
@@ -719,7 +776,13 @@ mod tests {
                 row: 0,
             },
         );
-        assert!(matches!(err, Err(BusViolation::Timing { parameter: "tXS", .. })));
+        assert!(matches!(
+            err,
+            Err(BusViolation::Timing {
+                parameter: "tXS",
+                ..
+            })
+        ));
     }
 
     #[test]

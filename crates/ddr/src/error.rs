@@ -1,5 +1,6 @@
 //! Error types for the DDR4 substrate.
 
+use crate::bus::BusMaster;
 use crate::command::Command;
 use nvdimmc_sim::SimTime;
 use std::error::Error;
@@ -9,7 +10,11 @@ use std::fmt;
 /// NVDIMM-C tRFC mechanism exists to prevent (paper §III-B, Figure 2a).
 ///
 /// Any of these surfacing during a simulation corresponds to "an unexpected
-/// state or a critical memory error" on real hardware.
+/// state or a critical memory error" on real hardware. Where the offending
+/// master is known it is carried in the error (and printed), so race
+/// diagnostics identify the actor: the bank/device layers construct these
+/// with `master: None` and [`SharedBus`](crate::SharedBus) fills the
+/// issuer in via [`BusViolation::with_master`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BusViolation {
     /// Two masters drove the CA bus in the same cycle (paper case C1).
@@ -18,8 +23,12 @@ pub enum BusViolation {
         at: SimTime,
         /// The command that was already on the bus.
         existing: Command,
+        /// Who was already driving the bus.
+        existing_master: BusMaster,
         /// The late-coming command.
         incoming: Command,
+        /// Who collided with it.
+        incoming_master: BusMaster,
     },
     /// A command was issued to the DRAM while it was refreshing, outside
     /// the issuer's permitted window.
@@ -30,6 +39,8 @@ pub enum BusViolation {
         busy_until: SimTime,
         /// The offending command.
         command: Command,
+        /// The issuing master, where known.
+        master: Option<BusMaster>,
     },
     /// The NVMC issued a command outside an extra-tRFC window (it may only
     /// drive the bus inside one).
@@ -48,6 +59,8 @@ pub enum BusViolation {
         command: Command,
         /// Human-readable description of the state conflict.
         reason: String,
+        /// The issuing master, where known.
+        master: Option<BusMaster>,
     },
     /// A JEDEC timing parameter was violated.
     Timing {
@@ -59,7 +72,47 @@ pub enum BusViolation {
         parameter: &'static str,
         /// The earliest legal issue time.
         legal_at: SimTime,
+        /// The issuing master, where known.
+        master: Option<BusMaster>,
     },
+}
+
+impl BusViolation {
+    /// Fills in the issuing master on variants that track one but were
+    /// constructed below the bus (bank/device layers), which cannot know
+    /// who is driving. Already-attributed errors are left unchanged.
+    #[must_use]
+    pub fn with_master(mut self, m: BusMaster) -> Self {
+        match &mut self {
+            BusViolation::CommandDuringRefresh { master, .. }
+            | BusViolation::BankState { master, .. }
+            | BusViolation::Timing { master, .. } => {
+                if master.is_none() {
+                    *master = Some(m);
+                }
+            }
+            BusViolation::CaConflict { .. } | BusViolation::NvmcOutsideWindow { .. } => {}
+        }
+        self
+    }
+
+    /// The issuing master, where the violation knows it.
+    pub fn master(&self) -> Option<BusMaster> {
+        match self {
+            BusViolation::CaConflict {
+                incoming_master, ..
+            } => Some(*incoming_master),
+            BusViolation::NvmcOutsideWindow { .. } => Some(BusMaster::Nvmc),
+            BusViolation::CommandDuringRefresh { master, .. }
+            | BusViolation::BankState { master, .. }
+            | BusViolation::Timing { master, .. } => *master,
+        }
+    }
+}
+
+/// Formats an optional master as a `[...] ` prefix.
+fn actor(master: &Option<BusMaster>) -> String {
+    master.map_or_else(String::new, |m| format!("[{m}] "))
 }
 
 impl fmt::Display for BusViolation {
@@ -68,35 +121,47 @@ impl fmt::Display for BusViolation {
             BusViolation::CaConflict {
                 at,
                 existing,
+                existing_master,
                 incoming,
+                incoming_master,
             } => write!(
                 f,
-                "CA bus conflict at {at}: {incoming:?} collided with {existing:?}"
+                "CA bus conflict at {at}: [{incoming_master}] {incoming:?} collided with \
+                 [{existing_master}] {existing:?}"
             ),
             BusViolation::CommandDuringRefresh {
                 at,
                 busy_until,
                 command,
+                master,
             } => write!(
                 f,
-                "{command:?} issued at {at} while DRAM refresh-busy until {busy_until}"
+                "{}{command:?} issued at {at} while DRAM refresh-busy until {busy_until}",
+                actor(master)
             ),
             BusViolation::NvmcOutsideWindow { at, command } => {
-                write!(f, "NVMC issued {command:?} at {at} outside an extra-tRFC window")
+                write!(
+                    f,
+                    "[{}] {command:?} at {at} outside an extra-tRFC window",
+                    BusMaster::Nvmc
+                )
             }
             BusViolation::BankState {
                 at,
                 command,
                 reason,
-            } => write!(f, "illegal {command:?} at {at}: {reason}"),
+                master,
+            } => write!(f, "{}illegal {command:?} at {at}: {reason}", actor(master)),
             BusViolation::Timing {
                 at,
                 command,
                 parameter,
                 legal_at,
+                master,
             } => write!(
                 f,
-                "{parameter} violation: {command:?} at {at}, legal at {legal_at}"
+                "{}{parameter} violation: {command:?} at {at}, legal at {legal_at}",
+                actor(master)
             ),
         }
     }
@@ -137,3 +202,52 @@ impl fmt::Display for DdrError {
 }
 
 impl Error for DdrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::BankAddr;
+
+    #[test]
+    fn display_names_the_offending_master() {
+        let v = BusViolation::Timing {
+            at: SimTime::from_ns(10),
+            command: Command::Refresh,
+            parameter: "tRP",
+            legal_at: SimTime::from_ns(20),
+            master: None,
+        };
+        assert!(!v.to_string().contains('['), "no actor known yet");
+        let v = v.with_master(BusMaster::HostImc);
+        assert!(v.to_string().starts_with("[host iMC] "), "{v}");
+        assert_eq!(v.master(), Some(BusMaster::HostImc));
+    }
+
+    #[test]
+    fn with_master_does_not_overwrite() {
+        let v = BusViolation::BankState {
+            at: SimTime::ZERO,
+            command: Command::PrechargeAll,
+            reason: "x".to_owned(),
+            master: Some(BusMaster::Nvmc),
+        }
+        .with_master(BusMaster::HostImc);
+        assert_eq!(v.master(), Some(BusMaster::Nvmc));
+    }
+
+    #[test]
+    fn ca_conflict_names_both_masters() {
+        let v = BusViolation::CaConflict {
+            at: SimTime::ZERO,
+            existing: Command::Refresh,
+            existing_master: BusMaster::HostImc,
+            incoming: Command::Precharge {
+                bank: BankAddr::new(0, 0),
+            },
+            incoming_master: BusMaster::Nvmc,
+        };
+        let s = v.to_string();
+        assert!(s.contains("[NVMC]") && s.contains("[host iMC]"), "{s}");
+        assert_eq!(v.master(), Some(BusMaster::Nvmc));
+    }
+}

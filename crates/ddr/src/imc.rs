@@ -149,6 +149,7 @@ impl Imc {
             }
         }
         Err(BusViolation::Timing {
+            master: Some(BusMaster::HostImc),
             at,
             command: cmd,
             parameter: "retry-budget",
@@ -222,16 +223,12 @@ impl Imc {
         self.column_access(bus, col_at, &dec, kind)
     }
 
-    fn decode(
-        &self,
-        bus: &SharedBus,
-        at: SimTime,
-        addr: u64,
-    ) -> Result<DecodedAddr, BusViolation> {
+    fn decode(&self, bus: &SharedBus, at: SimTime, addr: u64) -> Result<DecodedAddr, BusViolation> {
         bus.device()
             .mapping()
             .decode(addr)
             .map_err(|e| BusViolation::BankState {
+                master: Some(BusMaster::HostImc),
                 at,
                 command: Command::Deselect,
                 reason: e.to_string(),
@@ -530,7 +527,11 @@ mod tests {
         let s = imc.stats();
         let covered = s.refreshes + s.refreshes_elided;
         assert!((10..=12).contains(&covered), "covered = {covered}");
-        assert!(s.refreshes <= 10 && s.refreshes >= 8, "live = {}", s.refreshes);
+        assert!(
+            s.refreshes <= 10 && s.refreshes >= 8,
+            "live = {}",
+            s.refreshes
+        );
         assert_eq!(bus.stats().refreshes, s.refreshes);
     }
 
@@ -542,8 +543,8 @@ mod tests {
         let end = imc.read_bytes(&mut bus, t0, 0, &mut buf).unwrap();
         let elapsed = end.since(t0);
         let bw = 65536.0 / elapsed.as_secs_f64() / 1e9; // GB/s
-        // DDR4-1600 peak is 12.8 GB/s; pipelined reads should exceed 5 GB/s
-        // (tCCD_L-limited ~10 GB/s minus ACT/refresh overhead).
+                                                        // DDR4-1600 peak is 12.8 GB/s; pipelined reads should exceed 5 GB/s
+                                                        // (tCCD_L-limited ~10 GB/s minus ACT/refresh overhead).
         assert!(bw > 5.0, "streaming bandwidth {bw:.2} GB/s too low");
     }
 

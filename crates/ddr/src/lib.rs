@@ -46,6 +46,7 @@ pub mod device;
 pub mod error;
 pub mod imc;
 pub mod timing;
+pub mod trace;
 
 pub use bank::{Bank, BankState};
 pub use bus::{BusMaster, BusStats, SharedBus};
@@ -55,3 +56,4 @@ pub use device::{AddressMapping, DecodedAddr, DramDevice};
 pub use error::{BusViolation, DdrError};
 pub use imc::{AccessKind, Imc, ImcConfig};
 pub use timing::{SpeedBin, TimingParams};
+pub use trace::{TraceEntry, TraceRecorder};

@@ -1,0 +1,146 @@
+//! Bus-command trace capture for offline verification.
+//!
+//! A [`TraceRecorder`] can be attached to a [`SharedBus`](crate::SharedBus)
+//! to observe every *accepted* command: who issued it, when, what it
+//! targets, and — for data transfers — the interval during which the DQ
+//! (data) pins are occupied. The `nvdimmc-check` crate replays these
+//! traces through an independent rule suite (JEDEC timing linter,
+//! multi-master race detector, refresh-window invariants), so a bug in the
+//! inline bus/device checks cannot silently vouch for itself.
+
+use crate::bus::BusMaster;
+use crate::command::Command;
+use crate::timing::TimingParams;
+use nvdimmc_sim::SimTime;
+
+/// One accepted bus command, as seen at the module connector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Issue instant (start of the CA slot).
+    pub at: SimTime,
+    /// End of the CA slot (`at` + one tCK).
+    pub ca_end: SimTime,
+    /// Which master drove the command.
+    pub master: BusMaster,
+    /// The command itself (carries its bank/row/column target).
+    pub cmd: Command,
+    /// DQ-pin occupancy `[start, end)` for data transfers, `None`
+    /// otherwise. Reads occupy after tCL, writes after tCWL, both for one
+    /// BL8 burst.
+    pub data: Option<(SimTime, SimTime)>,
+}
+
+impl TraceEntry {
+    /// Builds an entry, deriving the CA slot and DQ occupancy from the
+    /// timing parameters the device is running with.
+    pub fn observe(master: BusMaster, at: SimTime, cmd: Command, t: &TimingParams) -> Self {
+        let data = if cmd.is_data_transfer() {
+            let start = at
+                + match cmd {
+                    Command::Read { .. } => t.tcl,
+                    _ => t.tcwl,
+                };
+            Some((start, start + t.burst_time()))
+        } else {
+            None
+        };
+        TraceEntry {
+            at,
+            ca_end: at + t.speed.tck(),
+            master,
+            cmd,
+            data,
+        }
+    }
+}
+
+/// Accumulates [`TraceEntry`]s; attach via
+/// [`SharedBus::attach_recorder`](crate::SharedBus::attach_recorder).
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Records one accepted command.
+    pub fn record(&mut self, master: BusMaster, at: SimTime, cmd: Command, t: &TimingParams) {
+        self.entries.push(TraceEntry::observe(master, at, cmd, t));
+    }
+
+    /// The trace so far, in issue order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded commands.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Takes the accumulated trace, leaving the recorder attached and
+    /// empty.
+    pub fn take(&mut self) -> Vec<TraceEntry> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::BankAddr;
+    use crate::timing::SpeedBin;
+
+    #[test]
+    fn read_occupies_dq_after_tcl() {
+        let t = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        let at = SimTime::from_ns(100);
+        let e = TraceEntry::observe(
+            BusMaster::HostImc,
+            at,
+            Command::Read {
+                bank: BankAddr::new(0, 0),
+                col: 0,
+                auto_precharge: false,
+            },
+            &t,
+        );
+        let (start, end) = e.data.expect("read moves data");
+        assert_eq!(start, at + t.tcl);
+        assert_eq!(end, at + t.tcl + t.burst_time());
+        assert_eq!(e.ca_end, at + t.speed.tck());
+    }
+
+    #[test]
+    fn non_data_commands_leave_dq_idle() {
+        let t = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        let e = TraceEntry::observe(
+            BusMaster::Nvmc,
+            SimTime::from_ns(5),
+            Command::PrechargeAll,
+            &t,
+        );
+        assert_eq!(e.data, None);
+    }
+
+    #[test]
+    fn recorder_take_empties_but_stays_usable() {
+        let t = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        let mut r = TraceRecorder::new();
+        r.record(BusMaster::HostImc, SimTime::ZERO, Command::Refresh, &t);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.take().len(), 1);
+        assert!(r.is_empty());
+        r.record(BusMaster::HostImc, SimTime::ZERO, Command::Deselect, &t);
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -8,6 +8,7 @@
 //! modes — stale reads and stale write-back clobbering fresh data — are
 //! directly observable in tests.
 
+use crate::journal::PersistEvent;
 use crate::memory::Memory;
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +70,7 @@ pub struct CpuCache {
     ways: usize,
     tick: u64,
     stats: CacheStats,
+    journal: Option<Vec<PersistEvent>>,
 }
 
 impl CpuCache {
@@ -91,12 +93,34 @@ impl CpuCache {
             ways,
             tick: 0,
             stats: CacheStats::default(),
+            journal: None,
         }
     }
 
     /// Counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Enables (or disables) the persistence journal consumed by
+    /// `nvdimmc-check`'s ordering checker. Enabling clears any previous
+    /// journal.
+    pub fn set_journal(&mut self, on: bool) {
+        self.journal = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Appends a marker event (durability claims, power-fail points) from
+    /// a higher layer. No-op when the journal is disabled.
+    pub fn journal_push(&mut self, event: PersistEvent) {
+        if let Some(j) = self.journal.as_mut() {
+            j.push(event);
+        }
+    }
+
+    /// Takes the journal contents, leaving journaling enabled and empty.
+    /// Returns an empty vec when journaling is disabled.
+    pub fn take_journal(&mut self) -> Vec<PersistEvent> {
+        self.journal.as_mut().map_or_else(Vec::new, std::mem::take)
     }
 
     fn set_of(&self, line_addr: u64) -> usize {
@@ -110,20 +134,36 @@ impl CpuCache {
 
     /// Loads `buf.len()` bytes from `addr` through the cache.
     pub fn load(&mut self, mem: &mut impl Memory, addr: u64, buf: &mut [u8]) {
-        self.for_each_span(addr, buf.len(), |cache, mem2, line_addr, off, pos, n, buf2: &mut [u8]| {
-            let data = cache.line_data(mem2, line_addr, false);
-            buf2[pos..pos + n].copy_from_slice(&data[off..off + n]);
-        }, mem, buf);
+        self.for_each_span(
+            addr,
+            buf.len(),
+            |cache, mem2, line_addr, off, pos, n, buf2: &mut [u8]| {
+                let data = cache.line_data(mem2, line_addr, false);
+                buf2[pos..pos + n].copy_from_slice(&data[off..off + n]);
+            },
+            mem,
+            buf,
+        );
     }
 
     /// Stores `data` to `addr` through the cache (write-allocate,
     /// write-back).
     pub fn store(&mut self, mem: &mut impl Memory, addr: u64, data: &[u8]) {
+        self.journal_push(PersistEvent::Store {
+            addr,
+            len: data.len() as u64,
+        });
         let mut scratch = data.to_vec();
-        self.for_each_span(addr, data.len(), |cache, mem2, line_addr, off, pos, n, buf2: &mut [u8]| {
-            let line = cache.line_data_mut(mem2, line_addr);
-            line[off..off + n].copy_from_slice(&buf2[pos..pos + n]);
-        }, mem, &mut scratch);
+        self.for_each_span(
+            addr,
+            data.len(),
+            |cache, mem2, line_addr, off, pos, n, buf2: &mut [u8]| {
+                let line = cache.line_data_mut(mem2, line_addr);
+                line[off..off + n].copy_from_slice(&buf2[pos..pos + n]);
+            },
+            mem,
+            &mut scratch,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -162,15 +202,11 @@ impl CpuCache {
             return self.sets[s][w].data;
         }
         self.stats.load_misses += 1;
-        
+
         self.fill(mem, line_addr)
     }
 
-    fn line_data_mut<'a>(
-        &'a mut self,
-        mem: &mut impl Memory,
-        line_addr: u64,
-    ) -> &'a mut [u8; 64] {
+    fn line_data_mut<'a>(&'a mut self, mem: &mut impl Memory, line_addr: u64) -> &'a mut [u8; 64] {
         if self.find(line_addr).is_some() {
             self.stats.store_hits += 1;
         } else {
@@ -217,6 +253,9 @@ impl CpuCache {
     /// `addr`. No-op if the line is not cached.
     pub fn clflush(&mut self, mem: &mut impl Memory, addr: u64) {
         self.stats.clflushes += 1;
+        self.journal_push(PersistEvent::Clflush {
+            addr: addr / LINE * LINE,
+        });
         let line_addr = addr / LINE;
         if let Some((s, w)) = self.find(line_addr) {
             let line = self.sets[s].swap_remove(w);
@@ -229,6 +268,9 @@ impl CpuCache {
 
     /// `clwb`: writes back (if dirty) but keeps the line resident clean.
     pub fn clwb(&mut self, mem: &mut impl Memory, addr: u64) {
+        self.journal_push(PersistEvent::Clwb {
+            addr: addr / LINE * LINE,
+        });
         let line_addr = addr / LINE;
         if let Some((s, w)) = self.find(line_addr) {
             if self.sets[s][w].dirty {
@@ -273,6 +315,7 @@ impl CpuCache {
     /// counted ordering marker.
     pub fn sfence(&mut self) {
         self.stats.sfences += 1;
+        self.journal_push(PersistEvent::Sfence);
     }
 
     /// Writes back every dirty line and leaves the cache clean (ADR-style
@@ -302,8 +345,7 @@ impl CpuCache {
     pub fn is_dirty(&mut self, addr: u64) -> bool {
         let line_addr = addr / LINE;
         self.find(line_addr)
-            .map(|(s, w)| self.sets[s][w].dirty)
-            .unwrap_or(false)
+            .is_some_and(|(s, w)| self.sets[s][w].dirty)
     }
 }
 
@@ -373,7 +415,7 @@ mod tests {
         let (mut c, mut m) = setup();
         c.store(&mut m, 8192, b"cpu-old!");
         m.write(8192, b"fpga-new"); // device fills the page
-        // Natural eviction (not invalidation) writes the stale line back:
+                                    // Natural eviction (not invalidation) writes the stale line back:
         c.clflush(&mut m, 8192);
         let mut raw = [0u8; 8];
         m.read(8192, &mut raw);

@@ -41,6 +41,7 @@
 
 pub mod cpu_cache;
 pub mod dax;
+pub mod journal;
 pub mod memmap;
 pub mod memory;
 pub mod paging;
@@ -48,6 +49,7 @@ pub mod wpq;
 
 pub use cpu_cache::{CacheStats, CpuCache};
 pub use dax::{DaxFile, DaxFs};
+pub use journal::PersistEvent;
 pub use memmap::{MemoryMap, Region, RegionKind};
 pub use memory::{Memory, SparseMemory, VecMemory};
 pub use paging::{PageFault, PageTable, Pte, Tlb};

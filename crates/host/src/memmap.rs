@@ -70,7 +70,10 @@ impl std::fmt::Display for MemmapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemmapError::Overlap { base, bytes } => {
-                write!(f, "reservation {base:#x}+{bytes:#x} overlaps an existing region")
+                write!(
+                    f,
+                    "reservation {base:#x}+{bytes:#x} overlaps an existing region"
+                )
             }
             MemmapError::Empty => write!(f, "zero-length region"),
         }

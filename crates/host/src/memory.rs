@@ -25,10 +25,10 @@ pub trait Memory {
 
 impl<M: Memory + ?Sized> Memory for &mut M {
     fn read(&mut self, addr: u64, buf: &mut [u8]) {
-        (**self).read(addr, buf)
+        (**self).read(addr, buf);
     }
     fn write(&mut self, addr: u64, data: &[u8]) {
-        (**self).write(addr, data)
+        (**self).write(addr, data);
     }
     fn capacity(&self) -> u64 {
         (**self).capacity()

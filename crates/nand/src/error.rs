@@ -68,7 +68,10 @@ impl fmt::Display for NandError {
             NandError::LogicalOutOfRange {
                 lpn,
                 capacity_pages,
-            } => write!(f, "logical page {lpn} out of range ({capacity_pages} pages)"),
+            } => write!(
+                f,
+                "logical page {lpn} out of range ({capacity_pages} pages)"
+            ),
             NandError::ProgramWithoutErase { page } => {
                 write!(f, "program to non-erased page {page:?}")
             }

@@ -413,8 +413,7 @@ impl Ftl {
                     self.state[victim as usize] = BlockState::Free;
                     self.valid[victim as usize] = 0;
                     let (ch, _, _, _) = geo.split_block(victim);
-                    self.free[ch as usize]
-                        .push(Reverse((self.media.erase_count(victim), victim)));
+                    self.free[ch as usize].push(Reverse((self.media.erase_count(victim), victim)));
                 }
                 Err(NandError::BadBlock { .. }) => {
                     self.retire(victim);
@@ -619,9 +618,8 @@ mod tests {
             t = f.write(lpn, &page(lpn as u8), t).unwrap();
         }
         let geo = *f.media().geometry();
-        let channels: std::collections::HashSet<u32> = (0..8u64)
-            .map(|lpn| f.l2p[&lpn].channel(&geo))
-            .collect();
+        let channels: std::collections::HashSet<u32> =
+            (0..8u64).map(|lpn| f.l2p[&lpn].channel(&geo)).collect();
         assert_eq!(channels.len(), 2, "both channels used");
     }
 

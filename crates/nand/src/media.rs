@@ -310,11 +310,7 @@ mod tests {
     use super::*;
 
     fn array() -> ZNandArray {
-        let mut a = ZNandArray::new(
-            NandGeometry::small_for_tests(),
-            NandTiming::znand_poc(),
-            42,
-        );
+        let mut a = ZNandArray::new(NandGeometry::small_for_tests(), NandTiming::znand_poc(), 42);
         a.set_ber_per_read(0.0);
         a
     }
@@ -399,11 +395,7 @@ mod tests {
 
     #[test]
     fn wear_increases_bitflip_rate() {
-        let mut a = ZNandArray::new(
-            NandGeometry::small_for_tests(),
-            NandTiming::znand_poc(),
-            7,
-        );
+        let mut a = ZNandArray::new(NandGeometry::small_for_tests(), NandTiming::znand_poc(), 7);
         a.set_ber_per_read(0.005);
         let mut t = SimTime::ZERO;
         let p = PhysPage { block: 0, page: 0 };

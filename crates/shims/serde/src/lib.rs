@@ -1,0 +1,34 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real `serde` cannot be vendored. The simulator only ever uses serde
+//! as *annotation* — `#[derive(Serialize, Deserialize)]` on config and
+//! report types — and hand-rolls its JSON output (see
+//! `nvdimmc-bench::report`). This shim therefore provides:
+//!
+//! - marker traits [`Serialize`] and [`Deserialize`] with blanket impls,
+//!   so bounds like `T: Serialize` stay satisfiable;
+//! - inert derive macros (via the sibling `serde_derive` shim) that expand
+//!   to nothing.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! manifest; no source file needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all
+/// types; carries no methods.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types; carries no methods and no lifetime parameter (nothing in this
+/// workspace deserializes).
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Inert derive macros for the offline `serde` shim.
+//!
+//! Both derives accept the usual `#[serde(...)]` helper attributes and
+//! expand to nothing: the shim's traits are blanket-implemented, so no
+//! generated impl is needed.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -105,11 +105,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            time,
-            seq,
-            payload,
-        });
+        self.heap.push(Entry { time, seq, payload });
         EventHandle(seq)
     }
 

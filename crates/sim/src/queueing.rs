@@ -93,9 +93,13 @@ impl ClosedLoopModel {
     /// Panics if `n` is zero.
     pub fn throughput_ops_per_s(&self, n: u32) -> f64 {
         assert!(n > 0, "thread count must be positive");
-        let n_f = n as f64;
+        let n_f = f64::from(n);
         let denom = self.parallel.as_secs_f64() + n_f * self.serial.as_secs_f64();
-        let x = if denom == 0.0 { f64::INFINITY } else { n_f / denom };
+        let x = if denom == 0.0 {
+            f64::INFINITY
+        } else {
+            n_f / denom
+        };
         match self.cap_ops_per_s {
             Some(cap) => x.min(cap),
             None => x,
@@ -118,7 +122,7 @@ impl ClosedLoopModel {
     /// Mean per-operation response time at `n` threads (Little's law).
     pub fn response_time(&self, n: u32) -> SimDuration {
         let x = self.throughput_ops_per_s(n);
-        SimDuration::from_secs_f64(n as f64 / x)
+        SimDuration::from_secs_f64(f64::from(n) / x)
     }
 
     /// The smallest thread count at which throughput reaches `frac`
@@ -193,7 +197,8 @@ mod tests {
 
     #[test]
     fn cap_limits_throughput() {
-        let m = ClosedLoopModel::new(SimDuration::from_us(0.1), SimDuration::from_ns(1)).with_cap(1e6);
+        let m =
+            ClosedLoopModel::new(SimDuration::from_us(0.1), SimDuration::from_ns(1)).with_cap(1e6);
         assert_eq!(m.throughput_ops_per_s(64), 1e6);
     }
 

@@ -1,14 +1,25 @@
 //! Deterministic randomness helpers.
 //!
 //! All stochastic behaviour in the reproduction (workload addresses, bit
-//! error injection, think times) flows through [`DeterministicRng`], a thin
-//! seeded wrapper over [`rand::rngs::StdRng`], so that every experiment is
-//! exactly reproducible from its seed.
+//! error injection, think times) flows through [`DeterministicRng`], a
+//! self-contained seeded xoshiro256** generator, so that every experiment
+//! is exactly reproducible from its seed and the simulator carries no
+//! external RNG dependency.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// splitmix64 step — used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded random number generator with convenience samplers.
+///
+/// The core is xoshiro256** (Blackman & Vigna), seeded through splitmix64
+/// as its authors recommend; it is small, fast, and has no external
+/// dependencies, which keeps the whole workspace buildable offline.
 ///
 /// # Example
 ///
@@ -21,32 +32,45 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         DeterministicRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
     /// Derives an independent child generator; used to give each simulated
     /// thread its own stream without cross-coupling.
     pub fn fork(&mut self, salt: u64) -> DeterministicRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.gen_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DeterministicRng::new(s)
     }
 
     /// Uniform sample from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = range.end - range.start;
+        range.start + self.bounded(span)
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> uniform double in [0, 1).
+        (self.gen_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p`.
@@ -56,24 +80,51 @@ impl DeterministicRng {
     /// Panics if `p` is not within `0.0..=1.0`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability must be in 0..=1");
-        self.inner.gen_bool(p)
+        self.gen_f64() < p
     }
 
-    /// Uniform 64-bit value.
+    /// Uniform 64-bit value (one xoshiro256** step).
     pub fn gen_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Fills a byte slice with random data (for workload payloads).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let word = self.gen_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.bounded(i as u64 + 1) as usize;
             slice.swap(i, j);
+        }
+    }
+
+    /// Uniform value in `0..bound` via rejection sampling (no modulo bias).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.gen_u64() & (bound - 1);
+        }
+        // Reject the (tiny) biased tail of the 64-bit space.
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.gen_u64();
+            if v <= zone {
+                return v % bound;
+            }
         }
     }
 }
@@ -199,6 +250,24 @@ mod tests {
     }
 
     #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = DeterministicRng::new(11);
+        for _ in 0..1000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = DeterministicRng::new(12);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // All-zero after filling 13 bytes is astronomically unlikely.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
     fn shuffle_is_permutation() {
         let mut rng = DeterministicRng::new(4);
         let mut v: Vec<u32> = (0..100).collect();
@@ -222,9 +291,9 @@ mod tests {
         // With theta=0.99 the hottest 1% of items should draw far more than
         // 1% of samples.
         assert!(
-            low as f64 / N as f64 > 0.3,
+            f64::from(low) / N as f64 > 0.3,
             "hot fraction = {}",
-            low as f64 / N as f64
+            f64::from(low) / N as f64
         );
     }
 

@@ -127,7 +127,7 @@ impl Histogram {
         let ps = d.as_ps();
         self.buckets[Self::index_for(ps)] += 1;
         self.count += 1;
-        self.sum_ps += ps as u128;
+        self.sum_ps += u128::from(ps);
         self.min_ps = self.min_ps.min(ps);
         self.max_ps = self.max_ps.max(ps);
     }
@@ -142,7 +142,7 @@ impl Histogram {
         if self.count == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_ps((self.sum_ps / self.count as u128) as u64)
+        SimDuration::from_ps((self.sum_ps / u128::from(self.count)) as u64)
     }
 
     /// Smallest recorded sample; zero if empty.

@@ -116,10 +116,7 @@ impl CopyReport {
 
     /// Peak bin throughput in MB/s.
     pub fn peak_mb_per_s(&self) -> f64 {
-        self.series
-            .bins_mb_per_s()
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.series.bins_mb_per_s().into_iter().fold(0.0, f64::max)
     }
 
     /// Throughput of the final bin (the sustained, cache-full regime).

@@ -215,7 +215,9 @@ mod tests {
     fn baseline_4k_write_matches_paper() {
         // Paper Fig. 8: baseline 576 KIOPS / 2360 MB/s.
         let mut dev = pmem();
-        let report = FioJob::rand_write_4k(32 << 20, 2_000).run(&mut dev).unwrap();
+        let report = FioJob::rand_write_4k(32 << 20, 2_000)
+            .run(&mut dev)
+            .unwrap();
         let kiops = report.kiops();
         assert!(
             (500.0..660.0).contains(&kiops),
@@ -243,9 +245,7 @@ mod tests {
     fn mixed_mode_issues_both_kinds() {
         let mut dev = pmem();
         let job = FioJob {
-            mode: RwMode::RandRw {
-                read_fraction: 0.5,
-            },
+            mode: RwMode::RandRw { read_fraction: 0.5 },
             ..FioJob::rand_read_4k(8 << 20, 400)
         };
         let report = job.run(&mut dev).unwrap();
@@ -288,7 +288,10 @@ mod tests {
         let x8 = report.project_threads(serial, 8);
         let x16 = report.project_threads(serial, 16);
         assert!(x8 > x1 * 2.5, "x8 = {x8:.0}");
-        assert!(x16 < x8 * 1.35, "saturating: x16 = {x16:.0} vs x8 = {x8:.0}");
+        assert!(
+            x16 < x8 * 1.35,
+            "saturating: x16 = {x16:.0} vs x8 = {x8:.0}"
+        );
         assert!((1500.0..2400.0).contains(&x16), "peak = {x16:.0} KIOPS");
     }
 

@@ -95,7 +95,10 @@ impl MixedLoad {
     ///
     /// Propagates device errors.
     pub fn run(&self, dev: &mut impl BlockDevice) -> Result<MixedLoadReport, CoreError> {
-        assert!(self.users > 0 && self.records_per_user > 0, "empty workload");
+        assert!(
+            self.users > 0 && self.records_per_user > 0,
+            "empty workload"
+        );
         let mut rng = DeterministicRng::new(self.seed);
         let t0 = dev.now();
         // Initialise all records.
@@ -109,9 +112,7 @@ impl MixedLoad {
         let mut committed = 0u64;
         // Expected state oracle.
         let mut expect: Vec<(u64, u64)> = (0..self.users)
-            .flat_map(|u| {
-                (0..self.records_per_user).map(move |_| (u64::from(u) * 1000, 0u64))
-            })
+            .flat_map(|u| (0..self.records_per_user).map(move |_| (u64::from(u) * 1000, 0u64)))
             .collect();
         // Interleave users round-robin: each "tick" runs one transaction
         // of one user, modelling concurrent clients on one timeline.

@@ -48,11 +48,7 @@ impl StreamValidator {
         self.elements * 8
     }
 
-    fn read_array(
-        &self,
-        dev: &mut impl BlockDevice,
-        base: u64,
-    ) -> Result<Vec<f64>, CoreError> {
+    fn read_array(&self, dev: &mut impl BlockDevice, base: u64) -> Result<Vec<f64>, CoreError> {
         let mut raw = vec![0u8; self.array_bytes() as usize];
         dev.read_at(base, &mut raw)?;
         Ok(raw
@@ -126,11 +122,7 @@ impl StreamValidator {
             // Triad: A = B + s * C
             let b = self.read_array(dev, base_b)?;
             let c = self.read_array(dev, base_c)?;
-            let triad: Vec<f64> = b
-                .iter()
-                .zip(&c)
-                .map(|(x, y)| x + self.scalar * y)
-                .collect();
+            let triad: Vec<f64> = b.iter().zip(&c).map(|(x, y)| x + self.scalar * y).collect();
             self.write_array(dev, base_a, &triad)?;
             for ((dst, x), y) in oa.iter_mut().zip(&ob).zip(&oc) {
                 *dst = x + self.scalar * y;

@@ -188,9 +188,9 @@ impl TpchRunner {
             pos = (pos + n as u64) % footprint;
         }
         // Random accesses over the cold region.
-        let rand_ops =
-            ((footprint as f64 / 1e6) * profile.rand_ops_per_mb * profile.scan_passes.max(1.0))
-                as u64;
+        let rand_ops = ((footprint as f64 / 1e6)
+            * profile.rand_ops_per_mb
+            * profile.scan_passes.max(1.0)) as u64;
         let population = (cold / profile.rand_bytes.max(1)).max(1);
         let zipf = (profile.zipf_theta > 0.0).then(|| Zipf::new(population, profile.zipf_theta));
         for _ in 0..rand_ops {

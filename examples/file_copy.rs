@@ -13,6 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = NvdimmCConfig::figure_scale();
     cfg.cache_slots = (32 << 20) / PAGE_BYTES; // 32 MB cache
     let cache_bytes = cfg.cache_slots * PAGE_BYTES;
+    nvdimmc::check::assert_config_clean(&cfg);
     let mut sys = System::new(cfg)?;
 
     let job = FileCopy {
@@ -29,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = job.run(&mut sys)?;
 
-    println!("\nthroughput over time (each bin {:?}):", report.series.bin_width());
+    println!(
+        "\nthroughput over time (each bin {:?}):",
+        report.series.bin_width()
+    );
     let bins = report.series.bins_mb_per_s();
     let max = bins.iter().cloned().fold(1.0_f64, f64::max);
     let step = (bins.len() / 24).max(1);

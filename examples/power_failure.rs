@@ -13,13 +13,24 @@
 use nvdimmc::core::{BlockDevice, NvdimmCConfig, System};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut sys = System::new(NvdimmCConfig::small_for_tests())?;
+    let cfg = NvdimmCConfig::small_for_tests();
+    nvdimmc::check::assert_config_clean(&cfg);
+    let mut sys = System::new(cfg)?;
+    // Record the CPU-cache persistence journal so nvdimmc-check can audit
+    // the flush/fence ordering behind the durability claim below.
+    sys.set_persist_journal(true);
 
     // A "database commit record" the application persists properly...
     sys.write_at(0, b"committed transaction #42")?;
     sys.persist(0, 25)?;
     // ...and a record it never flushed.
     sys.write_at(8192, b"unflushed scribble")?;
+
+    // Audit the journal: the committed record must be flush+fence ordered;
+    // the unclaimed scribble is intentionally lost and must not be flagged.
+    let persist_diags = nvdimmc::check::check_persistence(&sys.take_persist_journal());
+    assert!(persist_diags.is_empty(), "{persist_diags:?}");
+    println!("persistence-ordering check: clean (libpmem contract held)");
 
     println!("power fails (no ADR: the weak persistence domain of Sec. V-C)...");
     let report = sys.power_fail(false)?;

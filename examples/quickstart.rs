@@ -5,12 +5,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use nvdimmc::check::assert_config_clean;
 use nvdimmc::core::{BlockDevice, NvdimmCConfig, System, PAGE_BYTES};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A scaled-down module: 12 MB of DRAM-cache slots over 32 MB Z-NAND.
     // `NvdimmCConfig::poc()` is the paper's full 16 GB / 128 GB device.
-    let mut sys = System::new(NvdimmCConfig::small_for_tests())?;
+    let cfg = NvdimmCConfig::small_for_tests();
+    assert_config_clean(&cfg);
+    let mut sys = System::new(cfg)?;
     println!(
         "device: {} MB exported, {} cache slots, tRFC {} ns / tREFI {:.1} us",
         sys.capacity_bytes() >> 20,
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = sys.detector_stats();
     println!("\nwhat happened underneath:");
     println!("  faults: {}, zero-fills: {}", s.faults, s.zero_fills);
-    println!("  cachefills: {}, writebacks: {}", s.cachefills, s.writebacks);
+    println!(
+        "  cachefills: {}, writebacks: {}",
+        s.cachefills, s.writebacks
+    );
     println!(
         "  refreshes detected: {}, FPGA windows used: {}",
         d.detections, f.windows_used

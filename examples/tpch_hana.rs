@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for q in selected {
         let mut cfg = NvdimmCConfig::figure_scale();
         cfg.cache_slots = cache / PAGE_BYTES;
+        nvdimmc::check::assert_config_clean(&cfg);
         let mut sys = System::new(cfg)?;
         let nv = runner.run_query(&mut sys, q)?;
         let mut pm = EmulatedPmem::new(

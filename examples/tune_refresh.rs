@@ -16,6 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for trefi_us in [7.8, 3.9, 1.95] {
         // Host side: cached 4 KB random reads (Figure 13).
         let cfg = NvdimmCConfig::figure_scale().with_trefi(SimDuration::from_us(trefi_us));
+        nvdimmc::check::assert_config_clean(&cfg);
         let span = cfg.cache_slots * PAGE_BYTES / 2;
         let mut sys = System::new(cfg)?;
         for p in 0..span / PAGE_BYTES {
@@ -30,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = NvdimmCConfig::figure_scale()
             .with_trefi(SimDuration::from_us(trefi_us))
             .with_hypothetical(SimDuration::from_us(trefi_us));
+        nvdimmc::check::assert_config_clean(&cfg);
         let span = NvdimmCConfig::figure_scale().cache_slots * PAGE_BYTES * 2;
         let mut sys = System::new(cfg)?;
         let uncached = FioJob::rand_read_4k(span, 1_500).run(&mut sys)?;

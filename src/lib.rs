@@ -9,6 +9,7 @@
 //! - [`host`] — host-side substrate (CPU cache, page tables, WPQ, DAX)
 //! - [`core`] — the NVDIMM-C device, driver and baseline
 //! - [`workloads`] — FIO-like, file-copy, TPC-H and mixed-load generators
+//! - [`check`] — trace-based protocol verifier, race detector and lint pass
 //!
 //! # Example
 //!
@@ -26,6 +27,10 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nvdimmc_check as check;
 pub use nvdimmc_core as core;
 pub use nvdimmc_ddr as ddr;
 pub use nvdimmc_host as host;

@@ -13,6 +13,16 @@ fn page(fill: u8) -> Vec<u8> {
     vec![fill; PAGE_BYTES as usize]
 }
 
+/// Drains the recorded bus trace and runs every nvdimmc-check pass over it.
+/// The integration tests double as the verifier's regression fixture: any
+/// trace the simulator produces must come back with zero diagnostics.
+fn assert_trace_clean(sys: &mut System) {
+    let trace = sys.take_trace();
+    assert!(!trace.is_empty(), "recorder captured no bus traffic");
+    let report = nvdimmc::check::check_trace(&trace, &sys.config().timing);
+    assert!(report.is_clean(), "{report}");
+}
+
 #[test]
 fn data_integrity_through_full_stack_under_churn() {
     // Random reads/writes with a reference model, sized to keep the
@@ -20,6 +30,7 @@ fn data_integrity_through_full_stack_under_churn() {
     let mut cfg = NvdimmCConfig::small_for_tests();
     cfg.cache_slots = 24;
     let mut sys = System::new(cfg).unwrap();
+    sys.set_trace_capture(true);
     let pages = 96u64;
     let mut oracle: Vec<Vec<u8>> = (0..pages).map(|_| page(0)).collect();
     let mut rng = DeterministicRng::new(2026);
@@ -44,6 +55,7 @@ fn data_integrity_through_full_stack_under_churn() {
         sys.read_at(p * PAGE_BYTES, &mut buf).unwrap();
         assert_eq!(buf, oracle[p as usize], "final sweep page {p}");
     }
+    assert_trace_clean(&mut sys);
 }
 
 #[test]
@@ -66,6 +78,8 @@ fn sub_page_byte_addressability_with_eviction() {
 #[test]
 fn power_failure_recovery_preserves_persisted_state() {
     let mut sys = System::new(NvdimmCConfig::small_for_tests()).unwrap();
+    sys.set_trace_capture(true);
+    sys.set_persist_journal(true);
     let mut rng = DeterministicRng::new(7);
     let mut committed = Vec::new();
     for i in 0..16u64 {
@@ -75,6 +89,16 @@ fn power_failure_recovery_preserves_persisted_state() {
         sys.persist(i * PAGE_BYTES, PAGE_BYTES).unwrap();
         committed.push(data);
     }
+    assert_trace_clean(&mut sys);
+    let journal = sys.take_persist_journal();
+    assert!(
+        journal
+            .iter()
+            .any(|e| matches!(e, nvdimmc::host::PersistEvent::Claim { .. })),
+        "persist() recorded no durability claims"
+    );
+    let persist_diags = nvdimmc::check::check_persistence(&journal);
+    assert!(persist_diags.is_empty(), "{persist_diags:?}");
     let report = sys.power_fail(false).unwrap();
     assert!(report.slots_flushed >= 16);
     let mut sys = sys.into_recovered().unwrap();
@@ -127,6 +151,7 @@ fn mixed_load_full_stack() {
     // Records span ~8 pages; 4 slots force continuous CP traffic.
     cfg.cache_slots = 4;
     let mut sys = System::new(cfg).unwrap();
+    sys.set_trace_capture(true);
     let report = MixedLoad {
         users: 120,
         records_per_user: 4,
@@ -137,6 +162,7 @@ fn mixed_load_full_stack() {
     .unwrap();
     assert_eq!(report.validation_errors, 0);
     assert!(sys.stats().cachefills > 0, "IMDB churn reached the CP path");
+    assert_trace_clean(&mut sys);
 }
 
 #[test]
@@ -203,6 +229,7 @@ fn errors_are_reported_not_panicked() {
 #[test]
 fn think_time_advances_clock_without_breaking_refresh() {
     let mut sys = System::new(NvdimmCConfig::small_for_tests()).unwrap();
+    sys.set_trace_capture(true);
     sys.write_at(0, &page(1)).unwrap();
     // Jump the clock far (hours of think time), then resume I/O.
     sys.advance(SimDuration::from_secs_f64(1.0));
@@ -210,4 +237,5 @@ fn think_time_advances_clock_without_breaking_refresh() {
     sys.read_at(0, &mut buf).unwrap();
     assert_eq!(buf, page(1));
     assert_eq!(sys.bus_stats().violations_rejected, 0);
+    assert_trace_clean(&mut sys);
 }

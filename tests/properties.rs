@@ -63,10 +63,16 @@ mod ca_props {
             Just(Command::SelfRefreshExit),
             Just(Command::ZqCalibration),
             (bank.clone(), 0u32..(1 << 17)).prop_map(|(bank, row)| Command::Activate { bank, row }),
-            (bank.clone(), 0u16..1024, any::<bool>())
-                .prop_map(|(bank, col, ap)| Command::Read { bank, col, auto_precharge: ap }),
-            (bank.clone(), 0u16..1024, any::<bool>())
-                .prop_map(|(bank, col, ap)| Command::Write { bank, col, auto_precharge: ap }),
+            (bank.clone(), 0u16..1024, any::<bool>()).prop_map(|(bank, col, ap)| Command::Read {
+                bank,
+                col,
+                auto_precharge: ap
+            }),
+            (bank.clone(), 0u16..1024, any::<bool>()).prop_map(|(bank, col, ap)| Command::Write {
+                bank,
+                col,
+                auto_precharge: ap
+            }),
             bank.prop_map(|bank| Command::Precharge { bank }),
             (0u8..8, 0u16..(1 << 14))
                 .prop_map(|(register, value)| Command::ModeRegisterSet { register, value }),
@@ -162,7 +168,7 @@ mod cache_props {
                 prop_assert!(cache.resident() <= slots);
                 // No two pages share a slot.
                 let mut seen = std::collections::HashSet::new();
-                for (_, &s) in model.iter() {
+                for &s in model.values() {
                     prop_assert!(seen.insert(s), "slot {} aliased", s);
                 }
             }
@@ -277,7 +283,7 @@ mod system_props {
 
 mod sim_props {
     use super::*;
-    use nvdimmc::sim::{SimDuration, SimTime, Zipf, DeterministicRng};
+    use nvdimmc::sim::{DeterministicRng, SimDuration, SimTime, Zipf};
 
     proptest! {
         #[test]
@@ -435,8 +441,11 @@ mod cpu_cache_props {
         prop::collection::vec(
             prop_oneof![
                 (0..span - 128, 1usize..128).prop_map(|(addr, len)| Op::Load { addr, len }),
-                (0..span - 128, 1usize..128, any::<u8>())
-                    .prop_map(|(addr, len, fill)| Op::Store { addr, len, fill }),
+                (0..span - 128, 1usize..128, any::<u8>()).prop_map(|(addr, len, fill)| Op::Store {
+                    addr,
+                    len,
+                    fill
+                }),
                 (0..span).prop_map(Op::Clflush),
                 (0..span).prop_map(Op::Clwb),
             ],

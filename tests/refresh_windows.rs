@@ -9,11 +9,22 @@ use nvdimmc::ddr::{
 };
 use nvdimmc::sim::{DeterministicRng, SimTime};
 
+/// Replays the recorded trace through every nvdimmc-check pass — the
+/// independent verifier must agree with the inline bus enforcement that
+/// the run was violation-free.
+fn assert_trace_clean(sys: &mut System) {
+    let trace = sys.take_trace();
+    assert!(!trace.is_empty(), "recorder captured no bus traffic");
+    let report = nvdimmc::check::check_trace(&trace, &sys.config().timing);
+    assert!(report.is_clean(), "{report}");
+}
+
 #[test]
 fn no_violations_across_heavy_mixed_traffic() {
     let mut cfg = NvdimmCConfig::small_for_tests();
     cfg.cache_slots = 32;
     let mut sys = System::new(cfg).unwrap();
+    sys.set_trace_capture(true);
     let mut rng = DeterministicRng::new(41);
     let span = 128 * PAGE_BYTES;
     let mut buf = vec![0u8; 8192];
@@ -32,6 +43,8 @@ fn no_violations_across_heavy_mixed_traffic() {
     assert!(bus.refreshes > 0);
     // The detector saw every refresh the bus carried.
     assert_eq!(sys.detector_stats().detections, bus.refreshes);
+    // And the offline verifier agrees with the online enforcement.
+    assert_trace_clean(&mut sys);
 }
 
 #[test]
@@ -39,6 +52,7 @@ fn every_fpga_byte_moved_inside_a_window() {
     let mut cfg = NvdimmCConfig::small_for_tests();
     cfg.cache_slots = 8;
     let mut sys = System::new(cfg).unwrap();
+    sys.set_trace_capture(true);
     let page = vec![9u8; PAGE_BYTES as usize];
     for i in 0..32u64 {
         sys.write_at(i * PAGE_BYTES, &page).unwrap();
@@ -53,6 +67,17 @@ fn every_fpga_byte_moved_inside_a_window() {
     let bus = sys.bus_stats();
     assert!(bus.nvmc_bytes >= 16 * PAGE_BYTES, "NVMC moved real data");
     assert_eq!(bus.violations_rejected, 0);
+    // Independent confirmation: every NVMC command in the trace sits
+    // strictly inside an extra-tRFC window.
+    let trace = sys.take_trace();
+    assert!(
+        trace
+            .iter()
+            .any(|e| e.master == BusMaster::Nvmc && e.data.is_some()),
+        "trace shows no NVMC data bursts"
+    );
+    let report = nvdimmc::check::check_trace(&trace, &sys.config().timing);
+    assert!(report.is_clean(), "{report}");
 }
 
 #[test]
@@ -88,6 +113,7 @@ fn detection_accuracy_no_false_positives_over_long_run() {
     let mut cfg = NvdimmCConfig::small_for_tests();
     cfg.cache_slots = 16;
     let mut sys = System::new(cfg).unwrap();
+    sys.set_trace_capture(true);
     let mut rng = DeterministicRng::new(97);
     let mut buf = vec![0u8; 4096];
     for _ in 0..400 {
@@ -104,4 +130,5 @@ fn detection_accuracy_no_false_positives_over_long_run() {
         "false positives or misses in the refresh detector"
     );
     assert_eq!(sys.detector_stats().sre_rejected, 0);
+    assert_trace_clean(&mut sys);
 }
