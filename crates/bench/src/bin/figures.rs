@@ -19,6 +19,7 @@ fn registry() -> Vec<Entry> {
         ("fig7", experiments::fig7),
         ("fig8", experiments::fig8),
         ("fig9", experiments::fig9),
+        ("fig9_multichannel", experiments::fig9_multichannel),
         ("fig10", experiments::fig10),
         ("fig11", experiments::fig11),
         ("fig12", experiments::fig12),

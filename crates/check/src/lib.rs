@@ -50,6 +50,7 @@ pub mod diag;
 pub mod persist;
 pub mod races;
 pub mod refresh;
+pub mod shards;
 pub mod timing;
 
 pub use config::{assert_config_clean, lint_config};
@@ -57,6 +58,7 @@ pub use diag::{Diagnostic, Report, Severity};
 pub use persist::check_persistence;
 pub use races::detect_races;
 pub use refresh::check_refresh_windows;
+pub use shards::{check_conservation, check_shards};
 pub use timing::lint_timing;
 
 use nvdimmc_ddr::{TimingParams, TraceEntry};

@@ -32,7 +32,7 @@ pub fn check_refresh_windows(trace: &[TraceEntry], t: &TimingParams) -> Vec<Diag
     for e in entries {
         if matches!(e.cmd, Command::Refresh) {
             last_ref_at = Some(e.at);
-            window = Some((e.at + t.trfc_base, e.at + t.trfc_total));
+            window = Some(t.nvmc_window_bounds(e.at));
             continue;
         }
         match e.master {

@@ -3,9 +3,11 @@
 //!
 //! The [`DramDevice`](nvdimmc_ddr::DramDevice) enforces these constraints
 //! inline, but a bug there would vouch for itself — the simulator would
-//! happily accept its own illegal schedules. This linter re-derives every
-//! earliest-legal instant from nothing but the trace and the
-//! [`TimingParams`], so the two implementations cross-check each other.
+//! happily accept its own illegal schedules. This linter replays the
+//! trace against the shared `TimingParams` rulebook (the derived-window
+//! methods exported by `nvdimmc-ddr`), tracking bank/rank state
+//! independently of the device model so the two implementations
+//! cross-check each other without duplicating the JEDEC arithmetic.
 //!
 //! Rules: `timing/tRCD`, `timing/tCL`, `timing/tCWL`, `timing/tRP`,
 //! `timing/tRAS`, `timing/tRRD`, `timing/tFAW`, `timing/tWR`,
@@ -44,16 +46,10 @@ impl BankLint {
     }
 
     /// Earliest legal PRECHARGE given what this bank has seen since its
-    /// last ACTIVATE (tRAS, tRTP, tWR each gate it independently).
+    /// last ACTIVATE (tRAS, tRTP, tWR each gate it independently) — the
+    /// derivation lives in the `ddr` rulebook so it cannot drift.
     fn earliest_pre(&self, t: &TimingParams) -> SimTime {
-        let mut e = self.last_act + t.tras;
-        if let Some(rd) = self.last_read {
-            e = e.max(rd + t.trtp);
-        }
-        if let Some(wr_end) = self.last_write_data_end {
-            e = e.max(wr_end + t.twr);
-        }
-        e
+        t.earliest_precharge(self.last_act, self.last_read, self.last_write_data_end)
     }
 }
 
@@ -187,8 +183,8 @@ fn lint_activate(
     b.last_read = None;
     b.last_write_data_end = None;
     rank.recent_acts.push_back(e.at);
-    rank.earliest_act_any = e.at + t.trrd_s;
-    rank.earliest_act_group[group] = e.at + t.trrd_l;
+    rank.earliest_act_any = e.at + t.act_to_act_gap(false);
+    rank.earliest_act_group[group] = e.at + t.act_to_act_gap(true);
 }
 
 fn lint_column(
@@ -202,11 +198,7 @@ fn lint_column(
     // JEDEC column-to-column spacing: tCCD_L within a bank group, tCCD_S
     // across groups.
     if let Some((prev_at, prev_group)) = rank.last_col {
-        let gap = if prev_group == bank.group {
-            t.tccd_l
-        } else {
-            t.tccd_s
-        };
+        let gap = t.col_to_col_gap(prev_group == bank.group);
         if e.at < prev_at + gap {
             out.push(violation(e, "timing/tCCD", prev_at + gap));
         }
@@ -247,12 +239,8 @@ fn lint_column(
     // The recorded DQ burst must sit exactly tCL (reads) / tCWL (writes)
     // after the column command — a mismatch means the recorder or the data
     // path drifted from the rulebook.
-    let (latency, rule) = if is_read {
-        (t.tcl, "timing/tCL")
-    } else {
-        (t.tcwl, "timing/tCWL")
-    };
-    let expect = (e.at + latency, e.at + latency + t.burst_time());
+    let rule = if is_read { "timing/tCL" } else { "timing/tCWL" };
+    let expect = t.dq_window(e.at, is_read);
     if e.data != Some(expect) {
         out.push(
             Diagnostic::error(
@@ -274,7 +262,7 @@ fn lint_column(
         b.last_read = Some(e.at);
     } else {
         b.last_write_data_end = Some(data_end);
-        rank.earliest_read = data_end + t.twtr;
+        rank.earliest_read = t.read_after_write(data_end);
     }
     if auto_precharge {
         let when = b.earliest_pre(t).max(data_end);
@@ -333,7 +321,7 @@ fn lint_refresh(e: &TraceEntry, t: &TimingParams, rank: &mut RankLint, out: &mut
             out.push(violation(e, "timing/tRP", b.earliest_act));
         }
     }
-    rank.refresh_busy_until = e.at + t.trfc_base;
+    rank.refresh_busy_until = t.refresh_silicon_ready(e.at);
     for b in &mut rank.banks {
         b.open = false;
         b.earliest_act = b.earliest_act.max(rank.refresh_busy_until);

@@ -8,9 +8,9 @@
 //! NVDIMM-C channel.
 
 use crate::config::PAGE_BYTES;
-use crate::device::BlockDevice;
 use crate::error::CoreError;
 use crate::perf::PerfParams;
+use crate::shard::{BlockDevice, QueuedDevice};
 use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, SharedBus, TimingParams};
 use nvdimmc_sim::{Histogram, SimDuration, SimTime};
 
@@ -156,6 +156,90 @@ impl BlockDevice for EmulatedPmem {
         self.stats.writes += 1;
         self.stats.write_latency.record(lat);
         Ok(lat)
+    }
+}
+
+impl QueuedDevice for EmulatedPmem {
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    fn pre_cost(&self, len: u64, write: bool) -> SimDuration {
+        self.sw_cost(len, write)
+    }
+
+    fn copy_cost(&self, len: u64) -> SimDuration {
+        self.perf.copy_time(len)
+    }
+
+    fn serve_read(
+        &mut self,
+        not_before: SimTime,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<SimTime, CoreError> {
+        let len = buf.len() as u64;
+        if len == 0 {
+            return Ok(self.clock.max(not_before));
+        }
+        self.check_range(offset, len)?;
+        if self.clock <= not_before {
+            // Idle at arrival: lock-step with the issuing thread's copy,
+            // exactly like the blocking path.
+            self.clock = not_before;
+            let t0 = self.clock;
+            let pace = self.perf.copy_time(64);
+            let end = self
+                .imc
+                .read_bytes_paced(&mut self.bus, t0, offset, buf, pace)?;
+            self.clock = end.max(t0 + self.perf.copy_time(len));
+            self.stats.reads += 1;
+            self.stats.read_latency.record(self.clock.since(t0));
+        } else {
+            // Contended: the copy overlaps other requests' transfers; the
+            // device holds only the raw (tCCD-pipelined) bus occupancy.
+            let t0 = self.clock;
+            let end = self.imc.read_bytes(&mut self.bus, t0, offset, buf)?;
+            self.clock = end;
+            self.stats.reads += 1;
+            self.stats.read_latency.record(self.clock.since(t0));
+        }
+        Ok(self.clock)
+    }
+
+    fn serve_write(
+        &mut self,
+        not_before: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<SimTime, CoreError> {
+        let len = data.len() as u64;
+        if len == 0 {
+            return Ok(self.clock.max(not_before));
+        }
+        self.check_range(offset, len)?;
+        if self.clock <= not_before {
+            self.clock = not_before;
+            let t0 = self.clock;
+            let pace = self.perf.copy_time(64);
+            let end = self
+                .imc
+                .write_bytes_paced(&mut self.bus, t0, offset, data, pace)?;
+            self.clock = end.max(t0 + self.perf.copy_time(len));
+            self.stats.writes += 1;
+            self.stats.write_latency.record(self.clock.since(t0));
+        } else {
+            let t0 = self.clock;
+            let end = self.imc.write_bytes(&mut self.bus, t0, offset, data)?;
+            self.clock = end;
+            self.stats.writes += 1;
+            self.stats.write_latency.record(self.clock.since(t0));
+        }
+        Ok(self.clock)
     }
 }
 

@@ -47,6 +47,20 @@ pub struct FpgaStats {
     pub dma_bytes: u64,
 }
 
+impl FpgaStats {
+    /// Accumulates another FPGA's counters into this one (per-shard stats
+    /// aggregation in multi-channel systems).
+    pub fn merge(&mut self, other: &FpgaStats) {
+        self.windows_seen += other.windows_seen;
+        self.windows_used += other.windows_used;
+        self.windows_skipped_busy += other.windows_skipped_busy;
+        self.cachefills += other.cachefills;
+        self.writebacks += other.writebacks;
+        self.merged_ops += other.merged_ops;
+        self.dma_bytes += other.dma_bytes;
+    }
+}
+
 #[derive(Debug)]
 enum FpgaState {
     /// No command in flight; poll the CP area.

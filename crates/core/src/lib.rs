@@ -13,8 +13,16 @@
 //!   extra-tRFC window, real DDR4 commands on the shared bus (§III-B);
 //! - [`layout`] — the reserved-region map: CP area, metadata, slots
 //!   (Figure 5);
-//! - [`device`] — [`System`]: the full machine, the [`BlockDevice`] the
-//!   workloads drive, and power-failure semantics (§V-C);
+//! - [`shard`] — [`ChannelShard`]: one fully assembled memory channel,
+//!   the [`BlockDevice`] the workloads drive, power-failure semantics
+//!   (§V-C) and the [`QueuedDevice`] serve interface ([`System`] is the
+//!   single-channel alias — the paper's artifact);
+//! - [`interleave`] — the address-interleaving map that stripes the
+//!   global byte space over channels at a configurable granularity;
+//! - [`sched`] — the bounded per-shard request queues with FCFS /
+//!   FR-FCFS arbitration and fairness counters;
+//! - [`front`] — [`MultiChannelSystem`]: N shards behind the interleaver
+//!   and scheduler, with cross-shard persist ordering;
 //! - [`baseline`] — the emulated-NVDIMM `/dev/pmem0` comparator (§VI);
 //! - [`perf`] — the calibrated software-path constants with their anchors.
 //!
@@ -42,20 +50,26 @@ pub mod baseline;
 pub mod cache;
 pub mod config;
 pub mod cp;
-pub mod device;
 pub mod error;
 pub mod fpga;
+pub mod front;
+pub mod interleave;
 pub mod layout;
 pub mod perf;
 pub mod refresh;
+pub mod sched;
+pub mod shard;
 
 pub use baseline::EmulatedPmem;
 pub use cache::DramCache;
 pub use config::{Backend, EvictionPolicyKind, NvdimmCConfig, PAGE_BYTES};
 pub use cp::{CpAck, CpCommand, CpOpcode};
-pub use device::{BlockDevice, PowerFailReport, System, SystemStats};
 pub use error::CoreError;
 pub use fpga::Fpga;
+pub use front::{MultiChannelConfig, MultiChannelSystem};
+pub use interleave::{InterleaveMap, Segment};
 pub use layout::Layout;
 pub use perf::PerfParams;
 pub use refresh::{DetectorPipeline, RefreshDetector};
+pub use sched::{ArbitrationPolicy, ReqKind, RequestScheduler, SchedStats, ShardRequest};
+pub use shard::{BlockDevice, ChannelShard, PowerFailReport, QueuedDevice, System, SystemStats};

@@ -1,11 +1,20 @@
-//! The assembled NVDIMM-C system: host + shared bus + FPGA + Z-NAND.
+//! One per-channel NVDIMM-C shard: host + shared bus + FPGA + Z-NAND.
 //!
-//! [`System`] owns every component and plays the roles of the nvdc driver
+//! [`ChannelShard`] owns every component of one memory channel — bus, iMC,
+//! DRAM device, FPGA/NVMC/detector pipeline and DRAM-cache partition, each
+//! with its own clock and stats — and plays the roles of the nvdc driver
 //! (paper §IV-B/C), the DAX filesystem's `device_access` path, and the
 //! experiment clock. All data moves through the simulated DRAM array and
 //! NAND media, so end-to-end integrity is checkable; all timing moves
 //! through the DDR4/NAND event models plus the calibrated software
 //! constants in [`crate::perf::PerfParams`].
+//!
+//! The paper's artifact is a single DIMM on a single channel, so the
+//! one-shard system is the default and [`System`] remains its name: it is
+//! a type alias for `ChannelShard`. Multi-channel deployments compose
+//! shards behind [`crate::front::MultiChannelSystem`]; because shards
+//! share no mutable state they can be driven from scoped threads (see
+//! [`QueuedDevice`]).
 
 use crate::cache::DramCache;
 use crate::config::{Backend, NvdimmCConfig, PAGE_BYTES};
@@ -14,14 +23,15 @@ use crate::error::CoreError;
 use crate::fpga::Fpga;
 use crate::layout::Layout;
 use crate::refresh::DetectorPipeline;
-use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, SharedBus};
+use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, SharedBus, TraceEntry};
 use nvdimmc_host::{CpuCache, Memory, PageTable, Tlb};
 use nvdimmc_nand::Nvmc;
 use nvdimmc_sim::{Histogram, SimDuration, SimTime};
 
 /// A simulated block device with byte-granular DAX access — the interface
-/// the workload generators drive. Implemented by [`System`] (NVDIMM-C)
-/// and [`crate::baseline::EmulatedPmem`].
+/// the workload generators drive. Implemented by [`ChannelShard`]
+/// (NVDIMM-C), [`crate::front::MultiChannelSystem`] and
+/// [`crate::baseline::EmulatedPmem`].
 pub trait BlockDevice {
     /// Exported capacity in bytes.
     fn capacity_bytes(&self) -> u64;
@@ -41,6 +51,56 @@ pub trait BlockDevice {
     ///
     /// Fails on out-of-range accesses or internal device errors.
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<SimDuration, CoreError>;
+}
+
+/// A device that can serve scheduler-queued requests.
+///
+/// The split that makes request-level concurrency mechanistic: the
+/// *device-serial* part of an operation (bus occupancy, mapping updates,
+/// CP window waits) runs on the device clock inside
+/// [`QueuedDevice::serve_read`]/[`QueuedDevice::serve_write`], while the
+/// issuing thread's software cost ([`QueuedDevice::pre_cost`]) and CPU
+/// copy ([`QueuedDevice::copy_cost`]) elapse on the thread's own timeline
+/// and overlap other threads' device phases. Implemented by
+/// [`ChannelShard`] and [`crate::baseline::EmulatedPmem`]; the concurrent
+/// drivers in `nvdimmc-workloads` fan requests out over implementations
+/// from scoped threads, one worker per shard.
+pub trait QueuedDevice: Send {
+    /// Exported capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+    /// The device's simulated clock.
+    fn clock(&self) -> SimTime;
+    /// Software cost the issuing thread pays *before* the device request
+    /// (syscall + fs/DAX entry, per-page driver work) — fully parallel
+    /// across threads.
+    fn pre_cost(&self, len: u64, write: bool) -> SimDuration;
+    /// The issuing thread's own CPU copy, which overlaps the
+    /// device-serial transfer.
+    fn copy_cost(&self, len: u64) -> SimDuration;
+    /// Serves a read whose device phase may start no earlier than
+    /// `not_before`; returns the completion instant on the device clock.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range accesses or internal device errors.
+    fn serve_read(
+        &mut self,
+        not_before: SimTime,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<SimTime, CoreError>;
+    /// Serves a write whose device phase may start no earlier than
+    /// `not_before`; returns the completion instant on the device clock.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range accesses or internal device errors.
+    fn serve_write(
+        &mut self,
+        not_before: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<SimTime, CoreError>;
 }
 
 /// Zero-time backdoor [`Memory`] view of the DRAM array, used for the
@@ -92,6 +152,23 @@ pub struct SystemStats {
     pub fault_latency: Histogram,
 }
 
+impl SystemStats {
+    /// Accumulates another shard's statistics into this one: counters add,
+    /// latency histograms merge.
+    pub fn merge(&mut self, other: &SystemStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.faults += other.faults;
+        self.cachefills += other.cachefills;
+        self.zero_fills += other.zero_fills;
+        self.writebacks += other.writebacks;
+        self.merged_ops += other.merged_ops;
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        self.fault_latency.merge(&other.fault_latency);
+    }
+}
+
 /// Report from a simulated power failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PowerFailReport {
@@ -104,7 +181,16 @@ pub struct PowerFailReport {
     pub adr_worked: bool,
 }
 
-/// The fully assembled NVDIMM-C system.
+impl PowerFailReport {
+    /// Accumulates another shard's dump into this report.
+    pub fn merge(&mut self, other: &PowerFailReport) {
+        self.slots_flushed += other.slots_flushed;
+        self.bytes_flushed += other.bytes_flushed;
+        self.adr_worked = self.adr_worked && other.adr_worked;
+    }
+}
+
+/// One fully assembled NVDIMM-C channel.
 ///
 /// # Example
 ///
@@ -122,7 +208,7 @@ pub struct PowerFailReport {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct System {
+pub struct ChannelShard {
     cfg: NvdimmCConfig,
     layout: Layout,
     bus: SharedBus,
@@ -139,8 +225,13 @@ pub struct System {
     stats: SystemStats,
 }
 
-impl System {
-    /// Builds a system from `cfg`.
+/// The single-channel system — the paper's artifact. One shard *is* the
+/// whole machine in the default configuration, so the historical name
+/// stays as an alias.
+pub type System = ChannelShard;
+
+impl ChannelShard {
+    /// Builds a shard from `cfg`.
     ///
     /// # Errors
     ///
@@ -167,7 +258,7 @@ impl System {
         let cache = DramCache::new(cfg.cache_slots, cfg.eviction);
         let cpu = CpuCache::new(cfg.cpu_cache_bytes, 8);
         let tlb = Tlb::new(cfg.tlb_entries);
-        Ok(System {
+        Ok(ChannelShard {
             layout,
             bus,
             imc,
@@ -235,19 +326,24 @@ impl System {
         &self.cache
     }
 
-    /// Enables or disables bus-trace capture for `nvdimmc-check`. Enabling
-    /// attaches a fresh [`nvdimmc_ddr::TraceRecorder`] to the shared bus;
-    /// disabling drops the recorder and whatever it held.
-    pub fn set_trace_capture(&mut self, on: bool) {
+    /// Enables or disables bus-trace capture for `nvdimmc-check`.
+    ///
+    /// Enabling attaches a fresh [`nvdimmc_ddr::TraceRecorder`] to the
+    /// shared bus and returns `None`. Disabling detaches the recorder and
+    /// returns everything it captured (`Some`, possibly empty), so
+    /// in-flight diagnostics are never silently dropped; it returns `None`
+    /// when no recorder was attached.
+    pub fn set_trace_capture(&mut self, on: bool) -> Option<Vec<TraceEntry>> {
         if on {
             self.bus.attach_recorder();
+            None
         } else {
-            self.bus.detach_recorder();
+            self.bus.detach_recorder().map(|mut r| r.take())
         }
     }
 
     /// Drains the captured bus trace (empty when capture is off).
-    pub fn take_trace(&mut self) -> Vec<nvdimmc_ddr::TraceEntry> {
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
         self.bus.take_trace()
     }
 
@@ -512,18 +608,81 @@ impl System {
         Ok(())
     }
 
-    /// Application-level persistence: `clflush` + `sfence` over a byte
-    /// range (what libpmem's `pmem_persist` does). After this returns, the
-    /// range's data is in the DRAM cache slots and will survive a power
-    /// failure via the FPGA's dump.
-    ///
-    /// # Errors
-    ///
-    /// Fails on out-of-range offsets.
-    pub fn persist(&mut self, offset: u64, len: u64) -> Result<(), CoreError> {
-        if len == 0 {
-            return Ok(());
+    /// The functional+timing core of a read: per-page fault-in, TLB walk
+    /// and a real bus transfer issued at `pace` per cacheline (ZERO = the
+    /// tCCD-limited pipelined rate). The caller owns software costs and
+    /// any CPU-copy overlap.
+    fn read_core(
+        &mut self,
+        offset: u64,
+        buf: &mut [u8],
+        pace: SimDuration,
+    ) -> Result<(), CoreError> {
+        let first = offset / PAGE_BYTES;
+        let last = (offset + buf.len() as u64 - 1) / PAGE_BYTES;
+        let mut pos = 0usize;
+        for page in first..=last {
+            let slot = self.ensure_resident(page)?;
+            let _ = self.tlb.translate(&mut self.pt, page, false);
+            let in_page = (offset + pos as u64) % PAGE_BYTES;
+            let n = ((PAGE_BYTES - in_page) as usize).min(buf.len() - pos);
+            let addr = self.layout.slot_addr(slot) + in_page;
+            // Timing: a real bus transfer (stalls behind refresh windows).
+            let mut scratch = vec![0u8; n];
+            let end =
+                self.imc
+                    .read_bytes_paced(&mut self.bus, self.clock, addr, &mut scratch, pace)?;
+            self.clock = end;
+            // Function: through the CPU cache (sees dirty lines).
+            self.cpu.load(
+                &mut DramBackdoor(&mut self.bus),
+                addr,
+                &mut buf[pos..pos + n],
+            );
+            pos += n;
         }
+        Ok(())
+    }
+
+    /// Write counterpart of [`ChannelShard::read_core`].
+    fn write_core(&mut self, offset: u64, data: &[u8], pace: SimDuration) -> Result<(), CoreError> {
+        let first = offset / PAGE_BYTES;
+        let last = (offset + data.len() as u64 - 1) / PAGE_BYTES;
+        let mut pos = 0usize;
+        for page in first..=last {
+            let slot = self.ensure_resident(page)?;
+            let _ = self.tlb.translate(&mut self.pt, page, true);
+            self.cache.mark_dirty(slot);
+            let in_page = (offset + pos as u64) % PAGE_BYTES;
+            let n = ((PAGE_BYTES - in_page) as usize).min(data.len() - pos);
+            let addr = self.layout.slot_addr(slot) + in_page;
+            // Timing: bus occupancy of the store stream (read-shaped
+            // transfer; tCWL ≈ tCL at this fidelity).
+            let mut scratch = vec![0u8; n];
+            let end =
+                self.imc
+                    .read_bytes_paced(&mut self.bus, self.clock, addr, &mut scratch, pace)?;
+            self.clock = end;
+            // Function: stores land in the CPU cache (write-back!); the
+            // DRAM array only sees them at clflush/eviction time — which
+            // is exactly the §V-B hazard the driver's coherence handles.
+            self.cpu
+                .store(&mut DramBackdoor(&mut self.bus), addr, &data[pos..pos + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Flush phase of a persist: `clflush` every resident page overlapping
+    /// the range, *without* the fence. Returns the flushed line count and
+    /// slot addresses; pair with [`ChannelShard::persist_fence`] and
+    /// [`ChannelShard::persist_claim`]. Split out so a multi-channel
+    /// front-end can order one global fence after all shards' flushes.
+    pub(crate) fn persist_flush(
+        &mut self,
+        offset: u64,
+        len: u64,
+    ) -> Result<(u64, Vec<u64>), CoreError> {
         self.check_range(offset, len)?;
         let first = offset / PAGE_BYTES;
         let last = (offset + len - 1) / PAGE_BYTES;
@@ -538,17 +697,44 @@ impl System {
                 lines += PAGE_BYTES / 64;
             }
         }
+        Ok((lines, flushed))
+    }
+
+    /// Fence phase of a persist: orders all prior flushes on this shard.
+    pub(crate) fn persist_fence(&mut self) {
         self.cpu.sfence();
-        // Declare durability only now that the flush+fence sequence is
-        // complete — the journal checker verifies the claim against the
-        // events that precede it.
-        for addr in flushed {
+    }
+
+    /// Claim phase of a persist: declares durability for the flushed
+    /// addresses (journal claims) and charges the flush time.
+    pub(crate) fn persist_claim(&mut self, flushed: &[u64], lines: u64) {
+        for &addr in flushed {
             self.cpu.journal_push(nvdimmc_host::PersistEvent::Claim {
                 addr,
                 len: PAGE_BYTES,
             });
         }
         self.clock += self.cfg.perf.clflush_line * lines;
+    }
+
+    /// Application-level persistence: `clflush` + `sfence` over a byte
+    /// range (what libpmem's `pmem_persist` does). After this returns, the
+    /// range's data is in the DRAM cache slots and will survive a power
+    /// failure via the FPGA's dump.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range offsets.
+    pub fn persist(&mut self, offset: u64, len: u64) -> Result<(), CoreError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let (lines, flushed) = self.persist_flush(offset, len)?;
+        self.persist_fence();
+        // Declare durability only now that the flush+fence sequence is
+        // complete — the journal checker verifies the claim against the
+        // events that precede it.
+        self.persist_claim(&flushed, lines);
         Ok(())
     }
 
@@ -564,7 +750,7 @@ impl System {
     }
 }
 
-impl BlockDevice for System {
+impl BlockDevice for ChannelShard {
     fn capacity_bytes(&self) -> u64 {
         self.nvmc.export_bytes()
     }
@@ -589,30 +775,9 @@ impl BlockDevice for System {
         self.clock += self.sw_cost(len, last - first + 1, false);
         let copy = self.cfg.perf.copy_time(len);
         let transfer_start = self.clock;
-        let mut pos = 0usize;
-        for page in first..=last {
-            let slot = self.ensure_resident(page)?;
-            let _ = self.tlb.translate(&mut self.pt, page, false);
-            let in_page = (offset + pos as u64) % PAGE_BYTES;
-            let n = ((PAGE_BYTES - in_page) as usize).min(buf.len() - pos);
-            let addr = self.layout.slot_addr(slot) + in_page;
-            // Timing: a real bus transfer (stalls behind refresh windows),
-            // paced at the CPU copy rate so its refresh exposure matches a
-            // load-driven copy.
-            let pace = self.cfg.perf.copy_time(64);
-            let mut scratch = vec![0u8; n];
-            let end =
-                self.imc
-                    .read_bytes_paced(&mut self.bus, self.clock, addr, &mut scratch, pace)?;
-            self.clock = end;
-            // Function: through the CPU cache (sees dirty lines).
-            self.cpu.load(
-                &mut DramBackdoor(&mut self.bus),
-                addr,
-                &mut buf[pos..pos + n],
-            );
-            pos += n;
-        }
+        // Paced at the CPU copy rate so the transfer's refresh exposure
+        // matches a load-driven copy.
+        self.read_core(offset, buf, self.cfg.perf.copy_time(64))?;
         // The CPU-side copy overlaps the bus transfer; the slower wins.
         self.clock = self.clock.max(transfer_start + copy);
         self.drain_detector_idle();
@@ -634,29 +799,7 @@ impl BlockDevice for System {
         self.clock += self.sw_cost(len, last - first + 1, true);
         let copy = self.cfg.perf.copy_time(len);
         let transfer_start = self.clock;
-        let mut pos = 0usize;
-        for page in first..=last {
-            let slot = self.ensure_resident(page)?;
-            let _ = self.tlb.translate(&mut self.pt, page, true);
-            self.cache.mark_dirty(slot);
-            let in_page = (offset + pos as u64) % PAGE_BYTES;
-            let n = ((PAGE_BYTES - in_page) as usize).min(data.len() - pos);
-            let addr = self.layout.slot_addr(slot) + in_page;
-            // Timing: bus occupancy of the store stream (read-shaped
-            // transfer; tCWL ≈ tCL at this fidelity), paced at copy rate.
-            let pace = self.cfg.perf.copy_time(64);
-            let mut scratch = vec![0u8; n];
-            let end =
-                self.imc
-                    .read_bytes_paced(&mut self.bus, self.clock, addr, &mut scratch, pace)?;
-            self.clock = end;
-            // Function: stores land in the CPU cache (write-back!); the
-            // DRAM array only sees them at clflush/eviction time — which
-            // is exactly the §V-B hazard the driver's coherence handles.
-            self.cpu
-                .store(&mut DramBackdoor(&mut self.bus), addr, &data[pos..pos + n]);
-            pos += n;
-        }
+        self.write_core(offset, data, self.cfg.perf.copy_time(64))?;
         self.clock = self.clock.max(transfer_start + copy);
         self.drain_detector_idle();
         let lat = self.clock.since(t0);
@@ -666,7 +809,96 @@ impl BlockDevice for System {
     }
 }
 
-impl System {
+impl QueuedDevice for ChannelShard {
+    fn capacity_bytes(&self) -> u64 {
+        self.nvmc.export_bytes()
+    }
+
+    fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    fn pre_cost(&self, len: u64, write: bool) -> SimDuration {
+        self.sw_cost(len, len.div_ceil(PAGE_BYTES).max(1), write)
+    }
+
+    fn copy_cost(&self, len: u64) -> SimDuration {
+        self.cfg.perf.copy_time(len)
+    }
+
+    fn serve_read(
+        &mut self,
+        not_before: SimTime,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<SimTime, CoreError> {
+        let len = buf.len() as u64;
+        if len == 0 {
+            return Ok(self.clock.max(not_before));
+        }
+        self.check_range(offset, len)?;
+        if self.clock <= not_before {
+            // Device idle at arrival: the op runs lock-step with the
+            // issuing thread's copy, exactly like a direct blocking call.
+            self.clock = not_before;
+            let t0 = self.clock;
+            let copy = self.cfg.perf.copy_time(len);
+            let transfer_start = self.clock;
+            self.read_core(offset, buf, self.cfg.perf.copy_time(64))?;
+            self.clock = self.clock.max(transfer_start + copy);
+            self.drain_detector_idle();
+            self.stats.reads += 1;
+            self.stats.read_latency.record(self.clock.since(t0));
+        } else {
+            // Contended: the issuing thread's copy overlaps other
+            // requests' transfers, so the shard holds only the per-op
+            // serialized section — the mapping lock plus the raw
+            // (tCCD-pipelined) bus occupancy. This is the serialized
+            // demand the paper's Figure 9 knee comes from.
+            let t0 = self.clock;
+            self.clock += self.cfg.perf.mapping_serial;
+            self.read_core(offset, buf, SimDuration::ZERO)?;
+            self.drain_detector_idle();
+            self.stats.reads += 1;
+            self.stats.read_latency.record(self.clock.since(t0));
+        }
+        Ok(self.clock)
+    }
+
+    fn serve_write(
+        &mut self,
+        not_before: SimTime,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<SimTime, CoreError> {
+        let len = data.len() as u64;
+        if len == 0 {
+            return Ok(self.clock.max(not_before));
+        }
+        self.check_range(offset, len)?;
+        if self.clock <= not_before {
+            self.clock = not_before;
+            let t0 = self.clock;
+            let copy = self.cfg.perf.copy_time(len);
+            let transfer_start = self.clock;
+            self.write_core(offset, data, self.cfg.perf.copy_time(64))?;
+            self.clock = self.clock.max(transfer_start + copy);
+            self.drain_detector_idle();
+            self.stats.writes += 1;
+            self.stats.write_latency.record(self.clock.since(t0));
+        } else {
+            let t0 = self.clock;
+            self.clock += self.cfg.perf.mapping_serial;
+            self.write_core(offset, data, SimDuration::ZERO)?;
+            self.drain_detector_idle();
+            self.stats.writes += 1;
+            self.stats.write_latency.record(self.clock.since(t0));
+        }
+        Ok(self.clock)
+    }
+}
+
+impl ChannelShard {
     /// Simulates a power failure (§V-C): the battery-backed FPGA walks the
     /// metadata area and dumps every dirty slot to Z-NAND, ignoring the
     /// tRFC serialisation (the host is dead). With `adr_works == false`,
@@ -704,7 +936,7 @@ impl System {
         Ok(report)
     }
 
-    /// Rebuilds the system after a power failure, keeping the persistent
+    /// Rebuilds the shard after a power failure, keeping the persistent
     /// Z-NAND contents. Volatile state (DRAM cache, CPU caches, mappings)
     /// starts empty, as at boot.
     ///
@@ -712,7 +944,7 @@ impl System {
     ///
     /// Propagates configuration errors (none expected for a config that
     /// already booted once).
-    pub fn into_recovered(self) -> Result<System, CoreError> {
+    pub fn into_recovered(self) -> Result<ChannelShard, CoreError> {
         Self::assemble(self.cfg, self.nvmc)
     }
 }
@@ -1011,7 +1243,7 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut s = sys();
-        let cap = s.capacity_bytes();
+        let cap = BlockDevice::capacity_bytes(&s);
         assert!(matches!(
             s.read_at(cap - 10, &mut [0u8; 64]),
             Err(CoreError::OutOfRange { .. })
@@ -1072,5 +1304,92 @@ mod tests {
         let normal = run(7.8);
         let quad = run(1.95);
         assert!(quad > normal, "tREFI4 {quad:.3}us vs tREFI {normal:.3}us");
+    }
+
+    #[test]
+    fn trace_capture_disable_returns_drained_trace() {
+        // The recorder must not be silently dropped on disable.
+        let mut s = sys();
+        assert_eq!(s.set_trace_capture(true), None);
+        s.write_at(0, &page(0x11)).unwrap();
+        let trace = s.set_trace_capture(false).expect("recorder was attached");
+        assert!(!trace.is_empty(), "in-flight trace must be returned");
+        // Disabling again (nothing attached) yields None, not Some(empty).
+        assert_eq!(s.set_trace_capture(false), None);
+    }
+
+    #[test]
+    fn serve_idle_matches_direct_read_latency() {
+        // A request arriving at an idle shard takes exactly the blocking
+        // path's device timing: serve-completion minus arrival equals
+        // read_at's latency minus its software cost.
+        let mk = || {
+            let mut s = sys();
+            s.prefault(0).unwrap();
+            // Settle both instances at the same clock phase.
+            s.advance(SimDuration::from_us(3.0));
+            s
+        };
+        let mut direct = mk();
+        let mut queued = mk();
+        let mut buf = page(0);
+        direct.read_at(0, &mut buf).unwrap();
+        let sw = queued.pre_cost(PAGE_BYTES, false);
+        let arrival = queued.now() + sw;
+        let done = queued.serve_read(arrival, 0, &mut buf).unwrap();
+        // direct finished at its now(); the serve path must land on the
+        // same instant given the same start and the same software cost.
+        assert_eq!(done, direct.now());
+    }
+
+    #[test]
+    fn serve_contended_holds_only_serial_section() {
+        // When requests queue, the per-op device hold must be far below
+        // the full blocking latency (the thread-side copy overlaps), but
+        // still positive (mapping lock + bus occupancy).
+        let mut s = sys();
+        for p in 0..8 {
+            s.prefault(p).unwrap();
+        }
+        let mut buf = page(0);
+        // Prime the clock past zero, then issue a batch whose not_before
+        // all lie in the past → contended path.
+        s.advance(SimDuration::from_us(50.0));
+        let t0 = s.now();
+        let arrival = t0 - SimDuration::from_us(40.0);
+        let mut last = t0;
+        for p in 0..8u64 {
+            last = s.serve_read(arrival, p * PAGE_BYTES, &mut buf).unwrap();
+        }
+        let per_op = last.since(t0).as_us_f64() / 8.0;
+        assert!(
+            (0.4..1.6).contains(&per_op),
+            "contended serial hold = {per_op:.2}us/op"
+        );
+        // Data still correct.
+        s.write_at(3 * PAGE_BYTES, &page(0x77)).unwrap();
+        let done = s.serve_read(s.now(), 3 * PAGE_BYTES, &mut buf).unwrap();
+        assert!(done >= s.now());
+        assert_eq!(buf, page(0x77));
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SystemStats {
+            reads: 3,
+            ..SystemStats::default()
+        };
+        a.read_latency.record(SimDuration::from_us(1.0));
+        let mut b = SystemStats {
+            reads: 5,
+            faults: 2,
+            ..SystemStats::default()
+        };
+        b.read_latency.record(SimDuration::from_us(3.0));
+        a.merge(&b);
+        assert_eq!(a.reads, 8);
+        assert_eq!(a.faults, 2);
+        assert_eq!(a.read_latency.count(), 2);
+        assert_eq!(a.read_latency.mean(), SimDuration::from_us(2.0));
     }
 }

@@ -84,6 +84,20 @@ pub struct BusStats {
     pub retries_rejected: u64,
 }
 
+impl BusStats {
+    /// Accumulates another bus's counters into this one (per-shard stats
+    /// aggregation in multi-channel systems).
+    pub fn merge(&mut self, other: &BusStats) {
+        self.host_commands += other.host_commands;
+        self.nvmc_commands += other.nvmc_commands;
+        self.refreshes += other.refreshes;
+        self.nvmc_bytes += other.nvmc_bytes;
+        self.host_bytes += other.host_bytes;
+        self.violations_rejected += other.violations_rejected;
+        self.retries_rejected += other.retries_rejected;
+    }
+}
+
 /// The shared DDR4 bus: one [`DramDevice`], two masters, full conflict
 /// detection.
 ///
@@ -292,12 +306,8 @@ impl SharedBus {
                 // A data burst must also *complete* before the window
                 // closes, or its beats would collide with host commands.
                 if cmd.is_data_transfer() {
-                    let t = self.device.timing();
-                    let data_end =
-                        at + match cmd {
-                            Command::Read { .. } => t.tcl,
-                            _ => t.tcwl,
-                        } + t.burst_time();
+                    let is_read = matches!(cmd, Command::Read { .. });
+                    let (_, data_end) = self.device.timing().dq_window(at, is_read);
                     if data_end > w.closes {
                         return Err(BusViolation::NvmcOutsideWindow { at, command: cmd });
                     }
@@ -339,13 +349,13 @@ impl SharedBus {
             }
         }
         if cmd == Command::Refresh {
-            let t = self.device.timing();
+            let (opens, closes) = self.device.timing().nvmc_window_bounds(at);
             self.window = Some(RefreshWindow {
                 ref_at: at,
-                opens: at + t.trfc_base,
-                closes: at + t.trfc_total,
+                opens,
+                closes,
             });
-            self.host_blocked_until = at + t.trfc_total;
+            self.host_blocked_until = closes;
             self.stats.refreshes += 1;
         }
         Ok(end)

@@ -6,7 +6,7 @@
 //! ~900 ns exclusive window) and the refresh interval **tREFI** (7.8 µs
 //! nominal, halved/quartered in the paper's sensitivity studies).
 
-use nvdimmc_sim::SimDuration;
+use nvdimmc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A DDR4 speed bin. The paper's test system runs the PoC DIMM at
@@ -229,6 +229,79 @@ impl TimingParams {
     pub fn trcd_plus_tcl(&self) -> SimDuration {
         self.trcd + self.tcl
     }
+
+    // --- Derived rulebook -------------------------------------------------
+    // The single source of truth for every earliest-legal instant and bus
+    // occupancy window. Both the inline enforcement (`SharedBus`,
+    // `DramDevice`) and the offline `nvdimmc-check` linter consume these,
+    // so the two implementations cannot silently diverge on the derivation.
+
+    /// DQ-pin occupancy `[start, end)` for a column command issued at
+    /// `col_at`: reads drive data tCL after the command, writes tCWL after,
+    /// both for one burst.
+    pub fn dq_window(&self, col_at: SimTime, is_read: bool) -> (SimTime, SimTime) {
+        let start = col_at + if is_read { self.tcl } else { self.tcwl };
+        (start, start + self.burst_time())
+    }
+
+    /// Minimum ACTIVATE-to-ACTIVATE spacing: tRRD_L within a bank group,
+    /// tRRD_S across groups.
+    pub fn act_to_act_gap(&self, same_group: bool) -> SimDuration {
+        if same_group {
+            self.trrd_l
+        } else {
+            self.trrd_s
+        }
+    }
+
+    /// Minimum column-to-column spacing: tCCD_L within a bank group,
+    /// tCCD_S across groups.
+    pub fn col_to_col_gap(&self, same_group: bool) -> SimDuration {
+        if same_group {
+            self.tccd_l
+        } else {
+            self.tccd_s
+        }
+    }
+
+    /// Earliest legal PRECHARGE for a bank activated at `last_act`, given
+    /// the last READ issue instant and the last WRITE burst end (if any):
+    /// tRAS, tRTP and tWR each gate it independently.
+    pub fn earliest_precharge(
+        &self,
+        last_act: SimTime,
+        last_read: Option<SimTime>,
+        last_write_data_end: Option<SimTime>,
+    ) -> SimTime {
+        let mut e = last_act + self.tras;
+        if let Some(rd) = last_read {
+            e = e.max(rd + self.trtp);
+        }
+        if let Some(wr_end) = last_write_data_end {
+            e = e.max(wr_end + self.twr);
+        }
+        e
+    }
+
+    /// Earliest READ after a write burst that ended at `write_data_end`
+    /// (rank-wide tWTR turnaround).
+    pub fn read_after_write(&self, write_data_end: SimTime) -> SimTime {
+        write_data_end + self.twtr
+    }
+
+    /// When the silicon finishes restoring cells for a REFRESH issued at
+    /// `ref_at` (tRFC_base later). Any non-DES command before this instant
+    /// is illegal.
+    pub fn refresh_silicon_ready(&self, ref_at: SimTime) -> SimTime {
+        ref_at + self.trfc_base
+    }
+
+    /// The NVMC's exclusive window `[opens, closes)` for a REFRESH issued
+    /// at `ref_at`: the surplus between the device refresh time and the
+    /// programmed tRFC. The host stays blocked until `closes`.
+    pub fn nvmc_window_bounds(&self, ref_at: SimTime) -> (SimTime, SimTime) {
+        (ref_at + self.trfc_base, ref_at + self.trfc_total)
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +365,48 @@ mod tests {
     #[should_panic(expected = "tREFI must exceed")]
     fn trefi_must_exceed_trfc() {
         TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600).with_trefi(SimDuration::from_ns(1000));
+    }
+
+    #[test]
+    fn rulebook_windows_are_consistent() {
+        let t = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        let ref_at = SimTime::from_us(1);
+        let (opens, closes) = t.nvmc_window_bounds(ref_at);
+        assert_eq!(opens, t.refresh_silicon_ready(ref_at));
+        assert_eq!(closes.since(opens), t.extra_window());
+
+        let col_at = SimTime::from_ns(500);
+        let (rs, re) = t.dq_window(col_at, true);
+        assert_eq!(rs, col_at + t.tcl);
+        assert_eq!(re.since(rs), t.burst_time());
+        let (ws, _) = t.dq_window(col_at, false);
+        assert_eq!(ws, col_at + t.tcwl);
+
+        assert_eq!(t.act_to_act_gap(true), t.trrd_l);
+        assert_eq!(t.act_to_act_gap(false), t.trrd_s);
+        assert_eq!(t.col_to_col_gap(true), t.tccd_l);
+        assert_eq!(t.col_to_col_gap(false), t.tccd_s);
+    }
+
+    #[test]
+    fn earliest_precharge_takes_the_latest_gate() {
+        let t = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        let act = SimTime::from_ns(100);
+        // Nothing since ACT: tRAS alone.
+        assert_eq!(t.earliest_precharge(act, None, None), act + t.tras);
+        // A late read pushes past tRAS via tRTP.
+        let rd = act + SimDuration::from_ns(40);
+        assert_eq!(
+            t.earliest_precharge(act, Some(rd), None),
+            (act + t.tras).max(rd + t.trtp)
+        );
+        // A write burst end gates through tWR.
+        let wr_end = act + SimDuration::from_ns(60);
+        assert_eq!(
+            t.earliest_precharge(act, None, Some(wr_end)),
+            (act + t.tras).max(wr_end + t.twr)
+        );
+        assert_eq!(t.read_after_write(wr_end), wr_end + t.twtr);
     }
 
     #[test]

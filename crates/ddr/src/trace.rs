@@ -35,12 +35,7 @@ impl TraceEntry {
     /// timing parameters the device is running with.
     pub fn observe(master: BusMaster, at: SimTime, cmd: Command, t: &TimingParams) -> Self {
         let data = if cmd.is_data_transfer() {
-            let start = at
-                + match cmd {
-                    Command::Read { .. } => t.tcl,
-                    _ => t.tcwl,
-                };
-            Some((start, start + t.burst_time()))
+            Some(t.dq_window(at, matches!(cmd, Command::Read { .. })))
         } else {
             None
         };

@@ -335,6 +335,15 @@ impl RateMeter {
         }
         self.bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
     }
+
+    /// Merges another meter measured over the *same* simulated interval
+    /// (e.g. per-shard meters from a multi-channel run): ops and bytes
+    /// accumulate, the elapsed interval is the longer of the two.
+    pub fn merge(&mut self, other: &RateMeter) {
+        self.ops += other.ops;
+        self.bytes += other.bytes;
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +452,24 @@ mod tests {
         m.finish(SimDuration::from_ms(1.0));
         assert!((m.kiops() - 646.0).abs() < 1e-9);
         assert!((m.mb_per_s() - 646.0 * 4096.0 / 1e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_meter_merge_aggregates_parallel_shards() {
+        // Two shards moving 4KB ops over the same 1ms interval: aggregate
+        // bandwidth doubles, the interval does not.
+        let mut a = RateMeter::new();
+        let mut b = RateMeter::new();
+        for _ in 0..100 {
+            a.record_op(4096);
+            b.record_op(4096);
+        }
+        a.finish(SimDuration::from_ms(1.0));
+        b.finish(SimDuration::from_ms(0.8));
+        a.merge(&b);
+        assert_eq!(a.ops(), 200);
+        assert_eq!(a.elapsed(), SimDuration::from_ms(1.0));
+        assert!((a.kiops() - 200.0).abs() < 1e-9);
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //!
 //! The paper measures primitive latency/bandwidth with fio v3.10 using the
 //! `libpmem` engine (§VI): fixed block size, random or sequential
-//! addressing, one or more threads. This module reproduces that harness
-//! over the [`BlockDevice`] trait and adds the closed-loop thread
-//! projection used by the Figure 9 sweeps.
+//! addressing, one or more threads. This module reproduces the
+//! single-thread harness over the [`BlockDevice`] trait; the multi-thread
+//! Figure 9 sweeps are driven for real by
+//! [`crate::concurrent::ConcurrentFio`], which fans the same job out over
+//! scheduler queues from one worker thread per simulated thread.
 
 use nvdimmc_core::{BlockDevice, CoreError};
-use nvdimmc_sim::{ClosedLoopModel, DeterministicRng, Histogram, RateMeter, SimDuration, Zipf};
+use nvdimmc_sim::{DeterministicRng, Histogram, RateMeter, SimDuration, Zipf};
 use serde::{Deserialize, Serialize};
 
 /// Access pattern.
@@ -165,23 +167,6 @@ impl FioReport {
     pub fn elapsed(&self) -> SimDuration {
         self.meter.elapsed()
     }
-
-    /// Projects aggregate KIOPS at `threads` closed-loop threads, given
-    /// the per-op *serialized* demand (shared-bottleneck time) of this
-    /// device mode. The single-thread service time comes from this
-    /// report's measurement.
-    ///
-    /// This is the paper's Figure 9 methodology in reverse: we measured
-    /// one stream mechanistically; the scaling knee falls out of how much
-    /// of each op holds the shared resource (memory channel + mapping
-    /// lock for Cached, the window budget for Uncached).
-    pub fn project_threads(&self, serial: SimDuration, threads: u32) -> f64 {
-        let total = self.mean_latency();
-        let serial = serial.min(total);
-        let parallel = total - serial;
-        let model = ClosedLoopModel::new(parallel, serial);
-        model.throughput_ops_per_s(threads) / 1e3
-    }
 }
 
 #[cfg(test)]
@@ -276,23 +261,6 @@ mod tests {
         job.run(&mut sys).unwrap();
         let hr = sys.cache_stats().hit_rate();
         assert!(hr > 0.5, "hot pages should mostly hit: {hr:.3}");
-    }
-
-    #[test]
-    fn thread_projection_matches_paper_shape() {
-        // Baseline: 646 KIOPS at 1t scaling to ~2123 KIOPS peak.
-        let mut dev = pmem();
-        let report = FioJob::rand_read_4k(32 << 20, 2_000).run(&mut dev).unwrap();
-        let serial = SimDuration::from_ns(470); // bus occupancy ≈ 0.47us/4KB
-        let x1 = report.project_threads(serial, 1);
-        let x8 = report.project_threads(serial, 8);
-        let x16 = report.project_threads(serial, 16);
-        assert!(x8 > x1 * 2.5, "x8 = {x8:.0}");
-        assert!(
-            x16 < x8 * 1.35,
-            "saturating: x16 = {x16:.0} vs x8 = {x8:.0}"
-        );
-        assert!((1500.0..2400.0).contains(&x16), "peak = {x16:.0} KIOPS");
     }
 
     #[test]

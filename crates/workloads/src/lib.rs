@@ -4,8 +4,11 @@
 //! the emulated-pmem baseline) with the workloads the paper evaluates:
 //!
 //! - [`fio`] — a flexible-I/O-tester clone: random/sequential read/write
-//!   sweeps over block size, plus the closed-loop multi-thread projection
-//!   used for the thread-count figures;
+//!   sweeps over block size;
+//! - [`concurrent`] — the multi-thread fio driver: one closed-loop worker
+//!   per simulated thread, device phases queued through the front-end
+//!   scheduler and shards served from scoped OS threads (the measured
+//!   Figure 9);
 //! - [`filecopy`] — the §VII-B1 experiment: copy a large file from a
 //!   rate-capped SSD onto the device, recording throughput over time;
 //! - [`stream`] — the §VII-A validation: a STREAM-like kernel that
@@ -21,12 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod filecopy;
 pub mod fio;
 pub mod mixedload;
 pub mod stream;
 pub mod tpch;
 
+pub use concurrent::{ConcurrentFio, ConcurrentReport};
 pub use filecopy::{CopyReport, FileCopy};
 pub use fio::{FioJob, FioReport, RwMode};
 pub use mixedload::{MixedLoad, MixedLoadReport};

@@ -281,6 +281,59 @@ mod system_props {
     }
 }
 
+mod interleave_props {
+    use super::*;
+    use nvdimmc::core::{InterleaveMap, PAGE_BYTES};
+
+    fn arb_map() -> impl Strategy<Value = InterleaveMap> {
+        (1u32..=8, 1u64..=8)
+            .prop_map(|(channels, pages)| InterleaveMap::new(channels, pages * PAGE_BYTES).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn locate_to_global_roundtrip(map in arb_map(), addr in 0u64..(1u64 << 40)) {
+            let (shard, local) = map.locate(addr);
+            prop_assert!(shard < map.channels());
+            prop_assert_eq!(map.to_global(shard, local), addr);
+        }
+
+        #[test]
+        fn to_global_locate_roundtrip(
+            map in arb_map(),
+            shard in 0u32..8,
+            local in 0u64..(1u64 << 38),
+        ) {
+            prop_assume!(shard < map.channels());
+            let addr = map.to_global(shard, local);
+            prop_assert_eq!(map.locate(addr), (shard, local));
+        }
+
+        #[test]
+        fn split_range_covers_exactly_in_order(
+            map in arb_map(),
+            offset in 0u64..(1u64 << 32),
+            len in 1u64..(1u64 << 18),
+        ) {
+            let segs = map.split_range(offset, len);
+            let mut covered = 0u64;
+            for seg in &segs {
+                prop_assert_eq!(seg.pos as u64, covered, "buffer positions contiguous");
+                prop_assert_eq!(
+                    map.locate(offset + covered),
+                    (seg.shard, seg.local_offset)
+                );
+                prop_assert!(seg.len > 0);
+                covered += seg.len;
+            }
+            prop_assert_eq!(covered, len);
+            if map.channels() == 1 {
+                prop_assert_eq!(segs.len(), 1, "one channel is always one segment");
+            }
+        }
+    }
+}
+
 mod sim_props {
     use super::*;
     use nvdimmc::sim::{DeterministicRng, SimDuration, SimTime, Zipf};
