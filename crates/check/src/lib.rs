@@ -24,7 +24,11 @@
 //! - [`lint_config`] — static [`NvdimmCConfig`](nvdimmc_core::NvdimmCConfig)
 //!   invariants (window capacity, tREFI/tRFC ratio, cache-vs-media
 //!   geometry), with [`assert_config_clean`] for example/bench entry
-//!   points.
+//!   points;
+//! - [`check_recovery`] — audits a fault campaign's merged
+//!   [`RecoveryStats`](nvdimmc_core::RecoveryStats) ledger: every
+//!   injected fault must be recovered or surfaced as a typed error,
+//!   never silently absorbed.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@ pub mod config;
 pub mod diag;
 pub mod persist;
 pub mod races;
+pub mod recovery;
 pub mod refresh;
 pub mod shards;
 pub mod timing;
@@ -57,6 +62,7 @@ pub use config::{assert_config_clean, lint_config};
 pub use diag::{Diagnostic, Report, Severity};
 pub use persist::check_persistence;
 pub use races::detect_races;
+pub use recovery::check_recovery;
 pub use refresh::check_refresh_windows;
 pub use shards::{check_conservation, check_shards};
 pub use timing::lint_timing;

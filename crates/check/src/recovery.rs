@@ -1,0 +1,290 @@
+//! Recovery-accounting checker: proves a fault campaign left nothing
+//! half-handled.
+//!
+//! The fault-injection subsystem ([`nvdimmc_core::FaultPlan`]) reports a
+//! merged [`RecoveryStats`] after a campaign. This pass audits the ledger:
+//! every injected fault must be either *recovered* (retry ladder, ack
+//! retransmit, burst resume, scrub refill, power-cycle rebuild) or
+//! *surfaced* as a typed error (uncorrectable media, dirty-slot
+//! corruption, degraded shard). Anything that is neither — a corruption
+//! the scrub never saw, a split burst that never resumed, a failed CP
+//! transaction with no degraded shard — is exactly the "silent
+//! corruption" a persistent-memory device must never exhibit.
+
+use crate::diag::Diagnostic;
+use nvdimmc_core::RecoveryStats;
+
+/// Audits a campaign's merged [`RecoveryStats`] for recovery gaps.
+///
+/// Errors mean a fault was neither recovered nor surfaced; warnings mean
+/// the campaign ended before a scheduled or armed fault got its chance to
+/// fire (usually a drain loop that stopped too early).
+pub fn check_recovery(s: &RecoveryStats) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Every uncorrectable NAND read must end in a retry-ladder rescue or
+    // a typed Uncorrectable surfaced to the caller. (Surfaced may exceed
+    // injected: a persistently poisoned page fails every later read.)
+    if s.nand_retry_recovered + s.nand_uncorrectable_surfaced < s.nand_faults_injected {
+        out.push(Diagnostic::error_untimed(
+            "recovery/nand-unaccounted",
+            format!(
+                "{} uncorrectable NAND reads injected but only {} retry-recovered \
+                 and {} surfaced — a media fault vanished",
+                s.nand_faults_injected, s.nand_retry_recovered, s.nand_uncorrectable_surfaced
+            ),
+        ));
+    }
+
+    // Every lost ack (dropped, corrupted, or a mangled command the FPGA
+    // refused) must cost the driver at least one attempt timeout — the
+    // retransmit machinery cannot recover a loss it never noticed.
+    let losses = s.acks_dropped + s.acks_corrupted + s.cmd_decode_failures;
+    if losses > s.cp_attempt_timeouts {
+        out.push(Diagnostic::error_untimed(
+            "recovery/ack-loss-unaccounted",
+            format!(
+                "{losses} CP acks/commands lost but only {} attempt timeouts — \
+                 the driver missed a loss",
+                s.cp_attempt_timeouts
+            ),
+        ));
+    }
+
+    // A CP transaction that exhausted its retransmit budget must leave a
+    // degraded shard behind; failing silently would let later writes
+    // proceed against a dead mailbox.
+    if s.cp_transactions_failed > s.degraded_entries {
+        out.push(Diagnostic::error_untimed(
+            "recovery/degraded-missing",
+            format!(
+                "{} CP transactions failed outright but only {} shards entered \
+                 degraded mode",
+                s.cp_transactions_failed, s.degraded_entries
+            ),
+        ));
+    }
+
+    // Every burst the FPGA split at a window edge must resume and finish
+    // in a later window — an unmatched split is a torn page transfer.
+    if s.bursts_split != s.bursts_resumed {
+        out.push(Diagnostic::error_untimed(
+            "recovery/burst-unresumed",
+            format!(
+                "{} bursts split at the window edge but {} resumed — a transfer \
+                 was torn",
+                s.bursts_split, s.bursts_resumed
+            ),
+        ));
+    }
+
+    // Injected DRAM-slot corruption must be seen by the scrub...
+    if s.slots_corrupted > 0 && s.scrub_detected == 0 {
+        out.push(Diagnostic::error_untimed(
+            "recovery/corruption-undetected",
+            format!(
+                "{} cache slots corrupted and the scrub detected none of them",
+                s.slots_corrupted
+            ),
+        ));
+    }
+    // ...the scrub must not see corruption nobody injected...
+    if s.scrub_detected > s.slots_corrupted {
+        out.push(Diagnostic::error_untimed(
+            "recovery/scrub-phantom",
+            format!(
+                "scrub detected {} corruptions but only {} were injected",
+                s.scrub_detected, s.slots_corrupted
+            ),
+        ));
+    }
+    // ...and every detection must resolve: refilled from Z-NAND, dropped
+    // as a clean victim, or surfaced as dirty-slot data loss.
+    if s.scrub_detected != s.scrub_refills + s.scrub_dropped_clean + s.cache_corruption_surfaced {
+        out.push(Diagnostic::error_untimed(
+            "recovery/scrub-unaccounted",
+            format!(
+                "{} scrub detections vs {} refills + {} clean drops + {} surfaced",
+                s.scrub_detected,
+                s.scrub_refills,
+                s.scrub_dropped_clean,
+                s.cache_corruption_surfaced
+            ),
+        ));
+    }
+
+    // Every injected power failure must be followed by a rebuild.
+    if s.power_fails_fired != s.power_fails_recovered {
+        out.push(Diagnostic::error_untimed(
+            "recovery/power-unrecovered",
+            format!(
+                "{} power failures fired but {} recovered",
+                s.power_fails_fired, s.power_fails_recovered
+            ),
+        ));
+    }
+
+    // Softer signals: the campaign ended with work outstanding.
+    if s.faults_fired < s.faults_scheduled {
+        out.push(Diagnostic::warning(
+            "recovery/faults-pending",
+            format!(
+                "{} of {} scheduled faults fired — drain loop stopped early?",
+                s.faults_fired, s.faults_scheduled
+            ),
+        ));
+    }
+    if s.bursts_split < s.overrun_stalls {
+        out.push(Diagnostic::warning(
+            "recovery/stall-unsplit",
+            format!(
+                "{} window stalls armed but only {} bursts split (a stall can \
+                 land in a window too short to move even one chunk)",
+                s.overrun_stalls, s.bursts_split
+            ),
+        ));
+    }
+    if s.scrub_detected < s.slots_corrupted {
+        out.push(Diagnostic::warning(
+            "recovery/scrub-partial",
+            format!(
+                "{} slots corrupted but scrub saw {} (double corruption of one \
+                 slot detects once)",
+                s.slots_corrupted, s.scrub_detected
+            ),
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recovered_campaign() -> RecoveryStats {
+        RecoveryStats {
+            nand_faults_injected: 3,
+            nand_read_retries: 5,
+            nand_retry_recovered: 3,
+            nand_retry_remaps: 3,
+            acks_dropped: 2,
+            acks_corrupted: 1,
+            replayed_acks: 3,
+            cp_attempt_timeouts: 3,
+            cp_retransmits: 3,
+            cp_recovered: 3,
+            overrun_stalls: 2,
+            bursts_split: 2,
+            bursts_resumed: 2,
+            slots_corrupted: 2,
+            scrub_detected: 2,
+            scrub_refills: 2,
+            power_fails_fired: 1,
+            power_fails_recovered: 1,
+            faults_scheduled: 9,
+            faults_fired: 9,
+            ..RecoveryStats::default()
+        }
+    }
+
+    #[test]
+    fn zero_stats_are_clean() {
+        assert!(check_recovery(&RecoveryStats::default()).is_empty());
+    }
+
+    #[test]
+    fn fully_recovered_campaign_is_clean() {
+        let diags = check_recovery(&recovered_campaign());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn vanished_nand_fault_is_an_error() {
+        let mut s = recovered_campaign();
+        s.nand_retry_recovered = 2;
+        let diags = check_recovery(&s);
+        assert!(diags.iter().any(|d| d.rule == "recovery/nand-unaccounted"));
+    }
+
+    #[test]
+    fn surfaced_uncorrectable_balances_the_ledger() {
+        let mut s = recovered_campaign();
+        s.nand_faults_injected = 4;
+        s.nand_uncorrectable_surfaced = 1;
+        assert!(check_recovery(&s).is_empty());
+    }
+
+    #[test]
+    fn missed_ack_loss_is_an_error() {
+        let mut s = recovered_campaign();
+        s.cp_attempt_timeouts = 2;
+        let diags = check_recovery(&s);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "recovery/ack-loss-unaccounted"));
+    }
+
+    #[test]
+    fn failed_cp_without_degraded_shard_is_an_error() {
+        let mut s = recovered_campaign();
+        s.cp_transactions_failed = 1;
+        let diags = check_recovery(&s);
+        assert!(diags.iter().any(|d| d.rule == "recovery/degraded-missing"));
+        s.degraded_entries = 1;
+        assert!(check_recovery(&s).is_empty());
+    }
+
+    #[test]
+    fn torn_burst_is_an_error() {
+        let mut s = recovered_campaign();
+        s.bursts_resumed = 1;
+        let diags = check_recovery(&s);
+        assert!(diags.iter().any(|d| d.rule == "recovery/burst-unresumed"));
+    }
+
+    #[test]
+    fn undetected_corruption_is_an_error_partial_is_a_warning() {
+        let mut s = recovered_campaign();
+        s.scrub_detected = 0;
+        s.scrub_refills = 0;
+        let diags = check_recovery(&s);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "recovery/corruption-undetected"));
+
+        let mut s = recovered_campaign();
+        s.slots_corrupted = 3;
+        let diags = check_recovery(&s);
+        assert!(diags.iter().all(|d| d.rule == "recovery/scrub-partial"));
+    }
+
+    #[test]
+    fn phantom_scrub_detection_is_an_error() {
+        let mut s = recovered_campaign();
+        s.scrub_detected = 3;
+        s.scrub_refills = 3;
+        let diags = check_recovery(&s);
+        assert!(diags.iter().any(|d| d.rule == "recovery/scrub-phantom"));
+    }
+
+    #[test]
+    fn unrecovered_power_fail_is_an_error() {
+        let mut s = recovered_campaign();
+        s.power_fails_recovered = 0;
+        let diags = check_recovery(&s);
+        assert!(diags.iter().any(|d| d.rule == "recovery/power-unrecovered"));
+    }
+
+    #[test]
+    fn pending_faults_and_unsplit_stalls_warn() {
+        let mut s = recovered_campaign();
+        s.faults_fired = 8;
+        s.bursts_split = 1;
+        s.bursts_resumed = 1;
+        let diags = check_recovery(&s);
+        assert!(diags.iter().any(|d| d.rule == "recovery/faults-pending"));
+        assert!(diags.iter().any(|d| d.rule == "recovery/stall-unsplit"));
+        assert!(diags.iter().all(|d| d.severity == crate::Severity::Warning));
+    }
+}

@@ -1,5 +1,6 @@
 //! Top-level NVDIMM-C configuration.
 
+use crate::faults::RecoveryParams;
 use crate::perf::PerfParams;
 use nvdimmc_ddr::{SpeedBin, TimingParams};
 use nvdimmc_nand::NvmcConfig;
@@ -68,6 +69,9 @@ pub struct NvdimmCConfig {
     pub tlb_entries: usize,
     /// RNG seed for the media model.
     pub seed: u64,
+    /// Driver-side fault-recovery parameters (CP timeout, retransmit
+    /// budget, backoff).
+    pub recovery: RecoveryParams,
 }
 
 /// One 4 KB page.
@@ -93,6 +97,7 @@ impl NvdimmCConfig {
             cpu_cache_bytes: 64 << 10,
             tlb_entries: 256,
             seed: 42,
+            recovery: RecoveryParams::default(),
         }
     }
 
@@ -126,6 +131,7 @@ impl NvdimmCConfig {
             cpu_cache_bytes: 1 << 20,
             tlb_entries: 1536,
             seed: 42,
+            recovery: RecoveryParams::default(),
         }
     }
 
@@ -171,6 +177,12 @@ impl NvdimmCConfig {
         }
         if self.timing.extra_window() == SimDuration::ZERO {
             return Err("programmed tRFC leaves no extra window for the NVMC".into());
+        }
+        if self.recovery.cp_timeout_windows == 0 {
+            return Err("recovery.cp_timeout_windows must be at least 1".into());
+        }
+        if self.recovery.cp_backoff == 0 {
+            return Err("recovery.cp_backoff must be at least 1".into());
         }
         Ok(())
     }

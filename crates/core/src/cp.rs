@@ -50,11 +50,19 @@ impl CpOpcode {
 /// *fill* page and `wb_nand_page` rides in the adjacent word (the PoC's
 /// 64-bit commands cannot carry both; the merged opcode is modelled as a
 /// 2-word command).
+///
+/// The auxiliary word also carries an 8-bit **sequence number** at
+/// `[47:40]`: the driver allocates one per transaction and keeps it fixed
+/// across retransmits (only the phase changes), so the FPGA can tell a
+/// retransmit of a command it already executed from genuinely new work
+/// and re-acknowledge instead of re-executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CpCommand {
     /// Monotonically advancing 4-bit phase; a value different from the
     /// last one the FPGA saw marks the word as new.
     pub phase: u8,
+    /// Per-transaction sequence number, stable across retransmits.
+    pub seq: u8,
     /// The operation.
     pub opcode: CpOpcode,
     /// Target/source DRAM cache slot.
@@ -84,13 +92,14 @@ impl CpCommand {
             | (self.opcode.to_bits() << 56)
             | (self.dram_slot << 28)
             | self.nand_page;
-        let aux = match self.wb_nand_page {
-            Some(p) => {
-                assert!(p <= MAX_NAND_PAGE, "wb page id exceeds 28 bits");
-                p | (1 << 63)
-            }
-            None => 0,
-        };
+        let aux = u64::from(self.seq) << 40
+            | match self.wb_nand_page {
+                Some(p) => {
+                    assert!(p <= MAX_NAND_PAGE, "wb page id exceeds 28 bits");
+                    p | (1 << 63)
+                }
+                None => 0,
+            };
         let mut out = [0u8; 16];
         out[..8].copy_from_slice(&word.to_le_bytes());
         out[8..].copy_from_slice(&aux.to_le_bytes());
@@ -105,27 +114,78 @@ impl CpCommand {
         let opcode = CpOpcode::from_bits((word >> 56) & 0xF)?;
         Some(CpCommand {
             phase: ((word >> 60) & 0xF) as u8,
+            seq: ((aux >> 40) & 0xFF) as u8,
             opcode,
             dram_slot: (word >> 28) & MAX_SLOT,
             nand_page: word & MAX_NAND_PAGE,
             wb_nand_page: (aux >> 63 == 1).then_some(aux & MAX_NAND_PAGE),
         })
     }
+
+    /// The retransmit-identity key: everything except the phase. Two
+    /// commands with the same key are the same transaction (a retransmit),
+    /// possibly published under different phases.
+    pub fn txn_key(&self) -> (u8, CpOpcode, u64, u64, Option<u64>) {
+        (
+            self.seq,
+            self.opcode,
+            self.dram_slot,
+            self.nand_page,
+            self.wb_nand_page,
+        )
+    }
 }
 
+/// Ack status code: success.
+pub const ACK_OK: u8 = 0;
+/// Ack status code: the NAND backend hit an uncorrectable media error.
+pub const ACK_ERR_UNCORRECTABLE: u8 = 1;
+/// Ack status code: any other NAND backend failure.
+pub const ACK_ERR_NAND: u8 = 2;
+/// Ack status code: the command itself was malformed (e.g. a merged
+/// opcode without a writeback page).
+pub const ACK_ERR_PROTOCOL: u8 = 3;
+
 /// The acknowledgement word the FPGA writes back.
+///
+/// Layout: `[63:60] phase`, `[15:8] status code`, `[1] ok`, `[0] valid`.
+/// On failure (`ok == false`) the status code says why, so the driver can
+/// surface a typed error instead of a generic protocol failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CpAck {
     /// Echo of the command's phase.
     pub phase: u8,
     /// Whether the operation succeeded.
     pub ok: bool,
+    /// Status code ([`ACK_OK`], [`ACK_ERR_UNCORRECTABLE`], ...).
+    pub code: u8,
 }
 
 impl CpAck {
+    /// A success ack for `phase`.
+    pub fn ok(phase: u8) -> Self {
+        CpAck {
+            phase,
+            ok: true,
+            code: ACK_OK,
+        }
+    }
+
+    /// A failure ack for `phase` carrying `code`.
+    pub fn failed(phase: u8, code: u8) -> Self {
+        CpAck {
+            phase,
+            ok: false,
+            code,
+        }
+    }
+
     /// Encodes the ack word.
     pub fn encode(&self) -> [u8; 8] {
-        let w = (u64::from(self.phase & 0xF) << 60) | (u64::from(self.ok) << 1) | 1;
+        let w = (u64::from(self.phase & 0xF) << 60)
+            | (u64::from(self.code) << 8)
+            | (u64::from(self.ok) << 1)
+            | 1;
         w.to_le_bytes()
     }
 
@@ -138,6 +198,7 @@ impl CpAck {
         Some(CpAck {
             phase: ((w >> 60) & 0xF) as u8,
             ok: (w >> 1) & 1 == 1,
+            code: ((w >> 8) & 0xFF) as u8,
         })
     }
 }
@@ -151,6 +212,7 @@ mod tests {
         for opcode in [CpOpcode::Cachefill, CpOpcode::Writeback] {
             let cmd = CpCommand {
                 phase: 7,
+                seq: 0x5A,
                 opcode,
                 dram_slot: 123_456,
                 nand_page: 9_876_543,
@@ -164,6 +226,7 @@ mod tests {
     fn merged_command_roundtrip() {
         let cmd = CpCommand {
             phase: 3,
+            seq: 0xFF,
             opcode: CpOpcode::WritebackCachefill,
             dram_slot: 1,
             nand_page: 2,
@@ -181,6 +244,7 @@ mod tests {
     fn phase_wraps_at_four_bits() {
         let cmd = CpCommand {
             phase: 0x1F, // only low 4 bits survive
+            seq: 0,
             opcode: CpOpcode::Cachefill,
             dram_slot: 0,
             nand_page: 0,
@@ -193,6 +257,7 @@ mod tests {
     fn field_extremes_roundtrip() {
         let cmd = CpCommand {
             phase: 0xF,
+            seq: 0xAB,
             opcode: CpOpcode::Writeback,
             dram_slot: MAX_SLOT,
             nand_page: MAX_NAND_PAGE,
@@ -206,6 +271,7 @@ mod tests {
     fn oversized_slot_panics() {
         CpCommand {
             phase: 0,
+            seq: 0,
             opcode: CpOpcode::Cachefill,
             dram_slot: MAX_SLOT + 1,
             nand_page: 0,
@@ -218,7 +284,11 @@ mod tests {
     fn ack_roundtrip_and_empty() {
         assert_eq!(CpAck::decode(&[0u8; 8]), None);
         for ok in [true, false] {
-            let ack = CpAck { phase: 9, ok };
+            let ack = CpAck {
+                phase: 9,
+                ok,
+                code: 2,
+            };
             assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
         }
     }
@@ -228,6 +298,7 @@ mod tests {
         let mk = |phase| {
             CpCommand {
                 phase,
+                seq: 0,
                 opcode: CpOpcode::Cachefill,
                 dram_slot: 5,
                 nand_page: 6,
@@ -236,5 +307,125 @@ mod tests {
             .encode()
         };
         assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn seq_survives_roundtrip_and_differs_from_phase() {
+        let cmd = CpCommand {
+            phase: 1,
+            seq: 0xC3,
+            opcode: CpOpcode::Cachefill,
+            dram_slot: 0,
+            nand_page: 0,
+            wb_nand_page: None,
+        };
+        let out = CpCommand::decode(&cmd.encode()).unwrap();
+        assert_eq!(out.seq, 0xC3);
+        // Same transaction republished under a new phase: same key.
+        let retx = CpCommand { phase: 2, ..cmd };
+        assert_eq!(cmd.txn_key(), retx.txn_key());
+        assert_ne!(cmd.encode(), retx.encode());
+    }
+
+    #[test]
+    fn ack_code_roundtrip() {
+        for code in [
+            ACK_OK,
+            ACK_ERR_UNCORRECTABLE,
+            ACK_ERR_NAND,
+            ACK_ERR_PROTOCOL,
+        ] {
+            let ack = CpAck::failed(5, code);
+            assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
+        }
+        assert!(CpAck::decode(&CpAck::ok(3).encode()).unwrap().ok);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_opcode() -> impl Strategy<Value = CpOpcode> {
+        prop_oneof![
+            Just(CpOpcode::Cachefill),
+            Just(CpOpcode::Writeback),
+            Just(CpOpcode::WritebackCachefill),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn command_roundtrips_for_all_fields(
+            phase in 0u8..16,
+            seq in any::<u8>(),
+            opcode in arb_opcode(),
+            dram_slot in 0u64..=MAX_SLOT,
+            nand_page in 0u64..=MAX_NAND_PAGE,
+            wb in prop::option::of(0u64..=MAX_NAND_PAGE),
+        ) {
+            let cmd = CpCommand { phase, seq, opcode, dram_slot, nand_page, wb_nand_page: wb };
+            prop_assert_eq!(CpCommand::decode(&cmd.encode()), Some(cmd));
+        }
+
+        /// Arbitrary mailbox bytes never panic the decoder, and whatever
+        /// decodes is in-range and re-encodable.
+        #[test]
+        fn command_decode_is_total_and_canonical(bytes in prop::collection::vec(any::<u8>(), 16)) {
+            let bytes: [u8; 16] = bytes.try_into().expect("fixed-size vec");
+            match CpCommand::decode(&bytes) {
+                None => {}
+                Some(cmd) => {
+                    prop_assert!(cmd.phase < 16);
+                    prop_assert!(cmd.dram_slot <= MAX_SLOT);
+                    prop_assert!(cmd.nand_page <= MAX_NAND_PAGE);
+                    if let Some(p) = cmd.wb_nand_page {
+                        prop_assert!(p <= MAX_NAND_PAGE);
+                    }
+                    // Decoded commands re-encode without panicking, and the
+                    // re-encoded form decodes back to the same command.
+                    prop_assert_eq!(CpCommand::decode(&cmd.encode()), Some(cmd));
+                }
+            }
+        }
+
+        /// A single corrupted byte in an encoded command either kills the
+        /// word (decode `None` — droppable) or yields an in-range command;
+        /// it can never panic or smuggle out-of-range fields through.
+        #[test]
+        fn corrupted_command_byte_is_safe(
+            phase in 0u8..16,
+            seq in any::<u8>(),
+            opcode in arb_opcode(),
+            dram_slot in 0u64..=MAX_SLOT,
+            nand_page in 0u64..=MAX_NAND_PAGE,
+            idx in 0usize..16,
+            flip in 1u8..=255,
+        ) {
+            let cmd = CpCommand { phase, seq, opcode, dram_slot, nand_page, wb_nand_page: None };
+            let mut bytes = cmd.encode();
+            bytes[idx] ^= flip;
+            if let Some(out) = CpCommand::decode(&bytes) {
+                prop_assert!(out.dram_slot <= MAX_SLOT);
+                prop_assert!(out.nand_page <= MAX_NAND_PAGE);
+            }
+        }
+
+        #[test]
+        fn ack_roundtrips_for_all_fields(phase in 0u8..16, ok in any::<bool>(), code in any::<u8>()) {
+            let ack = CpAck { phase, ok, code };
+            prop_assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
+        }
+
+        /// Ack decode is total over arbitrary bytes.
+        #[test]
+        fn ack_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 8)) {
+            let bytes: [u8; 8] = bytes.try_into().expect("fixed-size vec");
+            if let Some(ack) = CpAck::decode(&bytes) {
+                prop_assert!(ack.phase < 16);
+                prop_assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
+            }
+        }
     }
 }

@@ -25,6 +25,35 @@ pub enum CoreError {
     Protocol(String),
     /// Configuration rejected.
     Config(String),
+    /// A CP transaction exhausted its retransmit budget without an ack;
+    /// the shard has entered degraded mode.
+    CpTimeout {
+        /// Publish attempts made (1 initial + retransmits).
+        attempts: u32,
+    },
+    /// The shard is degraded (a CP transaction previously failed): writes
+    /// and NAND-backed fills are refused until recovery.
+    DegradedShard {
+        /// Why the shard degraded.
+        reason: String,
+    },
+    /// A simulated power failure interrupted the operation; recover with
+    /// the power-fail dump and a rebuild.
+    PowerInterrupted,
+    /// The DRAM-cache scrub found corruption in a dirty slot — no clean
+    /// copy exists anywhere, so the loss must surface.
+    CacheCorruption {
+        /// The NAND logical page whose cached copy was corrupted.
+        page: u64,
+    },
+    /// The NAND backend reported an uncorrectable media error for a page
+    /// during a CP transaction.
+    MediaFailed {
+        /// The failing NAND logical page.
+        page: u64,
+        /// The CP ack status code (see [`crate::cp::ACK_ERR_UNCORRECTABLE`]).
+        code: u8,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +66,19 @@ impl fmt::Display for CoreError {
             }
             CoreError::Protocol(msg) => write!(f, "CP protocol error: {msg}"),
             CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::CpTimeout { attempts } => {
+                write!(f, "CP transaction unacked after {attempts} attempts")
+            }
+            CoreError::DegradedShard { reason } => {
+                write!(f, "shard is degraded: {reason}")
+            }
+            CoreError::PowerInterrupted => write!(f, "power failure interrupted the operation"),
+            CoreError::CacheCorruption { page } => {
+                write!(f, "dirty cache slot for page {page:#x} is corrupt")
+            }
+            CoreError::MediaFailed { page, code } => {
+                write!(f, "NAND media failed for page {page:#x} (ack code {code})")
+            }
         }
     }
 }

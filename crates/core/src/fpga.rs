@@ -20,11 +20,13 @@
 //! so batched refresh catch-up during FPGA-idle periods is behaviourally
 //! identical.
 
-use crate::cp::{CpAck, CpCommand, CpOpcode};
+use crate::cp::{
+    CpAck, CpCommand, CpOpcode, ACK_ERR_NAND, ACK_ERR_PROTOCOL, ACK_ERR_UNCORRECTABLE, ACK_OK,
+};
 use crate::error::CoreError;
 use crate::layout::{Layout, SLOT_BYTES};
 use nvdimmc_ddr::{BusMaster, Command, SharedBus};
-use nvdimmc_nand::Nvmc;
+use nvdimmc_nand::{NandError, Nvmc};
 use nvdimmc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +47,23 @@ pub struct FpgaStats {
     pub merged_ops: u64,
     /// Bytes DMAed between DRAM and the controller.
     pub dma_bytes: u64,
+    /// Acks lost on the way out (injected mailbox fault).
+    pub acks_dropped: u64,
+    /// Acks written as garbage (injected mailbox fault).
+    pub acks_corrupted: u64,
+    /// Non-empty CP command words that failed to decode (dropped as
+    /// retryable mailbox faults; the driver's retransmit recovers).
+    pub cmd_decode_failures: u64,
+    /// Commands nacked because the NAND backend failed mid-command.
+    pub nand_errors_nacked: u64,
+    /// Acks replayed for a retransmit of an already-executed command.
+    pub replayed_acks: u64,
+    /// Injected window-overrun stalls applied to an NVMC transfer.
+    pub overrun_stalls: u64,
+    /// In-flight NVMC bursts aborted at the window edge and split.
+    pub bursts_split: u64,
+    /// Split bursts completed in a later window.
+    pub bursts_resumed: u64,
 }
 
 impl FpgaStats {
@@ -58,21 +77,61 @@ impl FpgaStats {
         self.writebacks += other.writebacks;
         self.merged_ops += other.merged_ops;
         self.dma_bytes += other.dma_bytes;
+        self.acks_dropped += other.acks_dropped;
+        self.acks_corrupted += other.acks_corrupted;
+        self.cmd_decode_failures += other.cmd_decode_failures;
+        self.nand_errors_nacked += other.nand_errors_nacked;
+        self.replayed_acks += other.replayed_acks;
+        self.overrun_stalls += other.overrun_stalls;
+        self.bursts_split += other.bursts_split;
+        self.bursts_resumed += other.bursts_resumed;
     }
 }
+
+/// An injectable CP-mailbox acknowledgement fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckFault {
+    /// The ack word is lost: the FPGA believes it acknowledged, the
+    /// driver never sees it.
+    Drop,
+    /// The ack word is written but arrives mangled (decodes as empty).
+    Corrupt,
+}
+
+/// The identity of the last completed transaction and how it was acked:
+/// `(txn_key, ok, code)`.
+type DoneTxn = ((u8, CpOpcode, u64, u64, Option<u64>), bool, u8);
 
 #[derive(Debug)]
 enum FpgaState {
     /// No command in flight; poll the CP area.
     Idle,
     /// Writeback: read the victim slot out of DRAM (needs a window).
-    WbRead { cmd: CpCommand },
+    /// `got` accumulates the lines read so far — a burst aborted at the
+    /// window edge resumes from here next window.
+    WbRead { cmd: CpCommand, got: Vec<u8> },
     /// Cachefill: wait for the NAND read, then DMA into the slot.
-    CfDmaWrite { cmd: CpCommand, data: Vec<u8> },
+    /// `written` counts lines already landed by earlier (split) chunks.
+    CfDmaWrite {
+        cmd: CpCommand,
+        data: Vec<u8>,
+        written: u64,
+    },
     /// Merged op: victim read done and programmed; fill data ready to DMA.
-    MergedDmaWrite { cmd: CpCommand, data: Vec<u8> },
-    /// Write the acknowledgement word (needs a window).
-    Ack { phase: u8, ok: bool, done: CpOpcode },
+    MergedDmaWrite {
+        cmd: CpCommand,
+        data: Vec<u8>,
+        written: u64,
+    },
+    /// Write the acknowledgement word (needs a window). `done` is the
+    /// opcode to credit in the stats, `None` for a replayed ack (the
+    /// command already ran; only its ack was lost).
+    Ack {
+        cmd: CpCommand,
+        ok: bool,
+        code: u8,
+        done: Option<CpOpcode>,
+    },
 }
 
 /// The FPGA engine. Owns no bus or NAND — both are passed per window so
@@ -88,6 +147,17 @@ pub struct Fpga {
     last_phase: Option<u8>,
     /// Fill data read ahead for a merged writeback+cachefill command.
     pending_fill: Option<Vec<u8>>,
+    /// Identity + outcome of the last completed transaction, for
+    /// retransmit detection: a new phase carrying the same key means the
+    /// ack was lost, and the FPGA re-acks instead of re-executing.
+    last_done: Option<DoneTxn>,
+    /// Last non-empty mailbox word that failed to decode (so one garbage
+    /// word is counted once, not once per poll).
+    last_garbage: Option<[u8; 16]>,
+    /// Injected ack faults, consumed FIFO as acks go out.
+    ack_faults: std::collections::VecDeque<AckFault>,
+    /// Injected window-overrun stall, armed for the next NVMC transfer.
+    stall_armed: bool,
     stats: FpgaStats,
 }
 
@@ -102,6 +172,10 @@ impl Fpga {
             ready_at: SimTime::ZERO,
             last_phase: None,
             pending_fill: None,
+            last_done: None,
+            last_garbage: None,
+            ack_faults: std::collections::VecDeque::new(),
+            stall_armed: false,
             stats: FpgaStats::default(),
         }
     }
@@ -114,6 +188,38 @@ impl Fpga {
     /// Whether a command is currently being processed.
     pub fn is_busy(&self) -> bool {
         !matches!(self.state, FpgaState::Idle)
+    }
+
+    /// Queues a mailbox ack fault: the next ack leaving the FPGA is
+    /// dropped or corrupted.
+    pub fn inject_ack_fault(&mut self, fault: AckFault) {
+        self.ack_faults.push_back(fault);
+    }
+
+    /// Arms a window-overrun stall: the next NVMC data transfer starts so
+    /// late in its window that it cannot finish and must be aborted at the
+    /// window edge and resumed in the next one.
+    pub fn inject_window_stall(&mut self) {
+        self.stall_armed = true;
+    }
+
+    /// Injected faults armed but not yet consumed.
+    pub fn armed_faults(&self) -> usize {
+        self.ack_faults.len() + usize::from(self.stall_armed)
+    }
+
+    /// Carries the cumulative recovery counters of a pre-power-cycle FPGA
+    /// into this (freshly assembled) one, so campaign accounting spans
+    /// power cycles.
+    pub(crate) fn carry_recovery_counters(&mut self, prev: &FpgaStats) {
+        self.stats.acks_dropped += prev.acks_dropped;
+        self.stats.acks_corrupted += prev.acks_corrupted;
+        self.stats.cmd_decode_failures += prev.cmd_decode_failures;
+        self.stats.nand_errors_nacked += prev.nand_errors_nacked;
+        self.stats.replayed_acks += prev.replayed_acks;
+        self.stats.overrun_stalls += prev.overrun_stalls;
+        self.stats.bursts_split += prev.bursts_split;
+        self.stats.bursts_resumed += prev.bursts_resumed;
     }
 
     /// Services one detected refresh window.
@@ -172,8 +278,6 @@ impl Fpga {
             (ref_at + t.trfc_base, ref_at + t.trfc_total)
         };
         let start = self.ready_at.max(opens);
-        // Enough budget for the largest single action (a 4 KB page DMA)?
-        let page_dma = Self::page_dma_duration(bus);
         let poll_needs = Self::poll_duration(bus);
         let budget_for = |need: SimDuration| start + need <= closes;
 
@@ -184,108 +288,332 @@ impl Fpga {
                     return Ok(0);
                 }
                 let (bytes, end) = self.dma_read(bus, layout.cp_command(), 128, start)?;
-                let word: [u8; 16] = bytes[..16].try_into().expect("16-byte CP word");
+                let word: [u8; 16] = bytes[..16]
+                    .try_into()
+                    .map_err(|_| CoreError::Protocol("CP poll returned short data".into()))?;
                 match CpCommand::decode(&word) {
                     Some(cmd) if Some(cmd.phase) != self.last_phase => {
                         self.last_phase = Some(cmd.phase);
+                        self.last_garbage = None;
                         self.ready_at = end + self.step_delay;
+                        if let Some((key, ok, code)) = self.last_done {
+                            if key == cmd.txn_key() {
+                                // A retransmit of the transaction we just
+                                // completed: its ack was lost. Re-ack under
+                                // the new phase without re-executing.
+                                self.stats.replayed_acks += 1;
+                                self.state = FpgaState::Ack {
+                                    cmd,
+                                    ok,
+                                    code,
+                                    done: None,
+                                };
+                                return Ok(128);
+                            }
+                        }
                         self.state = match cmd.opcode {
                             CpOpcode::Cachefill => {
                                 // Start the NAND read as soon as decode
                                 // finishes; the DMA waits on its data.
-                                let (data, ready) = nvmc.read_page(cmd.nand_page, self.ready_at)?;
-                                self.ready_at = ready + self.step_delay;
-                                FpgaState::CfDmaWrite { cmd, data }
+                                match nvmc.read_page(cmd.nand_page, self.ready_at) {
+                                    Ok((data, ready)) => {
+                                        self.ready_at = ready + self.step_delay;
+                                        FpgaState::CfDmaWrite {
+                                            cmd,
+                                            data,
+                                            written: 0,
+                                        }
+                                    }
+                                    Err(e) => self.nand_nack(cmd, &e),
+                                }
                             }
-                            CpOpcode::Writeback => FpgaState::WbRead { cmd },
+                            CpOpcode::Writeback => FpgaState::WbRead {
+                                cmd,
+                                got: Vec::with_capacity(SLOT_BYTES as usize),
+                            },
                             CpOpcode::WritebackCachefill => {
                                 // The fill read overlaps the victim
                                 // read-out: kick it off now and stash it.
-                                let (data, _ready) =
-                                    nvmc.read_page(cmd.nand_page, self.ready_at)?;
-                                self.pending_fill = Some(data);
-                                FpgaState::WbRead { cmd }
+                                match nvmc.read_page(cmd.nand_page, self.ready_at) {
+                                    Ok((data, _ready)) => {
+                                        self.pending_fill = Some(data);
+                                        FpgaState::WbRead {
+                                            cmd,
+                                            got: Vec::with_capacity(SLOT_BYTES as usize),
+                                        }
+                                    }
+                                    Err(e) => self.nand_nack(cmd, &e),
+                                }
                             }
                         };
                         Ok(128)
+                    }
+                    None if word != [0u8; 16] => {
+                        // A non-empty word that does not decode: a mangled
+                        // command. Drop it — the driver's retransmit (new
+                        // phase, fresh bytes) recovers. Count each distinct
+                        // garbage word once, not once per poll.
+                        if self.last_garbage != Some(word) {
+                            self.last_garbage = Some(word);
+                            self.stats.cmd_decode_failures += 1;
+                        }
+                        Ok(0)
                     }
                     // Polled, nothing new: the idle FPGA is done with this
                     // window.
                     _ => Ok(0),
                 }
             }
-            FpgaState::WbRead { cmd } => {
-                if !budget_for(page_dma) {
-                    self.state = FpgaState::WbRead { cmd };
+            FpgaState::WbRead { cmd, mut got } => {
+                let total = SLOT_BYTES / 64;
+                let done = (got.len() / 64) as u64;
+                let Some((xfer_at, lines)) =
+                    self.plan_chunk(bus, start, closes, total - done, done > 0)
+                else {
+                    self.state = FpgaState::WbRead { cmd, got };
                     return Ok(0);
+                };
+                let slot_addr = layout.slot_addr(cmd.dram_slot) + done * 64;
+                let (chunk, end) = self.dma_read(bus, slot_addr, lines * 64, xfer_at)?;
+                got.extend_from_slice(&chunk);
+                if done > 0 && done + lines == total {
+                    self.stats.bursts_resumed += 1;
                 }
-                let slot_addr = layout.slot_addr(cmd.dram_slot);
-                let (victim, end) = self.dma_read(bus, slot_addr, SLOT_BYTES, start)?;
+                if done + lines < total {
+                    // Burst aborted at the window edge; resume next window.
+                    self.ready_at = end + self.step_delay;
+                    self.state = FpgaState::WbRead { cmd, got };
+                    return Ok(lines * 64);
+                }
                 let wb_page = match cmd.opcode {
-                    CpOpcode::WritebackCachefill => cmd.wb_nand_page.ok_or_else(|| {
-                        CoreError::Protocol("merged command without wb page".into())
-                    })?,
+                    CpOpcode::WritebackCachefill => match cmd.wb_nand_page {
+                        Some(p) => p,
+                        None => {
+                            // Malformed merged command: nack instead of
+                            // writing to a bogus page.
+                            self.pending_fill = None;
+                            self.ready_at = end + self.step_delay;
+                            self.state = FpgaState::Ack {
+                                cmd,
+                                ok: false,
+                                code: ACK_ERR_PROTOCOL,
+                                done: None,
+                            };
+                            return Ok(lines * 64);
+                        }
+                    },
                     _ => cmd.nand_page,
                 };
-                let ack_at = nvmc.write_page(wb_page, &victim, end + self.step_delay)?;
-                self.ready_at = ack_at + self.step_delay;
-                self.state = match (cmd.opcode, self.pending_fill.take()) {
-                    (CpOpcode::WritebackCachefill, Some(data)) => {
-                        FpgaState::MergedDmaWrite { cmd, data }
+                match nvmc.write_page(wb_page, &got, end + self.step_delay) {
+                    Ok(ack_at) => {
+                        self.ready_at = ack_at + self.step_delay;
+                        self.state = match (cmd.opcode, self.pending_fill.take()) {
+                            (CpOpcode::WritebackCachefill, Some(data)) => {
+                                FpgaState::MergedDmaWrite {
+                                    cmd,
+                                    data,
+                                    written: 0,
+                                }
+                            }
+                            _ => FpgaState::Ack {
+                                cmd,
+                                ok: true,
+                                code: ACK_OK,
+                                done: Some(cmd.opcode),
+                            },
+                        };
                     }
-                    _ => FpgaState::Ack {
-                        phase: cmd.phase,
-                        ok: true,
-                        done: cmd.opcode,
-                    },
-                };
-                Ok(SLOT_BYTES)
+                    Err(e) => {
+                        self.pending_fill = None;
+                        self.ready_at = end + self.step_delay;
+                        self.state = self.nand_nack(cmd, &e);
+                    }
+                }
+                Ok(lines * 64)
             }
-            FpgaState::CfDmaWrite { cmd, data } | FpgaState::MergedDmaWrite { cmd, data } => {
+            FpgaState::CfDmaWrite { cmd, data, written }
+            | FpgaState::MergedDmaWrite { cmd, data, written } => {
                 let merged = matches!(cmd.opcode, CpOpcode::WritebackCachefill);
-                if !budget_for(page_dma) {
-                    self.state = if merged {
-                        FpgaState::MergedDmaWrite { cmd, data }
+                let restore = |cmd, data, written| {
+                    if merged {
+                        FpgaState::MergedDmaWrite { cmd, data, written }
                     } else {
-                        FpgaState::CfDmaWrite { cmd, data }
+                        FpgaState::CfDmaWrite { cmd, data, written }
+                    }
+                };
+                let total = (data.len() / 64) as u64;
+                let Some((xfer_at, lines)) =
+                    self.plan_chunk(bus, start, closes, total - written, written > 0)
+                else {
+                    self.state = restore(cmd, data, written);
+                    return Ok(0);
+                };
+                let slot_addr = layout.slot_addr(cmd.dram_slot) + written * 64;
+                let end = self.dma_write(
+                    bus,
+                    slot_addr,
+                    &data[written as usize * 64..(written + lines) as usize * 64],
+                    xfer_at,
+                )?;
+                if written > 0 && written + lines == total {
+                    self.stats.bursts_resumed += 1;
+                }
+                self.ready_at = end + self.step_delay;
+                self.state = if written + lines < total {
+                    restore(cmd, data, written + lines)
+                } else {
+                    FpgaState::Ack {
+                        cmd,
+                        ok: true,
+                        code: ACK_OK,
+                        done: Some(cmd.opcode),
+                    }
+                };
+                Ok(lines * 64)
+            }
+            FpgaState::Ack {
+                cmd,
+                ok,
+                code,
+                done,
+            } => {
+                if !budget_for(poll_needs) {
+                    self.state = FpgaState::Ack {
+                        cmd,
+                        ok,
+                        code,
+                        done,
                     };
                     return Ok(0);
                 }
-                let slot_addr = layout.slot_addr(cmd.dram_slot);
-                let end = self.dma_write(bus, slot_addr, &data, start)?;
-                self.ready_at = end + self.step_delay;
-                self.state = FpgaState::Ack {
-                    phase: cmd.phase,
-                    ok: true,
-                    done: cmd.opcode,
+                let end = match self.ack_faults.pop_front() {
+                    Some(AckFault::Drop) => {
+                        // The ack is lost in flight: no bus activity, but
+                        // the FSM advances as if it had been delivered.
+                        self.stats.acks_dropped += 1;
+                        start
+                    }
+                    Some(AckFault::Corrupt) => {
+                        // The ack line lands mangled: the valid bit is
+                        // clear, so the driver reads it as empty.
+                        self.stats.acks_corrupted += 1;
+                        let mut line = [0u8; 64];
+                        line[..8].copy_from_slice(&0xDEAD_BEEF_0000_0002u64.to_le_bytes());
+                        self.dma_write(bus, layout.cp_ack(), &line, start)?
+                    }
+                    None => {
+                        let word = CpAck {
+                            phase: cmd.phase,
+                            ok,
+                            code,
+                        }
+                        .encode();
+                        let mut line = [0u8; 64];
+                        line[..8].copy_from_slice(&word);
+                        self.dma_write(bus, layout.cp_ack(), &line, start)?
+                    }
                 };
-                Ok(SLOT_BYTES)
-            }
-            FpgaState::Ack { phase, ok, done } => {
-                if !budget_for(poll_needs) {
-                    self.state = FpgaState::Ack { phase, ok, done };
-                    return Ok(0);
-                }
-                let word = CpAck { phase, ok }.encode();
-                let mut line = [0u8; 64];
-                line[..8].copy_from_slice(&word);
-                let end = self.dma_write(bus, layout.cp_ack(), &line, start)?;
                 self.ready_at = end + self.step_delay;
-                match done {
-                    CpOpcode::Cachefill => self.stats.cachefills += 1,
-                    CpOpcode::Writeback => self.stats.writebacks += 1,
-                    CpOpcode::WritebackCachefill => self.stats.merged_ops += 1,
+                if let Some(op) = done {
+                    match op {
+                        CpOpcode::Cachefill => self.stats.cachefills += 1,
+                        CpOpcode::Writeback => self.stats.writebacks += 1,
+                        CpOpcode::WritebackCachefill => self.stats.merged_ops += 1,
+                    }
                 }
+                self.last_done = Some((cmd.txn_key(), ok, code));
                 self.state = FpgaState::Idle;
                 Ok(64)
             }
         }
     }
 
-    /// Conservative duration of a full-page DMA inside a window.
-    fn page_dma_duration(bus: &SharedBus) -> SimDuration {
+    /// Maps a NAND failure during command execution to a failure ack, so
+    /// the error reaches the driver as a typed nack instead of tearing
+    /// down the FSM mid-command.
+    fn nand_nack(&mut self, cmd: CpCommand, e: &NandError) -> FpgaState {
+        self.stats.nand_errors_nacked += 1;
+        let code = match e {
+            NandError::Uncorrectable { .. } => ACK_ERR_UNCORRECTABLE,
+            _ => ACK_ERR_NAND,
+        };
+        FpgaState::Ack {
+            cmd,
+            ok: false,
+            code,
+            done: None,
+        }
+    }
+
+    /// Plans the next chunk of an NVMC data burst: `Some((start, lines))`
+    /// to transfer now, `None` to defer the window entirely.
+    ///
+    /// The no-fault path is exactly the historical behaviour: a burst only
+    /// starts when it fully fits inside the window. Once a burst is in
+    /// progress — or an injected stall pushes its start late — the engine
+    /// moves as many cachelines as still fit (ACT + RD/WRs + PRE all
+    /// inside the window), aborts at the edge, and resumes next window.
+    fn plan_chunk(
+        &mut self,
+        bus: &SharedBus,
+        start: SimTime,
+        closes: SimTime,
+        remaining: u64,
+        in_progress: bool,
+    ) -> Option<(SimTime, u64)> {
+        let mut start = start;
+        let full = Self::burst_duration(bus, remaining);
+        let fits_full = start + full <= closes;
+        if self.stall_armed && !in_progress && fits_full {
+            // Model an upstream hiccup in the window where the burst would
+            // have landed whole: the transfer becomes ready so late that
+            // only about half of it fits before the window closes.
+            self.stall_armed = false;
+            self.stats.overrun_stalls += 1;
+            let half = Self::chunk_duration(bus, (remaining / 2).max(1));
+            if closes > start + half {
+                start = (closes - half).max(start);
+            }
+        } else if !in_progress {
+            return fits_full.then_some((start, remaining));
+        }
+        if start + full <= closes {
+            return Some((start, remaining));
+        }
+        let fit = Self::lines_that_fit(bus, start, closes, remaining);
+        if fit == 0 {
+            return None;
+        }
+        if !in_progress {
+            self.stats.bursts_split += 1;
+        }
+        Some((start, fit))
+    }
+
+    /// Duration estimate of an NVMC burst of `lines` cachelines — the
+    /// historical full-page formula generalized to any line count. Used
+    /// for the whole-burst-fits fast path; must stay byte-identical to
+    /// the original so the no-fault schedule does not move.
+    fn burst_duration(bus: &SharedBus, lines: u64) -> SimDuration {
         let t = bus.device().timing();
-        t.trcd + t.tccd_l * (SLOT_BYTES / 64) + t.tcl + t.burst_time() + t.trtp + t.trp
+        t.trcd + t.tccd_l * lines + t.tcl + t.burst_time() + t.trtp + t.trp
+    }
+
+    /// Conservative duration of a partial chunk of `lines` cachelines,
+    /// covering both read (tRTP-gated) and write (tWR-gated) precharge.
+    fn chunk_duration(bus: &SharedBus, lines: u64) -> SimDuration {
+        let t = bus.device().timing();
+        t.trcd + t.tccd_l * lines + t.tcl + t.burst_time() + t.trtp.max(t.twr) + t.trp
+    }
+
+    /// Largest chunk (in cachelines, at most `want`) whose conservative
+    /// duration still fits between `start` and `closes`.
+    fn lines_that_fit(bus: &SharedBus, start: SimTime, closes: SimTime, want: u64) -> u64 {
+        let mut fit = 0;
+        while fit < want && start + Self::chunk_duration(bus, fit + 1) <= closes {
+            fit += 1;
+        }
+        fit
     }
 
     /// Conservative duration of a CP poll (two cachelines).
@@ -303,10 +631,11 @@ impl Fpga {
         len: u64,
         start: SimTime,
     ) -> Result<(Vec<u8>, SimTime), CoreError> {
-        assert!(
-            addr.is_multiple_of(64) && len.is_multiple_of(64),
-            "DMA is cacheline-granular"
-        );
+        if !addr.is_multiple_of(64) || !len.is_multiple_of(64) {
+            return Err(CoreError::Protocol(format!(
+                "misaligned DMA read: addr {addr:#x} len {len}"
+            )));
+        }
         let dec = bus
             .device()
             .mapping()
@@ -361,10 +690,12 @@ impl Fpga {
         data: &[u8],
         start: SimTime,
     ) -> Result<SimTime, CoreError> {
-        assert!(
-            addr.is_multiple_of(64) && data.len().is_multiple_of(64),
-            "DMA is cacheline-granular"
-        );
+        if !addr.is_multiple_of(64) || !data.len().is_multiple_of(64) {
+            return Err(CoreError::Protocol(format!(
+                "misaligned DMA write: addr {addr:#x} len {}",
+                data.len()
+            )));
+        }
         let dec = bus
             .device()
             .mapping()
@@ -395,7 +726,7 @@ impl Fpga {
             )?;
             let line: [u8; 64] = data[(i as usize) * 64..(i as usize + 1) * 64]
                 .try_into()
-                .expect("64-byte line");
+                .map_err(|_| CoreError::Protocol("DMA write chunk not line-sized".into()))?;
             bus.device_mut()
                 .burst_write(dec.bank, dec.col + i as u16, &line);
             last_end = at;
@@ -513,6 +844,7 @@ mod tests {
             .expect("nand write");
         r.publish(&CpCommand {
             phase: 1,
+            seq: 0,
             opcode: CpOpcode::Cachefill,
             dram_slot: 3,
             nand_page: 9,
@@ -544,6 +876,7 @@ mod tests {
             .expect("poke");
         r.publish(&CpCommand {
             phase: 2,
+            seq: 0,
             opcode: CpOpcode::Writeback,
             dram_slot: 7,
             nand_page: 21,
@@ -567,6 +900,7 @@ mod tests {
             .expect("nand write");
         r.publish(&CpCommand {
             phase: 5,
+            seq: 0,
             opcode: CpOpcode::Cachefill,
             dram_slot: 0,
             nand_page: 1,
@@ -598,6 +932,7 @@ mod tests {
             .expect("poke");
         r.publish(&CpCommand {
             phase: 1,
+            seq: 0,
             opcode: CpOpcode::Writeback,
             dram_slot: 0,
             nand_page: 30,
@@ -606,6 +941,7 @@ mod tests {
         let wb = r.run_until_ack(1, 64);
         r.publish(&CpCommand {
             phase: 2,
+            seq: 0,
             opcode: CpOpcode::Cachefill,
             dram_slot: 0,
             nand_page: 2,
@@ -625,6 +961,7 @@ mod tests {
             .expect("poke");
         r.publish(&CpCommand {
             phase: 1,
+            seq: 0,
             opcode: CpOpcode::WritebackCachefill,
             dram_slot: 0,
             nand_page: 2,
@@ -656,6 +993,7 @@ mod tests {
                 .expect("nand write");
             r.publish(&CpCommand {
                 phase: 1,
+                seq: 0,
                 opcode: CpOpcode::Cachefill,
                 dram_slot: 1,
                 nand_page: 4,
@@ -677,6 +1015,7 @@ mod tests {
             .expect("nand write");
         r.publish(&CpCommand {
             phase: 3,
+            seq: 0,
             opcode: CpOpcode::Cachefill,
             dram_slot: 2,
             nand_page: 11,
@@ -686,5 +1025,130 @@ mod tests {
         assert_eq!(r.bus.stats().violations_rejected, 0);
         assert!(r.bus.stats().nvmc_bytes >= 4096 + 64);
         assert!(r.bus.device().all_banks_idle(), "FPGA left a bank open");
+    }
+
+    #[test]
+    fn dropped_ack_recovered_by_retransmit_replay() {
+        let mut r = rig(6.0, 4096);
+        let data = vec![0x3Cu8; 4096];
+        r.nvmc
+            .write_page(5, &data, SimTime::ZERO)
+            .expect("nand write");
+        r.fpga.inject_ack_fault(AckFault::Drop);
+        let cmd = CpCommand {
+            phase: 1,
+            seq: 9,
+            opcode: CpOpcode::Cachefill,
+            dram_slot: 2,
+            nand_page: 5,
+            wb_nand_page: None,
+        };
+        r.publish(&cmd);
+        for _ in 0..16 {
+            r.one_window();
+        }
+        assert!(r.ack().is_none(), "the ack should have been dropped");
+        assert_eq!(r.fpga.stats().acks_dropped, 1);
+        assert_eq!(r.fpga.stats().cachefills, 1, "command ran, ack was lost");
+        // The driver times out and retransmits: same seq and fields under
+        // a fresh phase. The FPGA must re-ack, not re-execute.
+        r.publish(&CpCommand { phase: 2, ..cmd });
+        r.run_until_ack(2, 64);
+        let s = r.fpga.stats();
+        assert_eq!(s.replayed_acks, 1);
+        assert_eq!(s.cachefills, 1, "replay must not re-execute");
+        let mut slot = vec![0u8; 4096];
+        r.bus
+            .device()
+            .peek(r.layout.slot_addr(2), &mut slot)
+            .expect("peek");
+        assert_eq!(slot, data);
+    }
+
+    #[test]
+    fn corrupted_ack_reads_as_empty_and_is_replayed() {
+        let mut r = rig(6.0, 4096);
+        r.nvmc
+            .write_page(8, &vec![0x61u8; 4096], SimTime::ZERO)
+            .expect("nand write");
+        r.fpga.inject_ack_fault(AckFault::Corrupt);
+        let cmd = CpCommand {
+            phase: 1,
+            seq: 4,
+            opcode: CpOpcode::Cachefill,
+            dram_slot: 0,
+            nand_page: 8,
+            wb_nand_page: None,
+        };
+        r.publish(&cmd);
+        for _ in 0..16 {
+            r.one_window();
+        }
+        assert!(r.ack().is_none(), "a mangled ack must not decode");
+        assert_eq!(r.fpga.stats().acks_corrupted, 1);
+        r.publish(&CpCommand { phase: 2, ..cmd });
+        r.run_until_ack(2, 64);
+        assert_eq!(r.fpga.stats().replayed_acks, 1);
+        assert_eq!(r.fpga.stats().cachefills, 1);
+    }
+
+    #[test]
+    fn window_stall_splits_burst_and_resumes_cleanly() {
+        let mut r = rig(6.0, 4096);
+        let data = vec![0xA5u8; 4096];
+        r.nvmc
+            .write_page(3, &data, SimTime::ZERO)
+            .expect("nand write");
+        r.fpga.inject_window_stall();
+        r.publish(&CpCommand {
+            phase: 1,
+            seq: 0,
+            opcode: CpOpcode::Cachefill,
+            dram_slot: 1,
+            nand_page: 3,
+            wb_nand_page: None,
+        });
+        r.run_until_ack(1, 64);
+        let s = r.fpga.stats();
+        assert_eq!(s.overrun_stalls, 1);
+        assert_eq!(s.bursts_split, 1, "the stalled burst must split");
+        assert_eq!(s.bursts_resumed, 1, "the split burst must complete");
+        assert_eq!(r.fpga.armed_faults(), 0);
+        let mut slot = vec![0u8; 4096];
+        r.bus
+            .device()
+            .peek(r.layout.slot_addr(1), &mut slot)
+            .expect("peek");
+        assert_eq!(slot, data, "split burst landed the full page");
+        assert_eq!(r.bus.stats().violations_rejected, 0);
+        assert!(r.bus.device().all_banks_idle(), "FPGA left a bank open");
+    }
+
+    #[test]
+    fn nand_uncorrectable_is_nacked_with_code() {
+        use crate::cp::ACK_ERR_UNCORRECTABLE;
+        let mut r = rig(6.0, 4096);
+        r.nvmc
+            .write_page(6, &vec![7u8; 4096], SimTime::ZERO)
+            .expect("nand write");
+        // Let the write buffer drain so the fill read hits media.
+        for _ in 0..40 {
+            r.one_window();
+        }
+        r.nvmc.ftl_mut().media_mut().arm_uncorrectable(true);
+        r.publish(&CpCommand {
+            phase: 1,
+            seq: 1,
+            opcode: CpOpcode::Cachefill,
+            dram_slot: 0,
+            nand_page: 6,
+            wb_nand_page: None,
+        });
+        r.run_until_ack(1, 64);
+        let ack = r.ack().expect("nack present");
+        assert!(!ack.ok, "uncorrectable read must nack");
+        assert_eq!(ack.code, ACK_ERR_UNCORRECTABLE);
+        assert_eq!(r.fpga.stats().nand_errors_nacked, 1);
+        assert_eq!(r.fpga.stats().cachefills, 0, "no completion credited");
     }
 }

@@ -169,6 +169,41 @@ impl MultiChannelSystem {
         t
     }
 
+    /// Attaches a fault plan: the plan's deterministic per-channel split
+    /// hands every shard its own injector (and enables the per-shard CRC
+    /// scrub), so the same seed always places the same faults on the same
+    /// shards at the same operation counts.
+    pub fn attach_fault_plan(&mut self, plan: &crate::faults::FaultPlan) {
+        let injectors = plan.build_injectors(self.shards.len());
+        for (shard, inj) in self.shards.iter_mut().zip(injectors) {
+            shard.attach_injector(inj);
+        }
+    }
+
+    /// Merged recovery statistics over all shards.
+    pub fn recovery_stats(&self) -> crate::faults::RecoveryStats {
+        let mut t = crate::faults::RecoveryStats::default();
+        for s in &self.shards {
+            t.merge(&s.recovery_stats());
+        }
+        t
+    }
+
+    /// Indices of shards currently in degraded mode.
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_degraded())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when every shard's scheduled and armed faults are exhausted.
+    pub fn faults_quiescent(&self) -> bool {
+        self.shards.iter().all(ChannelShard::faults_quiescent)
+    }
+
     /// Merged shared-bus statistics over all shards.
     pub fn bus_stats(&self) -> nvdimmc_ddr::BusStats {
         let mut t = nvdimmc_ddr::BusStats::default();

@@ -51,6 +51,7 @@ pub mod cache;
 pub mod config;
 pub mod cp;
 pub mod error;
+pub mod faults;
 pub mod fpga;
 pub mod front;
 pub mod interleave;
@@ -65,7 +66,8 @@ pub use cache::DramCache;
 pub use config::{Backend, EvictionPolicyKind, NvdimmCConfig, PAGE_BYTES};
 pub use cp::{CpAck, CpCommand, CpOpcode};
 pub use error::CoreError;
-pub use fpga::Fpga;
+pub use faults::{FaultInjector, FaultKind, FaultPlan, RecoveryParams, RecoveryStats};
+pub use fpga::{AckFault, Fpga};
 pub use front::{MultiChannelConfig, MultiChannelSystem};
 pub use interleave::{InterleaveMap, Segment};
 pub use layout::Layout;

@@ -18,15 +18,17 @@
 
 use crate::cache::DramCache;
 use crate::config::{Backend, NvdimmCConfig, PAGE_BYTES};
-use crate::cp::{CpAck, CpCommand, CpOpcode};
+use crate::cp::{CpAck, CpCommand, CpOpcode, ACK_ERR_UNCORRECTABLE};
 use crate::error::CoreError;
-use crate::fpga::Fpga;
+use crate::faults::{FaultInjector, FaultKind, RecoveryStats};
+use crate::fpga::{AckFault, Fpga};
 use crate::layout::Layout;
 use crate::refresh::DetectorPipeline;
 use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, SharedBus, TraceEntry};
 use nvdimmc_host::{CpuCache, Memory, PageTable, Tlb};
 use nvdimmc_nand::Nvmc;
-use nvdimmc_sim::{Histogram, SimDuration, SimTime};
+use nvdimmc_sim::{DeterministicRng, Histogram, SimDuration, SimTime};
+use std::collections::HashMap;
 
 /// A simulated block device with byte-granular DAX access — the interface
 /// the workload generators drive. Implemented by [`ChannelShard`]
@@ -190,6 +192,25 @@ impl PowerFailReport {
     }
 }
 
+/// Driver-side recovery counters (CP retransmit machinery, cache scrub,
+/// power-fail accounting). Carried across power cycles by
+/// [`ChannelShard::into_recovered`].
+#[derive(Debug, Clone, Copy, Default)]
+struct DriverRecovery {
+    cp_attempt_timeouts: u64,
+    cp_retransmits: u64,
+    cp_recovered: u64,
+    cp_transactions_failed: u64,
+    slots_corrupted: u64,
+    scrub_detected: u64,
+    scrub_refills: u64,
+    scrub_dropped_clean: u64,
+    cache_corruption_surfaced: u64,
+    power_fails_fired: u64,
+    power_fails_recovered: u64,
+    degraded_entries: u64,
+}
+
 /// One fully assembled NVDIMM-C channel.
 ///
 /// # Example
@@ -222,7 +243,20 @@ pub struct ChannelShard {
     pipeline: DetectorPipeline,
     clock: SimTime,
     phase: u8,
+    /// Per-transaction CP sequence number (stable across retransmits).
+    seq: u8,
     stats: SystemStats,
+    /// Scheduled faults for this shard (campaign mode).
+    injector: Option<FaultInjector>,
+    /// `Some(reason)` once a CP transaction exhausted its retransmit
+    /// budget: writes and NAND-backed fills are refused.
+    degraded: Option<String>,
+    /// CRC per tracked cache slot — the driver's scrub, enabled with the
+    /// injector (campaign mode only; `None` keeps the fast path exact).
+    scrub: Option<HashMap<u64, u32>>,
+    /// An injected power failure waiting to fire at the next checkpoint.
+    power_fail_pending: bool,
+    drec: DriverRecovery,
 }
 
 /// The single-channel system — the paper's artifact. One shard *is* the
@@ -271,8 +305,14 @@ impl ChannelShard {
             pipeline: DetectorPipeline::new(),
             clock: SimTime::ZERO,
             phase: 0,
+            seq: 0,
             cfg,
             stats: SystemStats::default(),
+            injector: None,
+            degraded: None,
+            scrub: None,
+            power_fail_pending: false,
+            drec: DriverRecovery::default(),
         })
     }
 
@@ -393,6 +433,15 @@ impl ChannelShard {
 
     /// Runs one CP transaction to completion: publish the command with
     /// explicit coherence, then drive refresh windows until the FPGA acks.
+    ///
+    /// Recovery contract: every attempt publishes the *same* transaction —
+    /// same sequence number — under a fresh phase. When no ack arrives
+    /// within the (exponentially backed-off) window budget the driver
+    /// retransmits; the FPGA recognises the sequence number of a
+    /// transaction it already executed and re-acks without re-running it,
+    /// so a lost ack never causes double execution. A delivered *nack* is
+    /// a verdict, not a loss: it surfaces typed immediately. Exhausting
+    /// the retransmit budget degrades the shard.
     fn cp_transaction(
         &mut self,
         opcode: CpOpcode,
@@ -400,59 +449,94 @@ impl ChannelShard {
         nand_page: u64,
         wb_nand_page: Option<u64>,
     ) -> Result<(), CoreError> {
+        if let Some(reason) = &self.degraded {
+            return Err(CoreError::DegradedShard {
+                reason: reason.clone(),
+            });
+        }
         // Catch up any refresh backlog from plain host activity while the
         // FPGA is still idle, so the wait loop below sees at most one new
         // refresh per iteration.
         self.imc.pump_refresh(&mut self.bus, self.clock)?;
         self.drain_detector_idle();
-        let cmd = CpCommand {
-            phase: self.next_phase(),
-            opcode,
-            dram_slot,
-            nand_page,
-            wb_nand_page,
-        };
-        // Publish: store + clflush + sfence (§V-B: the FPGA must read
-        // up-to-date data in the next tRFC window).
-        let mut line = [0u8; 64];
-        line[..16].copy_from_slice(&cmd.encode());
-        let cp_addr = self.layout.cp_command();
-        self.cpu
-            .store(&mut DramBackdoor(&mut self.bus), cp_addr, &line);
-        self.cpu.clflush(&mut DramBackdoor(&mut self.bus), cp_addr);
-        self.cpu.sfence();
-        self.clock += self.cfg.perf.cp_submit;
-
-        // Wait for the acknowledgement, one window at a time.
-        const WINDOW_BUDGET: u32 = 1_000_000;
-        for _ in 0..WINDOW_BUDGET {
-            self.advance_one_window()?;
-            self.clock += self.cfg.perf.driver_poll_interval;
-            let ack_addr = self.layout.cp_ack();
-            // Poll with a fresh load (drop any stale cached line first).
-            self.cpu.invalidate(ack_addr);
-            let mut ack_bytes = [0u8; 8];
+        self.seq = self.seq.wrapping_add(1);
+        let seq = self.seq;
+        let rp = self.cfg.recovery;
+        let mut timeout = rp.cp_timeout_windows.max(1);
+        for attempt in 0..=rp.cp_max_retransmits {
+            let cmd = CpCommand {
+                phase: self.next_phase(),
+                opcode,
+                dram_slot,
+                nand_page,
+                wb_nand_page,
+                seq,
+            };
+            // Publish: store + clflush + sfence (§V-B: the FPGA must read
+            // up-to-date data in the next tRFC window).
+            let mut line = [0u8; 64];
+            line[..16].copy_from_slice(&cmd.encode());
+            let cp_addr = self.layout.cp_command();
             self.cpu
-                .load(&mut DramBackdoor(&mut self.bus), ack_addr, &mut ack_bytes);
-            if let Some(ack) = CpAck::decode(&ack_bytes) {
-                if ack.phase == cmd.phase {
-                    if !ack.ok {
-                        return Err(CoreError::Protocol(format!(
-                            "FPGA reported failure for {opcode:?}"
-                        )));
-                    }
-                    match opcode {
-                        CpOpcode::Cachefill => self.stats.cachefills += 1,
-                        CpOpcode::Writeback => self.stats.writebacks += 1,
-                        CpOpcode::WritebackCachefill => self.stats.merged_ops += 1,
-                    }
-                    return Ok(());
+                .store(&mut DramBackdoor(&mut self.bus), cp_addr, &line);
+            self.cpu.clflush(&mut DramBackdoor(&mut self.bus), cp_addr);
+            self.cpu.sfence();
+            self.clock += self.cfg.perf.cp_submit;
+
+            // Wait for the acknowledgement, one window at a time.
+            for _ in 0..timeout {
+                self.take_power_fail()?;
+                self.advance_one_window()?;
+                self.clock += self.cfg.perf.driver_poll_interval;
+                let ack_addr = self.layout.cp_ack();
+                // Poll with a fresh load (drop any stale cached line first).
+                self.cpu.invalidate(ack_addr);
+                let mut ack_bytes = [0u8; 8];
+                self.cpu
+                    .load(&mut DramBackdoor(&mut self.bus), ack_addr, &mut ack_bytes);
+                let Some(ack) = CpAck::decode(&ack_bytes) else {
+                    continue;
+                };
+                if ack.phase != cmd.phase {
+                    continue;
                 }
+                if !ack.ok {
+                    return Err(if ack.code == ACK_ERR_UNCORRECTABLE {
+                        CoreError::MediaFailed {
+                            page: nand_page,
+                            code: ack.code,
+                        }
+                    } else {
+                        CoreError::Protocol(format!(
+                            "FPGA nacked {opcode:?} with code {}",
+                            ack.code
+                        ))
+                    });
+                }
+                if attempt > 0 {
+                    self.drec.cp_recovered += 1;
+                }
+                match opcode {
+                    CpOpcode::Cachefill => self.stats.cachefills += 1,
+                    CpOpcode::Writeback => self.stats.writebacks += 1,
+                    CpOpcode::WritebackCachefill => self.stats.merged_ops += 1,
+                }
+                return Ok(());
+            }
+            self.drec.cp_attempt_timeouts += 1;
+            if attempt < rp.cp_max_retransmits {
+                self.drec.cp_retransmits += 1;
+                timeout = timeout.saturating_mul(rp.cp_backoff.max(1));
             }
         }
-        Err(CoreError::Protocol(
-            "CP transaction timed out waiting for FPGA ack".into(),
-        ))
+        self.drec.cp_transactions_failed += 1;
+        self.enter_degraded(format!(
+            "CP {opcode:?} for page {nand_page:#x} unacked after {} attempts",
+            rp.cp_max_retransmits + 1
+        ));
+        Err(CoreError::CpTimeout {
+            attempts: rp.cp_max_retransmits + 1,
+        })
     }
 
     /// Frees a slot for `fill_page`: takes a free one, or evicts (with a
@@ -467,6 +551,7 @@ impl ChannelShard {
             .cache
             .pick_victim()
             .ok_or_else(|| CoreError::Protocol("no slots and nothing to evict".into()))?;
+        self.scrub_victim(victim, vpage, dirty)?;
         let addr = self.layout.slot_addr(victim);
         let mut filled = false;
         if dirty {
@@ -489,6 +574,7 @@ impl ChannelShard {
             self.cpu.invalidate_range(addr, PAGE_BYTES);
         }
         self.cache.evict(victim);
+        self.scrub_forget(victim);
         self.pt.unmap(vpage);
         self.tlb.flush_page(vpage);
         Ok((victim, filled))
@@ -501,6 +587,16 @@ impl ChannelShard {
         if let Some(slot) = self.cache.lookup(page) {
             return Ok(slot);
         }
+        if let Some(reason) = &self.degraded {
+            // Degraded mode still serves what it can without the CP
+            // mailbox: a never-written page with a free slot is a pure
+            // CPU zero-fill.
+            if self.nvmc.is_mapped(page) || self.cache.free_slots() == 0 {
+                return Err(CoreError::DegradedShard {
+                    reason: reason.clone(),
+                });
+            }
+        }
         let t0 = self.clock;
         self.stats.faults += 1;
         self.clock += self.cfg.perf.fault_base;
@@ -510,7 +606,13 @@ impl ChannelShard {
                 let (slot, filled) = self.obtain_slot(page)?;
                 if !filled {
                     if self.nvmc.is_mapped(page) {
-                        self.cp_transaction(CpOpcode::Cachefill, slot, page, None)?;
+                        if let Err(e) = self.cp_transaction(CpOpcode::Cachefill, slot, page, None) {
+                            // The slot obtained above is mapped to no page
+                            // yet; leaking it would shrink the cache on
+                            // every failed fill.
+                            self.cache.release(slot);
+                            return Err(e);
+                        }
                     } else {
                         // Never-written block: nothing to load from NAND.
                         // The driver zero-fills the slot by CPU — this is
@@ -537,6 +639,7 @@ impl ChannelShard {
         self.cache.fill(slot, page);
         self.pt.map(page, slot);
         self.tlb.insert(page, slot);
+        self.scrub_note(slot);
         self.stats.fault_latency.record(self.clock.since(t0));
         Ok(slot)
     }
@@ -622,7 +725,9 @@ impl ChannelShard {
         let last = (offset + buf.len() as u64 - 1) / PAGE_BYTES;
         let mut pos = 0usize;
         for page in first..=last {
+            self.take_power_fail()?;
             let slot = self.ensure_resident(page)?;
+            self.scrub_verify(slot, page)?;
             let _ = self.tlb.translate(&mut self.pt, page, false);
             let in_page = (offset + pos as u64) % PAGE_BYTES;
             let n = ((PAGE_BYTES - in_page) as usize).min(buf.len() - pos);
@@ -650,7 +755,9 @@ impl ChannelShard {
         let last = (offset + data.len() as u64 - 1) / PAGE_BYTES;
         let mut pos = 0usize;
         for page in first..=last {
+            self.take_power_fail()?;
             let slot = self.ensure_resident(page)?;
+            self.scrub_verify(slot, page)?;
             let _ = self.tlb.translate(&mut self.pt, page, true);
             self.cache.mark_dirty(slot);
             let in_page = (offset + pos as u64) % PAGE_BYTES;
@@ -668,6 +775,7 @@ impl ChannelShard {
             // is exactly the §V-B hazard the driver's coherence handles.
             self.cpu
                 .store(&mut DramBackdoor(&mut self.bus), addr, &data[pos..pos + n]);
+            self.scrub_note(slot);
             pos += n;
         }
         Ok(())
@@ -748,6 +856,288 @@ impl ChannelShard {
         self.ensure_resident(page)?;
         Ok(())
     }
+
+    // ----- fault injection and recovery ---------------------------------
+
+    /// Attaches a deterministic fault injector (campaign mode) and enables
+    /// the DRAM-cache CRC scrub that detects injected slot corruption.
+    /// Without an injector none of the recovery machinery perturbs the
+    /// fast path.
+    pub fn attach_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+        self.enable_scrub();
+    }
+
+    /// Enables the per-slot CRC scrub without attaching an injector
+    /// (direct-injection tests). Slots already resident start untracked;
+    /// they are picked up at their next fill or write.
+    pub fn enable_scrub(&mut self) {
+        if self.scrub.is_none() {
+            self.scrub = Some(HashMap::new());
+        }
+    }
+
+    /// The attached fault injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Whether the shard is in degraded (read-mostly) mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Why the shard degraded, if it did.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Applies one fault immediately (test/bench hook — campaigns schedule
+    /// faults through [`ChannelShard::attach_injector`] instead). Returns
+    /// `false` when the fault has no current target (slot corruption with
+    /// no clean scrub-tracked slot resident).
+    pub fn inject_fault(&mut self, kind: FaultKind) -> bool {
+        self.enable_scrub();
+        let mut inj = self.injector.take();
+        let applied = self.apply_fault(kind, inj.as_mut().map(FaultInjector::rng_mut));
+        self.injector = inj;
+        applied
+    }
+
+    /// True when no scheduled or armed fault remains anywhere in the
+    /// shard: the campaign drain loop runs until this holds, so every
+    /// injected fault is exercised before the final verification pass.
+    pub fn faults_quiescent(&self) -> bool {
+        let pending = match &self.injector {
+            Some(i) => i.pending() > 0,
+            None => false,
+        };
+        !pending
+            && self.nvmc.ftl().media().armed_uncorrectable() == 0
+            && self.fpga.armed_faults() == 0
+            && !self.power_fail_pending
+    }
+
+    /// Merged recovery statistics: NAND retry ladder (FTL), media
+    /// injection, FPGA mailbox/window counters, and the driver's own
+    /// retransmit/scrub/power accounting.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let m = self.nvmc.ftl().media().stats();
+        let fl = self.nvmc.ftl_stats();
+        let fg = self.fpga.stats();
+        let d = &self.drec;
+        let (sched, fired) = self.injector.as_ref().map_or(
+            (
+                [0; crate::faults::FAULT_KINDS],
+                [0; crate::faults::FAULT_KINDS],
+            ),
+            FaultInjector::counts,
+        );
+        RecoveryStats {
+            nand_faults_injected: m.uncorrectable_injected,
+            nand_read_retries: fl.read_retries,
+            nand_retry_recovered: fl.read_retry_recovered,
+            nand_retry_remaps: fl.retry_remaps,
+            nand_uncorrectable_surfaced: fl.uncorrectable_surfaced,
+            acks_dropped: fg.acks_dropped,
+            acks_corrupted: fg.acks_corrupted,
+            cmd_decode_failures: fg.cmd_decode_failures,
+            nand_errors_nacked: fg.nand_errors_nacked,
+            replayed_acks: fg.replayed_acks,
+            cp_attempt_timeouts: d.cp_attempt_timeouts,
+            cp_retransmits: d.cp_retransmits,
+            cp_recovered: d.cp_recovered,
+            cp_transactions_failed: d.cp_transactions_failed,
+            overrun_stalls: fg.overrun_stalls,
+            bursts_split: fg.bursts_split,
+            bursts_resumed: fg.bursts_resumed,
+            slots_corrupted: d.slots_corrupted,
+            scrub_detected: d.scrub_detected,
+            scrub_refills: d.scrub_refills,
+            scrub_dropped_clean: d.scrub_dropped_clean,
+            cache_corruption_surfaced: d.cache_corruption_surfaced,
+            power_fails_fired: d.power_fails_fired,
+            power_fails_recovered: d.power_fails_recovered,
+            degraded_entries: d.degraded_entries,
+            faults_scheduled: sched.iter().sum(),
+            faults_fired: fired.iter().sum(),
+        }
+    }
+
+    /// Applies faults scheduled for the next operation (no-op without an
+    /// injector). Faults with no current target are deferred to the next
+    /// operation.
+    fn begin_op(&mut self) {
+        let Some(mut inj) = self.injector.take() else {
+            return;
+        };
+        for kind in inj.begin_op() {
+            if self.apply_fault(kind, Some(inj.rng_mut())) {
+                inj.note_fired(kind);
+            } else {
+                inj.defer(kind);
+            }
+        }
+        self.injector = Some(inj);
+    }
+
+    /// Fires a pending injected power failure, if one is armed.
+    fn take_power_fail(&mut self) -> Result<(), CoreError> {
+        if self.power_fail_pending {
+            self.power_fail_pending = false;
+            self.drec.power_fails_fired += 1;
+            return Err(CoreError::PowerInterrupted);
+        }
+        Ok(())
+    }
+
+    fn enter_degraded(&mut self, reason: String) {
+        if self.degraded.is_none() {
+            self.drec.degraded_entries += 1;
+            self.degraded = Some(reason);
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind, rng: Option<&mut DeterministicRng>) -> bool {
+        match kind {
+            FaultKind::NandTransient => {
+                self.nvmc.ftl_mut().media_mut().arm_uncorrectable(false);
+                true
+            }
+            FaultKind::NandPersistent => {
+                self.nvmc.ftl_mut().media_mut().arm_uncorrectable(true);
+                true
+            }
+            FaultKind::AckDrop => {
+                self.fpga.inject_ack_fault(AckFault::Drop);
+                true
+            }
+            FaultKind::AckCorrupt => {
+                self.fpga.inject_ack_fault(AckFault::Corrupt);
+                true
+            }
+            FaultKind::WindowOverrun => {
+                self.fpga.inject_window_stall();
+                true
+            }
+            FaultKind::PowerFail => {
+                self.power_fail_pending = true;
+                true
+            }
+            FaultKind::SlotCorruption => self.corrupt_clean_slot(rng),
+        }
+    }
+
+    /// Flips bytes in a clean, scrub-tracked resident slot through the
+    /// DRAM backdoor — a bit-flip in the module DRAM that slipped past
+    /// ECC. Returns `false` (fault deferred) when no such slot exists.
+    fn corrupt_clean_slot(&mut self, rng: Option<&mut DeterministicRng>) -> bool {
+        let Some(scrub) = &self.scrub else {
+            return false;
+        };
+        let candidates: Vec<u64> = self
+            .cache
+            .resident_entries()
+            .filter(|&(slot, _, dirty)| !dirty && scrub.contains_key(&slot))
+            .map(|(slot, _, _)| slot)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let (idx, off) = match rng {
+            Some(r) => (
+                r.gen_range(0..candidates.len() as u64) as usize,
+                r.gen_range(0..PAGE_BYTES - 8),
+            ),
+            None => ((self.drec.slots_corrupted as usize) % candidates.len(), 128),
+        };
+        let slot = candidates[idx];
+        let addr = self.layout.slot_addr(slot) + off;
+        let mut bytes = [0u8; 8];
+        DramBackdoor(&mut self.bus).read(addr, &mut bytes);
+        for b in &mut bytes {
+            *b ^= 0xFF;
+        }
+        DramBackdoor(&mut self.bus).write(addr, &bytes);
+        // Drop any correct CPU-cached copies so loads see the corruption.
+        self.cpu
+            .invalidate_range(self.layout.slot_addr(slot), PAGE_BYTES);
+        self.drec.slots_corrupted += 1;
+        true
+    }
+
+    /// CRC of the CPU-visible view of a slot's full page.
+    fn page_crc(&mut self, slot: u64) -> u32 {
+        let addr = self.layout.slot_addr(slot);
+        let mut data = vec![0u8; PAGE_BYTES as usize];
+        self.cpu
+            .load(&mut DramBackdoor(&mut self.bus), addr, &mut data);
+        nvdimmc_nand::ecc::crc32(&data)
+    }
+
+    fn scrub_note(&mut self, slot: u64) {
+        if self.scrub.is_none() {
+            return;
+        }
+        let crc = self.page_crc(slot);
+        if let Some(m) = self.scrub.as_mut() {
+            m.insert(slot, crc);
+        }
+    }
+
+    fn scrub_forget(&mut self, slot: u64) {
+        if let Some(m) = self.scrub.as_mut() {
+            m.remove(&slot);
+        }
+    }
+
+    /// Read-path scrub: verify the tracked CRC before serving data from a
+    /// slot. Corrupt clean copies heal from Z-NAND (or the zero page);
+    /// corrupt dirty copies have no intact source anywhere and surface as
+    /// [`CoreError::CacheCorruption`].
+    fn scrub_verify(&mut self, slot: u64, page: u64) -> Result<(), CoreError> {
+        let Some(expect) = self.scrub.as_ref().and_then(|m| m.get(&slot).copied()) else {
+            return Ok(());
+        };
+        if self.page_crc(slot) == expect {
+            return Ok(());
+        }
+        self.drec.scrub_detected += 1;
+        if self.cache.is_dirty(slot) {
+            self.drec.cache_corruption_surfaced += 1;
+            return Err(CoreError::CacheCorruption { page });
+        }
+        let addr = self.layout.slot_addr(slot);
+        if self.nvmc.is_mapped(page) {
+            self.cp_transaction(CpOpcode::Cachefill, slot, page, None)?;
+        } else {
+            let zeros = vec![0u8; PAGE_BYTES as usize];
+            DramBackdoor(&mut self.bus).write(addr, &zeros);
+        }
+        self.cpu.invalidate_range(addr, PAGE_BYTES);
+        self.drec.scrub_refills += 1;
+        self.scrub_note(slot);
+        Ok(())
+    }
+
+    /// Scrub gate before a slot is reused: a corrupt dirty victim must
+    /// surface (writing it back would poison Z-NAND); a corrupt clean
+    /// victim is simply dropped — the backing copy still holds the truth.
+    fn scrub_victim(&mut self, victim: u64, vpage: u64, dirty: bool) -> Result<(), CoreError> {
+        let Some(expect) = self.scrub.as_ref().and_then(|m| m.get(&victim).copied()) else {
+            return Ok(());
+        };
+        if self.page_crc(victim) == expect {
+            return Ok(());
+        }
+        self.drec.scrub_detected += 1;
+        if dirty {
+            self.drec.cache_corruption_surfaced += 1;
+            return Err(CoreError::CacheCorruption { page: vpage });
+        }
+        self.drec.scrub_dropped_clean += 1;
+        Ok(())
+    }
 }
 
 impl BlockDevice for ChannelShard {
@@ -769,6 +1159,7 @@ impl BlockDevice for ChannelShard {
             return Ok(SimDuration::ZERO);
         }
         self.check_range(offset, len)?;
+        self.begin_op();
         let t0 = self.clock;
         let first = offset / PAGE_BYTES;
         let last = (offset + len - 1) / PAGE_BYTES;
@@ -793,6 +1184,12 @@ impl BlockDevice for ChannelShard {
             return Ok(SimDuration::ZERO);
         }
         self.check_range(offset, len)?;
+        self.begin_op();
+        if let Some(reason) = &self.degraded {
+            return Err(CoreError::DegradedShard {
+                reason: reason.clone(),
+            });
+        }
         let t0 = self.clock;
         let first = offset / PAGE_BYTES;
         let last = (offset + len - 1) / PAGE_BYTES;
@@ -837,6 +1234,7 @@ impl QueuedDevice for ChannelShard {
             return Ok(self.clock.max(not_before));
         }
         self.check_range(offset, len)?;
+        self.begin_op();
         if self.clock <= not_before {
             // Device idle at arrival: the op runs lock-step with the
             // issuing thread's copy, exactly like a direct blocking call.
@@ -876,6 +1274,12 @@ impl QueuedDevice for ChannelShard {
             return Ok(self.clock.max(not_before));
         }
         self.check_range(offset, len)?;
+        self.begin_op();
+        if let Some(reason) = &self.degraded {
+            return Err(CoreError::DegradedShard {
+                reason: reason.clone(),
+            });
+        }
         if self.clock <= not_before {
             self.clock = not_before;
             let t0 = self.clock;
@@ -937,15 +1341,31 @@ impl ChannelShard {
     }
 
     /// Rebuilds the shard after a power failure, keeping the persistent
-    /// Z-NAND contents. Volatile state (DRAM cache, CPU caches, mappings)
-    /// starts empty, as at boot.
+    /// Z-NAND contents. Volatile state (DRAM cache, CPU caches, mappings,
+    /// degraded mode) starts empty, as at boot; the fault injector and
+    /// the recovery counters survive so a campaign's accounting spans
+    /// power cycles.
     ///
     /// # Errors
     ///
     /// Propagates configuration errors (none expected for a config that
     /// already booted once).
     pub fn into_recovered(self) -> Result<ChannelShard, CoreError> {
-        Self::assemble(self.cfg, self.nvmc)
+        let fpga_prev = self.fpga.stats();
+        let mut drec = self.drec;
+        drec.power_fails_recovered = drec.power_fails_fired;
+        let injector = self.injector;
+        let scrub_on = self.scrub.is_some();
+        let seq = self.seq;
+        let mut s = Self::assemble(self.cfg, self.nvmc)?;
+        s.fpga.carry_recovery_counters(&fpga_prev);
+        s.drec = drec;
+        s.injector = injector;
+        if scrub_on {
+            s.scrub = Some(HashMap::new());
+        }
+        s.seq = seq;
+        Ok(s)
     }
 }
 

@@ -6,7 +6,7 @@
 //! and bad-block management. ECC is applied on the way in/out via
 //! [`crate::PageCodec`].
 
-use crate::ecc::{PageCodec, PageDecodeError};
+use crate::ecc::PageCodec;
 use crate::error::NandError;
 use crate::geometry::{NandGeometry, PhysPage};
 use crate::media::{NandTiming, ZNandArray};
@@ -30,6 +30,11 @@ pub struct FtlConfig {
     /// If the erase-count spread exceeds this, GC picks the coldest block
     /// instead of the emptiest (static wear leveling).
     pub static_wl_threshold: u32,
+    /// Read-retry ladder depth: how many times an uncorrectable page read
+    /// is retried before the error surfaces. Z-NAND transient read noise
+    /// makes re-reads worthwhile; a retry that succeeds also triggers a
+    /// scrub-remap of the page onto fresh cells.
+    pub read_retries: u32,
     /// RNG seed for the media's error-injection model.
     pub seed: u64,
 }
@@ -43,6 +48,7 @@ impl FtlConfig {
             export_fraction: 120.0 / 128.0,
             gc_low_watermark: 8,
             static_wl_threshold: 1000,
+            read_retries: 3,
             seed: 42,
         }
     }
@@ -63,6 +69,7 @@ impl FtlConfig {
             export_fraction: 0.75,
             gc_low_watermark: 4,
             static_wl_threshold: 50,
+            read_retries: 3,
             seed: 42,
         }
     }
@@ -90,6 +97,15 @@ pub struct FtlStats {
     pub blocks_retired: u64,
     /// ECC words corrected across all reads.
     pub words_corrected: u64,
+    /// Re-reads issued by the read-retry ladder.
+    pub read_retries: u64,
+    /// Reads that failed decode but were recovered by a re-read.
+    pub read_retry_recovered: u64,
+    /// Pages scrub-remapped onto fresh cells after a retry recovery.
+    pub retry_remaps: u64,
+    /// Reads that exhausted the retry ladder and surfaced
+    /// [`NandError::Uncorrectable`].
+    pub uncorrectable_surfaced: u64,
 }
 
 impl FtlStats {
@@ -134,6 +150,7 @@ pub struct Ftl {
     export_pages: u64,
     gc_low: usize,
     static_wl_threshold: u32,
+    read_retries: u32,
     l2p: HashMap<u64, PhysPage>,
     p2l: HashMap<u64, u64>,
     valid: Vec<u32>,
@@ -165,6 +182,7 @@ impl Ftl {
             export_pages: cfg.export_pages(),
             gc_low: cfg.gc_low_watermark,
             static_wl_threshold: cfg.static_wl_threshold,
+            read_retries: cfg.read_retries,
             l2p: HashMap::new(),
             p2l: HashMap::new(),
             valid: vec![0; nblocks as usize],
@@ -250,14 +268,52 @@ impl Ftl {
             self.stats.unmapped_reads += 1;
             return Ok((vec![0u8; self.codec.page_bytes()], at));
         };
-        let (stored, done) = self.media.read(phys, at)?;
-        let (data, corrected) = self
-            .codec
-            .decode(&stored)
-            .map_err(|_: PageDecodeError| NandError::Uncorrectable { page: phys })?;
-        self.stats.words_corrected += corrected;
+        let (data, done, retried) = self.read_decoded(phys, at)?;
         self.stats.host_reads += 1;
+        if retried {
+            // The page decoded only on a re-read: its cells are marginal.
+            // Scrub-remap it onto a fresh physical page so the next read
+            // does not start from the same cliff edge. The remap is a
+            // background relocation (GC-class write): it must not turn a
+            // successful read into an error, so a full device is tolerated.
+            if let Ok(fresh) = self.codec.encode(&data) {
+                if self.write_stored(lpn, &fresh, done, true).is_ok() {
+                    self.stats.retry_remaps += 1;
+                }
+            }
+        }
         Ok((data, done))
+    }
+
+    /// Reads and decodes a physical page, climbing the read-retry ladder
+    /// on decode failure. Returns the data, the completion instant, and
+    /// whether a retry was needed.
+    fn read_decoded(
+        &mut self,
+        phys: PhysPage,
+        at: SimTime,
+    ) -> Result<(Vec<u8>, SimTime, bool), NandError> {
+        let (stored, mut done) = self.media.read(phys, at)?;
+        match self.codec.decode(&stored) {
+            Ok((data, corrected)) => {
+                self.stats.words_corrected += corrected;
+                Ok((data, done, false))
+            }
+            Err(_) => {
+                for _ in 0..self.read_retries {
+                    self.stats.read_retries += 1;
+                    let (stored, next) = self.media.read(phys, done)?;
+                    done = next;
+                    if let Ok((data, corrected)) = self.codec.decode(&stored) {
+                        self.stats.words_corrected += corrected;
+                        self.stats.read_retry_recovered += 1;
+                        return Ok((data, done, true));
+                    }
+                }
+                self.stats.uncorrectable_surfaced += 1;
+                Err(NandError::Uncorrectable { page: phys })
+            }
+        }
     }
 
     /// Writes logical page `lpn`, remapping it to a fresh physical page.
@@ -292,7 +348,9 @@ impl Ftl {
         let geo = *self.media.geometry();
         let flat = phys.flat_index(&geo);
         if self.p2l.remove(&flat).is_some() {
-            self.valid[phys.block as usize] -= 1;
+            let v = &mut self.valid[phys.block as usize];
+            debug_assert!(*v > 0, "valid-count underflow on block {}", phys.block);
+            *v = v.saturating_sub(1);
         }
     }
 
@@ -396,14 +454,10 @@ impl Ftl {
                 let Some(&lpn) = self.p2l.get(&flat) else {
                     continue;
                 };
-                let (stored, _) = self.media.read(phys, at)?;
-                // Scrub through the codec so latent single-bit errors do
-                // not accumulate across relocations.
-                let (data, corrected) = self
-                    .codec
-                    .decode(&stored)
-                    .map_err(|_| NandError::Uncorrectable { page: phys })?;
-                self.stats.words_corrected += corrected;
+                // Scrub through the codec (with the same read-retry ladder
+                // as host reads) so latent single-bit errors do not
+                // accumulate across relocations.
+                let (data, _, _) = self.read_decoded(phys, at)?;
                 let fresh = self.codec.encode(&data)?;
                 self.write_stored(lpn, &fresh, at, true)?;
                 self.stats.gc_moved_pages += 1;
@@ -608,6 +662,44 @@ mod tests {
             f.read(1, done),
             Err(NandError::Uncorrectable { .. })
         ));
+        // The whole ladder was climbed before giving up.
+        assert_eq!(f.stats().read_retries, 3);
+        assert_eq!(f.stats().uncorrectable_surfaced, 1);
+        assert_eq!(f.stats().read_retry_recovered, 0);
+    }
+
+    #[test]
+    fn transient_uncorrectable_recovered_by_retry_and_remapped() {
+        let mut f = ftl();
+        let done = f.write(1, &page(0x33), SimTime::ZERO).unwrap();
+        let before = f.l2p[&1];
+        f.media_mut().arm_uncorrectable(false);
+        let (data, _) = f.read(1, done).expect("retry ladder must recover");
+        assert_eq!(data, page(0x33));
+        let s = f.stats();
+        assert_eq!(s.read_retry_recovered, 1);
+        assert!(s.read_retries >= 1);
+        assert_eq!(s.uncorrectable_surfaced, 0);
+        assert_eq!(s.retry_remaps, 1, "marginal page must be scrubbed");
+        assert_ne!(f.l2p[&1], before, "remap must move the page");
+        // And the relocated copy reads back clean.
+        let (data, _) = f.read(1, done).unwrap();
+        assert_eq!(data, page(0x33));
+    }
+
+    #[test]
+    fn persistent_uncorrectable_exhausts_ladder() {
+        let mut f = ftl();
+        let done = f.write(2, &page(0x44), SimTime::ZERO).unwrap();
+        f.media_mut().arm_uncorrectable(true);
+        assert!(matches!(
+            f.read(2, done),
+            Err(NandError::Uncorrectable { .. })
+        ));
+        let s = f.stats();
+        assert_eq!(s.read_retries, 3);
+        assert_eq!(s.uncorrectable_surfaced, 1);
+        assert_eq!(f.media().stats().uncorrectable_injected, 1);
     }
 
     #[test]

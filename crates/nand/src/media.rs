@@ -63,6 +63,9 @@ pub struct MediaStats {
     pub reads_suspending: u64,
     /// Program/erase operations that failed and marked a block bad.
     pub failures: u64,
+    /// Forced-uncorrectable faults fired by the injection hook
+    /// ([`ZNandArray::arm_uncorrectable`]).
+    pub uncorrectable_injected: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -91,6 +94,12 @@ pub struct ZNandArray {
     ber_per_read: f64,
     /// Erase-count endurance limit; beyond it erases may brick the block.
     endurance: u32,
+    /// Armed forced-uncorrectable faults: `(remaining, persistent)`. Each
+    /// fault fires on one subsequent page read, flipping two bits inside a
+    /// single 64-bit data word — exactly the pattern SEC-DED detects but
+    /// cannot correct.
+    forced_transient: u32,
+    forced_persistent: u32,
     stats: MediaStats,
 }
 
@@ -115,8 +124,29 @@ impl ZNandArray {
             rng: DeterministicRng::new(seed),
             ber_per_read: 1e-4,
             endurance: 50_000,
+            forced_transient: 0,
+            forced_persistent: 0,
             stats: MediaStats::default(),
         }
+    }
+
+    /// Arms one forced-uncorrectable fault: the next page read returns
+    /// data with two bits flipped inside one 64-bit word of the data
+    /// region, which SEC-DED detects but cannot correct. A `persistent`
+    /// fault also damages the stored copy, so re-reads keep failing; a
+    /// transient fault corrupts only the returned copy, so a re-read (the
+    /// read-retry ladder) can succeed.
+    pub fn arm_uncorrectable(&mut self, persistent: bool) {
+        if persistent {
+            self.forced_persistent += 1;
+        } else {
+            self.forced_transient += 1;
+        }
+    }
+
+    /// Forced-uncorrectable faults armed but not yet fired.
+    pub fn armed_uncorrectable(&self) -> u32 {
+        self.forced_transient + self.forced_persistent
     }
 
     /// Sets the base bit-error rate per page read (testing hook).
@@ -153,6 +183,18 @@ impl ZNandArray {
     /// Next programmable page index in `block`.
     pub fn write_pointer(&self, block: u64) -> u32 {
         self.blocks[block as usize].next_page
+    }
+
+    /// 64-bit words in the data region of a stored page. For codec-shaped
+    /// pages (`data + data/8 parity + 4 CRC`) this excludes the parity and
+    /// CRC tail; for raw test pages it falls back to the whole buffer.
+    fn data_words(stored_len: usize) -> u64 {
+        let len = stored_len as u64;
+        if len > 4 && (len - 4).is_multiple_of(9) {
+            (len - 4) * 8 / 9 / 8
+        } else {
+            (len / 8).max(1)
+        }
     }
 
     fn die_index(&self, block: u64) -> usize {
@@ -207,6 +249,28 @@ impl ZNandArray {
             let bit = self.rng.gen_range(0..(bytes.len() as u64 * 8));
             bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
             self.stats.bitflips_injected += 1;
+        }
+        if (self.forced_transient > 0 || self.forced_persistent > 0) && bytes.len() >= 8 {
+            let persistent = self.forced_transient == 0;
+            if persistent {
+                self.forced_persistent -= 1;
+            } else {
+                self.forced_transient -= 1;
+            }
+            // Two flips inside one 64-bit word of the data region: SEC-DED
+            // sees a double error it can detect but not correct.
+            let data_words = Self::data_words(bytes.len());
+            let wi = self.rng.gen_range(0..data_words);
+            let b1 = self.rng.gen_range(0..64);
+            let b2 = (b1 + 1 + self.rng.gen_range(0..63)) % 64;
+            for b in [b1, b2] {
+                let bit = wi * 64 + b;
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+            if persistent {
+                self.data.insert(idx, bytes.clone());
+            }
+            self.stats.uncorrectable_injected += 1;
         }
         // Z-NAND supports program/erase suspend: reads preempt queued
         // programs instead of waiting out their ~100 us tPROG. The die's
@@ -417,6 +481,31 @@ mod tests {
             flips_old > flips_young.max(1) * 5,
             "worn block flipped {flips_old} vs young {flips_young}"
         );
+    }
+
+    #[test]
+    fn armed_uncorrectable_fires_once_transient_vs_persistent() {
+        let mut a = array();
+        let p = PhysPage { block: 0, page: 0 };
+        let stored = vec![0u8; 64];
+        let t = a.program(p, &stored, SimTime::ZERO).unwrap();
+
+        // Transient: the read copy is damaged, the stored copy is not.
+        a.arm_uncorrectable(false);
+        assert_eq!(a.armed_uncorrectable(), 1);
+        let (bad, t2) = a.read(p, t).unwrap();
+        assert_ne!(bad, stored, "fault must corrupt the returned copy");
+        assert_eq!(a.armed_uncorrectable(), 0);
+        let (clean, t3) = a.read(p, t2).unwrap();
+        assert_eq!(clean, stored, "transient fault must not persist");
+
+        // Persistent: the stored copy is damaged too.
+        a.arm_uncorrectable(true);
+        let (bad, t4) = a.read(p, t3).unwrap();
+        let (still_bad, _) = a.read(p, t4).unwrap();
+        assert_eq!(bad, still_bad, "persistent fault must survive re-reads");
+        assert_ne!(still_bad, stored);
+        assert_eq!(a.stats().uncorrectable_injected, 2);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! - [`tpch`] — synthetic access-pattern profiles for the 22 TPC-H
 //!   queries (SAP HANA, SF100) and the LRC/LRU hit-rate study;
 //! - [`mixedload`] — the SAP in-house mixed-load benchmark: N concurrent
-//!   users running checksummed transactions with end-to-end validation.
+//!   users running checksummed transactions with end-to-end validation;
+//! - [`faultcampaign`] — seeded fault-injection campaigns over the
+//!   multi-channel system: inject NAND/mailbox/window/cache/power faults
+//!   mid-load, drain until every fault fired, then verify byte-exact
+//!   read-back and a balanced recovery ledger.
 //!
 //! [`System`]: nvdimmc_core::System
 
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod faultcampaign;
 pub mod filecopy;
 pub mod fio;
 pub mod mixedload;
@@ -32,6 +37,7 @@ pub mod stream;
 pub mod tpch;
 
 pub use concurrent::{ConcurrentFio, ConcurrentReport};
+pub use faultcampaign::{CampaignReport, FaultCampaign, TraceEpoch};
 pub use filecopy::{CopyReport, FileCopy};
 pub use fio::{FioJob, FioReport, RwMode};
 pub use mixedload::{MixedLoad, MixedLoadReport};

@@ -375,6 +375,7 @@ mod cp_props {
     fn arb_cmd() -> impl Strategy<Value = CpCommand> {
         (
             0u8..16,
+            any::<u8>(),
             prop_oneof![
                 Just(CpOpcode::Cachefill),
                 Just(CpOpcode::Writeback),
@@ -384,8 +385,9 @@ mod cp_props {
             0u64..(1 << 28),
             prop::option::of(0u64..(1 << 28)),
         )
-            .prop_map(|(phase, opcode, dram_slot, nand_page, wb)| CpCommand {
+            .prop_map(|(phase, seq, opcode, dram_slot, nand_page, wb)| CpCommand {
                 phase,
+                seq,
                 opcode,
                 dram_slot,
                 nand_page,
@@ -404,8 +406,8 @@ mod cp_props {
         }
 
         #[test]
-        fn cp_ack_roundtrip(phase in 0u8..16, ok in any::<bool>()) {
-            let ack = CpAck { phase, ok };
+        fn cp_ack_roundtrip(phase in 0u8..16, ok in any::<bool>(), code in any::<u8>()) {
+            let ack = CpAck { phase, ok, code: if ok { 0 } else { code } };
             prop_assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
         }
     }
