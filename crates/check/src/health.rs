@@ -1,0 +1,266 @@
+//! Health-state-machine auditor: proves a shard's recorded lifecycle
+//! followed the legal state machine and that every re-admission was
+//! earned.
+//!
+//! The per-shard health machine (see `nvdimmc_core::health`) allows
+//! exactly four edges:
+//!
+//! ```text
+//! Healthy ──► Degraded ──► Rebuilding ──► Healthy
+//!                 ▲────────────┘
+//! ```
+//!
+//! This pass replays the *recorded* [`HealthTransition`] log and the
+//! [`RebuildReport`] ledger — not the live state — so a bug in the
+//! transition code cannot vouch for itself. It proves:
+//!
+//! 1. **Legal edges only.** No shard ever jumped Healthy → Rebuilding
+//!    (a rebuild without a fault) or Degraded → Healthy (a re-admission
+//!    without a rebuild).
+//! 2. **Unbroken chain.** Each transition departs from the state the
+//!    previous one arrived at, starting from `Healthy` (the boot state;
+//!    a power-cycle rebuild restarts both the clock and the log).
+//! 3. **Monotone time.** Transition timestamps never run backwards.
+//! 4. **Audited re-admission.** Every `Rebuilding → Healthy` edge is
+//!    backed by a rebuild report that was re-admitted with a clean
+//!    conservation audit ([`RebuildReport::audit`]): handshake done,
+//!    every resident slot scrubbed, every dirty slot written back or
+//!    its loss surfaced.
+
+use crate::diag::Diagnostic;
+use nvdimmc_core::{HealthState, HealthTransition, MultiChannelSystem, RebuildReport};
+
+/// True for the four edges the health state machine allows.
+fn legal_edge(from: HealthState, to: HealthState) -> bool {
+    matches!(
+        (from, to),
+        (HealthState::Healthy, HealthState::Degraded { .. })
+            | (HealthState::Degraded { .. }, HealthState::Rebuilding { .. })
+            | (HealthState::Rebuilding { .. }, HealthState::Healthy)
+            | (HealthState::Rebuilding { .. }, HealthState::Degraded { .. })
+    )
+}
+
+/// Audits one shard's health-transition log against its rebuild ledger.
+///
+/// `shard` only labels the diagnostics. The rebuild ledger spans power
+/// cycles while the transition log restarts with the clock, so the
+/// re-admission rule is an inequality: the log cannot contain more
+/// re-admissions than the ledger has clean, re-admitted rebuilds.
+pub fn check_health(
+    shard: usize,
+    log: &[HealthTransition],
+    rebuilds: &[RebuildReport],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let mut readmissions = 0u64;
+    for (i, t) in log.iter().enumerate() {
+        if !legal_edge(t.from, t.to) {
+            out.push(Diagnostic::error_untimed(
+                "health/illegal-edge",
+                format!(
+                    "shard {shard} transition {i}: {} → {} is not a legal edge",
+                    t.from.name(),
+                    t.to.name()
+                ),
+            ));
+        }
+        let prev_to = if i == 0 {
+            HealthState::Healthy
+        } else {
+            log[i - 1].to
+        };
+        if t.from != prev_to {
+            out.push(Diagnostic::error_untimed(
+                "health/broken-chain",
+                format!(
+                    "shard {shard} transition {i} departs from {} but the shard was in {}",
+                    t.from.name(),
+                    prev_to.name()
+                ),
+            ));
+        }
+        if i > 0 && t.at < log[i - 1].at {
+            out.push(Diagnostic::error_untimed(
+                "health/time-regression",
+                format!(
+                    "shard {shard} transition {i} at {} precedes transition {} at {}",
+                    t.at,
+                    i - 1,
+                    log[i - 1].at
+                ),
+            ));
+        }
+        if t.from.is_rebuilding() && t.to.is_healthy() {
+            readmissions += 1;
+        }
+    }
+
+    let mut clean_readmitted = 0u64;
+    for (i, r) in rebuilds.iter().enumerate() {
+        match (r.readmitted, r.audit()) {
+            (true, Err(why)) => out.push(Diagnostic::error_untimed(
+                "health/unclean-readmission",
+                format!("shard {shard} rebuild {i} was re-admitted with a dirty ledger: {why}"),
+            )),
+            (true, Ok(())) => clean_readmitted += 1,
+            (false, _) => {}
+        }
+    }
+    if readmissions > clean_readmitted {
+        out.push(Diagnostic::error_untimed(
+            "health/readmission-unaudited",
+            format!(
+                "shard {shard} log shows {readmissions} re-admissions but only \
+                 {clean_readmitted} rebuilds passed a clean audit"
+            ),
+        ));
+    }
+
+    out
+}
+
+/// Runs [`check_health`] over every shard of a multi-channel system.
+pub fn check_system_health(sys: &MultiChannelSystem) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, s) in sys.shards().iter().enumerate() {
+        out.extend(check_health(i, s.health_log(), s.rebuild_reports()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvdimmc_core::DegradeReason;
+    use nvdimmc_sim::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    fn degraded(since: SimTime) -> HealthState {
+        HealthState::Degraded {
+            reason: DegradeReason::Requested,
+            since,
+        }
+    }
+
+    fn rebuilding(attempt: u32, since: SimTime) -> HealthState {
+        HealthState::Rebuilding { attempt, since }
+    }
+
+    fn edge(from: HealthState, to: HealthState, at: SimTime) -> HealthTransition {
+        HealthTransition { from, to, at }
+    }
+
+    fn clean_report() -> RebuildReport {
+        RebuildReport {
+            attempt: 1,
+            started: t(10),
+            finished: t(20),
+            handshake_ok: true,
+            resident_at_start: 4,
+            dirty_at_start: 2,
+            slots_scrubbed: 4,
+            clean_healed: 0,
+            dirty_written_back: 2,
+            pages_lost: Vec::new(),
+            readmitted: true,
+        }
+    }
+
+    #[test]
+    fn full_repair_cycle_is_clean() {
+        let log = [
+            edge(HealthState::Healthy, degraded(t(10)), t(10)),
+            edge(degraded(t(10)), rebuilding(1, t(12)), t(12)),
+            edge(rebuilding(1, t(12)), HealthState::Healthy, t(20)),
+        ];
+        let diags = check_health(0, &log, &[clean_report()]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        assert!(check_health(0, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn healthy_to_rebuilding_is_illegal() {
+        let log = [edge(HealthState::Healthy, rebuilding(1, t(5)), t(5))];
+        let diags = check_health(0, &log, &[]);
+        assert!(diags.iter().any(|d| d.rule == "health/illegal-edge"));
+    }
+
+    #[test]
+    fn degraded_to_healthy_shortcut_is_illegal() {
+        let log = [
+            edge(HealthState::Healthy, degraded(t(10)), t(10)),
+            edge(degraded(t(10)), HealthState::Healthy, t(11)),
+        ];
+        let diags = check_health(0, &log, &[]);
+        assert!(diags.iter().any(|d| d.rule == "health/illegal-edge"));
+    }
+
+    #[test]
+    fn chain_must_start_healthy_and_connect() {
+        let log = [edge(degraded(t(5)), rebuilding(1, t(5)), t(5))];
+        let diags = check_health(0, &log, &[]);
+        assert!(diags.iter().any(|d| d.rule == "health/broken-chain"));
+
+        let log = [
+            edge(HealthState::Healthy, degraded(t(10)), t(10)),
+            // Departs from a *different* degraded state than we arrived in.
+            edge(degraded(t(99)), rebuilding(1, t(12)), t(12)),
+        ];
+        let diags = check_health(0, &log, &[]);
+        assert!(diags.iter().any(|d| d.rule == "health/broken-chain"));
+    }
+
+    #[test]
+    fn time_regression_is_an_error() {
+        let log = [
+            edge(HealthState::Healthy, degraded(t(10)), t(10)),
+            edge(degraded(t(10)), rebuilding(1, t(5)), t(5)),
+        ];
+        let diags = check_health(0, &log, &[]);
+        assert!(diags.iter().any(|d| d.rule == "health/time-regression"));
+    }
+
+    #[test]
+    fn readmission_without_clean_rebuild_is_an_error() {
+        let log = [
+            edge(HealthState::Healthy, degraded(t(10)), t(10)),
+            edge(degraded(t(10)), rebuilding(1, t(12)), t(12)),
+            edge(rebuilding(1, t(12)), HealthState::Healthy, t(20)),
+        ];
+        let diags = check_health(0, &log, &[]);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "health/readmission-unaudited"));
+    }
+
+    #[test]
+    fn dirty_ledger_readmission_is_an_error() {
+        let mut r = clean_report();
+        r.slots_scrubbed = 3; // one resident slot never scrubbed
+        let diags = check_health(0, &[], &[r]);
+        assert!(diags.iter().any(|d| d.rule == "health/unclean-readmission"));
+    }
+
+    #[test]
+    fn failed_rebuild_that_stays_out_is_clean() {
+        let mut r = clean_report();
+        r.readmitted = false;
+        r.slots_scrubbed = 0; // interrupted before the scrub
+        let log = [
+            edge(HealthState::Healthy, degraded(t(10)), t(10)),
+            edge(degraded(t(10)), rebuilding(1, t(12)), t(12)),
+            edge(rebuilding(1, t(12)), degraded(t(15)), t(15)),
+        ];
+        let diags = check_health(0, &log, &[r]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -28,7 +28,11 @@
 //! - [`check_recovery`] — audits a fault campaign's merged
 //!   [`RecoveryStats`](nvdimmc_core::RecoveryStats) ledger: every
 //!   injected fault must be recovered or surfaced as a typed error,
-//!   never silently absorbed.
+//!   never silently absorbed;
+//! - [`check_health`] — replays a shard's recorded health-transition log
+//!   and rebuild ledger: only legal state-machine edges, monotone
+//!   timestamps, and no re-admission without a clean rebuild audit
+//!   ([`check_system_health`] runs it over every shard).
 //!
 //! # Example
 //!
@@ -51,6 +55,7 @@
 
 pub mod config;
 pub mod diag;
+pub mod health;
 pub mod persist;
 pub mod races;
 pub mod recovery;
@@ -60,6 +65,7 @@ pub mod timing;
 
 pub use config::{assert_config_clean, lint_config};
 pub use diag::{Diagnostic, Report, Severity};
+pub use health::{check_health, check_system_health};
 pub use persist::check_persistence;
 pub use races::detect_races;
 pub use recovery::check_recovery;

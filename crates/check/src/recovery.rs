@@ -113,6 +113,20 @@ pub fn check_recovery(s: &RecoveryStats) -> Vec<Diagnostic> {
         ));
     }
 
+    // Every rebuild that started must have finished one way or the
+    // other: re-admitted after a clean audit, or failed (interrupted /
+    // audit-rejected) and re-degraded. A started-but-unaccounted rebuild
+    // is a shard that vanished mid-repair.
+    if s.rebuilds_started != s.rebuilds_completed + s.rebuilds_failed {
+        out.push(Diagnostic::error_untimed(
+            "recovery/rebuild-unaccounted",
+            format!(
+                "{} rebuilds started but {} completed + {} failed",
+                s.rebuilds_started, s.rebuilds_completed, s.rebuilds_failed
+            ),
+        ));
+    }
+
     // Every injected power failure must be followed by a rebuild.
     if s.power_fails_fired != s.power_fails_recovered {
         out.push(Diagnostic::error_untimed(
@@ -266,6 +280,19 @@ mod tests {
         s.scrub_refills = 3;
         let diags = check_recovery(&s);
         assert!(diags.iter().any(|d| d.rule == "recovery/scrub-phantom"));
+    }
+
+    #[test]
+    fn unaccounted_rebuild_is_an_error() {
+        let mut s = recovered_campaign();
+        s.rebuilds_started = 2;
+        s.rebuilds_completed = 1;
+        let diags = check_recovery(&s);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "recovery/rebuild-unaccounted"));
+        s.rebuilds_failed = 1;
+        assert!(check_recovery(&s).is_empty());
     }
 
     #[test]

@@ -191,6 +191,18 @@ impl DramCache {
         meta.dirty = true;
     }
 
+    /// Marks a resident slot clean again (its contents were written back
+    /// to NAND by the rebuild path, so DRAM and media agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not resident.
+    pub fn mark_clean(&mut self, slot: u64) {
+        let meta = &mut self.slots[slot as usize];
+        assert!(meta.nand_page.is_some(), "cleaning a free slot");
+        meta.dirty = false;
+    }
+
     /// Whether the slot is dirty.
     pub fn is_dirty(&self, slot: u64) -> bool {
         self.slots[slot as usize].dirty

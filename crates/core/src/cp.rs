@@ -17,6 +17,10 @@ pub enum CpOpcode {
     /// §VII-C optimisation 4: an independent writeback and cachefill
     /// merged into one command, processed in parallel by the device.
     WritebackCachefill,
+    /// Mailbox liveness probe: no data movement, immediate ack. The
+    /// driver's repair path uses it to re-handshake the mailbox under a
+    /// fresh sequence epoch before re-admitting a shard.
+    Probe,
 }
 
 impl CpOpcode {
@@ -25,6 +29,7 @@ impl CpOpcode {
             CpOpcode::Cachefill => 1,
             CpOpcode::Writeback => 2,
             CpOpcode::WritebackCachefill => 3,
+            CpOpcode::Probe => 4,
         }
     }
 
@@ -33,6 +38,7 @@ impl CpOpcode {
             1 => Some(CpOpcode::Cachefill),
             2 => Some(CpOpcode::Writeback),
             3 => Some(CpOpcode::WritebackCachefill),
+            4 => Some(CpOpcode::Probe),
             _ => None,
         }
     }
@@ -209,7 +215,7 @@ mod tests {
 
     #[test]
     fn command_roundtrip() {
-        for opcode in [CpOpcode::Cachefill, CpOpcode::Writeback] {
+        for opcode in [CpOpcode::Cachefill, CpOpcode::Writeback, CpOpcode::Probe] {
             let cmd = CpCommand {
                 phase: 7,
                 seq: 0x5A,
@@ -352,6 +358,7 @@ mod props {
             Just(CpOpcode::Cachefill),
             Just(CpOpcode::Writeback),
             Just(CpOpcode::WritebackCachefill),
+            Just(CpOpcode::Probe),
         ]
     }
 

@@ -1,7 +1,9 @@
 //! Error type for the NVDIMM-C core.
 
+use crate::health::DegradeReason;
 use nvdimmc_ddr::BusViolation;
 use nvdimmc_nand::NandError;
+use nvdimmc_sim::SimDuration;
 use std::error::Error;
 use std::fmt;
 
@@ -32,10 +34,28 @@ pub enum CoreError {
         attempts: u32,
     },
     /// The shard is degraded (a CP transaction previously failed): writes
-    /// and NAND-backed fills are refused until recovery.
+    /// and NAND-backed fills are refused until a repair runs.
     DegradedShard {
+        /// Index of the degraded shard (0 for a single-channel system).
+        shard: u32,
         /// Why the shard degraded.
-        reason: String,
+        reason: DegradeReason,
+    },
+    /// The shard is rebuilding (or repair attempts were exhausted without
+    /// re-admission); retry after the hinted delay.
+    Rebuilding {
+        /// Index of the rebuilding shard.
+        shard: u32,
+        /// How long the caller should wait before retrying.
+        retry_after: SimDuration,
+    },
+    /// The shard's request queue is full and the failover policy sheds
+    /// load instead of blocking; retry after the hinted delay.
+    Overloaded {
+        /// Index of the overloaded shard.
+        shard: u32,
+        /// How long the caller should wait before retrying.
+        retry_after: SimDuration,
     },
     /// A simulated power failure interrupted the operation; recover with
     /// the power-fail dump and a rebuild.
@@ -69,8 +89,14 @@ impl fmt::Display for CoreError {
             CoreError::CpTimeout { attempts } => {
                 write!(f, "CP transaction unacked after {attempts} attempts")
             }
-            CoreError::DegradedShard { reason } => {
-                write!(f, "shard is degraded: {reason}")
+            CoreError::DegradedShard { shard, reason } => {
+                write!(f, "shard {shard} is degraded: {reason}")
+            }
+            CoreError::Rebuilding { shard, retry_after } => {
+                write!(f, "shard {shard} is rebuilding; retry after {retry_after}")
+            }
+            CoreError::Overloaded { shard, retry_after } => {
+                write!(f, "shard {shard} is overloaded; retry after {retry_after}")
             }
             CoreError::PowerInterrupted => write!(f, "power failure interrupted the operation"),
             CoreError::CacheCorruption { page } => {

@@ -350,6 +350,18 @@ pub struct RecoveryStats {
     // --- Degraded mode ---
     /// Times a shard entered degraded mode.
     pub degraded_entries: u64,
+    // --- Online repair ---
+    /// Rebuild attempts started by [`crate::ChannelShard::repair`].
+    pub rebuilds_started: u64,
+    /// Rebuilds that audited clean and re-admitted the shard.
+    pub rebuilds_completed: u64,
+    /// Rebuilds aborted by a fault or refused by the audit.
+    pub rebuilds_failed: u64,
+    /// Dirty slots written back to Z-NAND during rebuilds.
+    pub rebuild_writebacks: u64,
+    /// Pages invalidated during rebuilds because their only copy was a
+    /// corrupt dirty slot (the loss is surfaced in the rebuild ledger).
+    pub rebuild_pages_lost: u64,
     // --- Injector accounting ---
     /// Faults scheduled across all classes.
     pub faults_scheduled: u64,
@@ -385,6 +397,11 @@ impl RecoveryStats {
         self.power_fails_fired += other.power_fails_fired;
         self.power_fails_recovered += other.power_fails_recovered;
         self.degraded_entries += other.degraded_entries;
+        self.rebuilds_started += other.rebuilds_started;
+        self.rebuilds_completed += other.rebuilds_completed;
+        self.rebuilds_failed += other.rebuilds_failed;
+        self.rebuild_writebacks += other.rebuild_writebacks;
+        self.rebuild_pages_lost += other.rebuild_pages_lost;
         self.faults_scheduled += other.faults_scheduled;
         self.faults_fired += other.faults_fired;
     }

@@ -45,6 +45,8 @@ pub struct FpgaStats {
     pub writebacks: u64,
     /// Merged writeback+cachefill commands completed.
     pub merged_ops: u64,
+    /// Mailbox liveness probes acked (driver re-handshake traffic).
+    pub probes: u64,
     /// Bytes DMAed between DRAM and the controller.
     pub dma_bytes: u64,
     /// Acks lost on the way out (injected mailbox fault).
@@ -76,6 +78,7 @@ impl FpgaStats {
         self.cachefills += other.cachefills;
         self.writebacks += other.writebacks;
         self.merged_ops += other.merged_ops;
+        self.probes += other.probes;
         self.dma_bytes += other.dma_bytes;
         self.acks_dropped += other.acks_dropped;
         self.acks_corrupted += other.acks_corrupted;
@@ -212,6 +215,7 @@ impl Fpga {
     /// into this (freshly assembled) one, so campaign accounting spans
     /// power cycles.
     pub(crate) fn carry_recovery_counters(&mut self, prev: &FpgaStats) {
+        self.stats.probes += prev.probes;
         self.stats.acks_dropped += prev.acks_dropped;
         self.stats.acks_corrupted += prev.acks_corrupted;
         self.stats.cmd_decode_failures += prev.cmd_decode_failures;
@@ -345,6 +349,15 @@ impl Fpga {
                                     Err(e) => self.nand_nack(cmd, &e),
                                 }
                             }
+                            // A liveness probe moves no data: straight to
+                            // the ack, consuming any armed mailbox faults
+                            // on the way out like any other command.
+                            CpOpcode::Probe => FpgaState::Ack {
+                                cmd,
+                                ok: true,
+                                code: ACK_OK,
+                                done: Some(CpOpcode::Probe),
+                            },
                         };
                         Ok(128)
                     }
@@ -519,6 +532,7 @@ impl Fpga {
                         CpOpcode::Cachefill => self.stats.cachefills += 1,
                         CpOpcode::Writeback => self.stats.writebacks += 1,
                         CpOpcode::WritebackCachefill => self.stats.merged_ops += 1,
+                        CpOpcode::Probe => self.stats.probes += 1,
                     }
                 }
                 self.last_done = Some((cmd.txn_key(), ok, code));

@@ -25,7 +25,8 @@
 
 use crate::config::{NvdimmCConfig, PAGE_BYTES};
 use crate::error::CoreError;
-use crate::interleave::InterleaveMap;
+use crate::health::{DegradeReason, FailoverPolicy, HealthState, HealthTransition, RebuildReport};
+use crate::interleave::{InterleaveMap, Segment};
 use crate::sched::{ArbitrationPolicy, ReqKind, RequestScheduler, ShardRequest};
 use crate::shard::{BlockDevice, ChannelShard, PowerFailReport, SystemStats};
 use nvdimmc_ddr::TraceEntry;
@@ -49,6 +50,9 @@ pub struct MultiChannelConfig {
     pub queue_depth: usize,
     /// Queue arbitration policy.
     pub policy: ArbitrationPolicy,
+    /// Failover policy for degraded/overloaded shards. The default keeps
+    /// PR 4 behaviour (no auto repair, no shedding).
+    pub failover: FailoverPolicy,
 }
 
 impl MultiChannelConfig {
@@ -65,6 +69,7 @@ impl MultiChannelConfig {
             granularity_bytes: PAGE_BYTES,
             queue_depth: 64,
             policy: ArbitrationPolicy::Fcfs,
+            failover: FailoverPolicy::default(),
         }
     }
 
@@ -79,6 +84,13 @@ impl MultiChannelConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: ArbitrationPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Overrides the failover policy.
+    #[must_use]
+    pub fn with_failover(mut self, failover: FailoverPolicy) -> Self {
+        self.failover = failover;
         self
     }
 }
@@ -106,6 +118,7 @@ pub struct MultiChannelSystem {
     shards: Vec<ChannelShard>,
     map: InterleaveMap,
     sched: RequestScheduler,
+    failover: FailoverPolicy,
 }
 
 impl MultiChannelSystem {
@@ -122,10 +135,22 @@ impl MultiChannelSystem {
             // Shard 0 keeps the base seed (single-channel bit-identity);
             // the rest get decorrelated media-model streams.
             c.seed = c.seed.wrapping_add(u64::from(i).wrapping_mul(SEED_STRIDE));
-            shards.push(ChannelShard::new(c)?);
+            let mut shard = ChannelShard::new(c)?;
+            shard.set_shard_index(i);
+            shards.push(shard);
         }
         let sched = RequestScheduler::new(cfg.channels as usize, cfg.queue_depth, cfg.policy);
-        Ok(MultiChannelSystem { shards, map, sched })
+        Ok(MultiChannelSystem {
+            shards,
+            map,
+            sched,
+            failover: cfg.failover,
+        })
+    }
+
+    /// The active failover policy.
+    pub fn failover(&self) -> FailoverPolicy {
+        self.failover
     }
 
     /// Number of channels.
@@ -189,14 +214,71 @@ impl MultiChannelSystem {
         t
     }
 
-    /// Indices of shards currently in degraded mode.
-    pub fn degraded_shards(&self) -> Vec<usize> {
+    /// Shards currently in degraded mode: `(index, reason, since)`.
+    pub fn degraded_shards(&self) -> Vec<(usize, DegradeReason, SimTime)> {
         self.shards
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.is_degraded())
-            .map(|(i, _)| i)
+            .filter_map(|(i, s)| s.degraded_info().map(|(r, t)| (i, r, t)))
             .collect()
+    }
+
+    /// Per-shard health states (index = shard).
+    pub fn health(&self) -> Vec<HealthState> {
+        self.shards.iter().map(ChannelShard::health).collect()
+    }
+
+    /// Per-shard health-transition logs (index = shard).
+    pub fn health_logs(&self) -> Vec<&[HealthTransition]> {
+        self.shards.iter().map(ChannelShard::health_log).collect()
+    }
+
+    /// Per-shard rebuild reports (index = shard).
+    pub fn rebuild_reports(&self) -> Vec<&[RebuildReport]> {
+        self.shards
+            .iter()
+            .map(ChannelShard::rebuild_reports)
+            .collect()
+    }
+
+    /// Repairs one degraded shard online: the scheduler's admission gate
+    /// closes for exactly the duration of the rebuild (queued work is
+    /// preserved; new arrivals bounce with a typed error), the shard runs
+    /// its quiesce → re-handshake → scrub → audit sequence, and the gate
+    /// reopens whether or not the shard was re-admitted — a still-degraded
+    /// shard keeps refusing work itself, as in the pre-repair design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's repair outcome: `DegradedShard` when the
+    /// audit failed, fault-path errors when the rebuild itself was
+    /// interrupted.
+    pub fn repair_shard(&mut self, idx: usize) -> Result<RebuildReport, CoreError> {
+        self.sched.set_admitted(idx, false);
+        let out = self.shards[idx].repair();
+        self.sched.set_admitted(idx, true);
+        out
+    }
+
+    /// Repairs every degraded shard once, in index order. Returns the
+    /// indices that were successfully re-admitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `PowerInterrupted` (the caller must run the power-cycle
+    /// path); per-shard repair failures are not errors — the shard simply
+    /// stays degraded and absent from the returned list.
+    pub fn repair_degraded(&mut self) -> Result<Vec<usize>, CoreError> {
+        let degraded: Vec<usize> = self.degraded_shards().iter().map(|d| d.0).collect();
+        let mut readmitted = Vec::new();
+        for idx in degraded {
+            match self.repair_shard(idx) {
+                Ok(_) => readmitted.push(idx),
+                Err(CoreError::PowerInterrupted) => return Err(CoreError::PowerInterrupted),
+                Err(_) => {}
+            }
+        }
+        Ok(readmitted)
     }
 
     /// True when every shard's scheduled and armed faults are exhausted.
@@ -344,7 +426,12 @@ impl MultiChannelSystem {
             .into_iter()
             .map(ChannelShard::into_recovered)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(MultiChannelSystem { shards, map, sched })
+        Ok(MultiChannelSystem {
+            shards,
+            map,
+            sched,
+            failover: self.failover,
+        })
     }
 
     fn check_range(&self, offset: u64, len: u64) -> Result<(), CoreError> {
@@ -355,26 +442,33 @@ impl MultiChannelSystem {
         Ok(())
     }
 
-    /// Routes one segment through the scheduler and serves it with the
-    /// blocking shard call. The queue in front of an idle shard is empty,
-    /// so the request passes straight through — the scheduler still
-    /// accounts it for the conservation check.
-    fn route_blocking(
-        &mut self,
-        kind: ReqKind,
-        seg: crate::interleave::Segment,
-        t0: SimTime,
-        buf: Option<&mut [u8]>,
-        data: Option<&[u8]>,
-    ) -> Result<SimTime, CoreError> {
-        let idx = seg.shard as usize;
-        // The issuing CPU's timeline is global: a lagging shard first
-        // catches up to the issue instant.
+    /// Catches a lagging shard up to the issue instant: the issuing
+    /// CPU's timeline is global.
+    fn catch_up(&mut self, idx: usize, t0: SimTime) {
         let shard = &mut self.shards[idx];
         if shard.now() < t0 {
             let gap = t0.since(shard.now());
             shard.advance(gap);
         }
+    }
+
+    /// Routes one segment through the scheduler for accounting. The queue
+    /// in front of an idle shard is empty, so the request passes straight
+    /// through — the scheduler still accounts it for the conservation
+    /// check. Returns whether the request was queued (and must be marked
+    /// complete after service).
+    ///
+    /// # Errors
+    ///
+    /// `Rebuilding` when the shard's admission gate is closed mid-repair,
+    /// `Overloaded` when the queue is full and the policy sheds load.
+    fn enqueue_accounted(
+        &mut self,
+        idx: usize,
+        kind: ReqKind,
+        seg: &Segment,
+        t0: SimTime,
+    ) -> Result<bool, CoreError> {
         let req = ShardRequest {
             seq: 0,
             thread: 0,
@@ -386,27 +480,102 @@ impl MultiChannelSystem {
             // entry carries only the accounting fields.
             data: Vec::new(),
         };
-        // A bounced request (full queue) is served directly anyway — the
-        // blocking path cannot defer.
-        let queued = self.sched.enqueue(idx, req).is_ok();
-        if queued {
-            let _ = self.sched.pop(idx);
+        if !self.sched.is_admitted(idx) {
+            // The gate only closes while a repair is in flight.
+            let _ = self.sched.enqueue(idx, req);
+            return Err(CoreError::Rebuilding {
+                shard: idx as u32,
+                retry_after: self.failover.retry_after,
+            });
         }
-        let shard = &mut self.shards[idx];
-        match kind {
-            ReqKind::Read => {
-                let buf = buf.expect("read carries a buffer");
-                shard.read_at(seg.local_offset, buf)?;
+        match self.sched.enqueue(idx, req) {
+            Ok(()) => {
+                let _ = self.sched.pop(idx);
+                Ok(true)
             }
-            ReqKind::Write => {
-                let data = data.expect("write carries data");
-                shard.write_at(seg.local_offset, data)?;
+            Err(_) if self.failover.shed_on_overload => Err(CoreError::Overloaded {
+                shard: idx as u32,
+                retry_after: self.failover.retry_after,
+            }),
+            // A bounced request (full queue) is served directly anyway —
+            // the blocking path cannot defer.
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// Serves one shard operation under the failover policy: a degraded
+    /// shard is repaired online (up to the attempt budget) and the
+    /// operation retried; once the budget is spent the caller gets a
+    /// typed `Rebuilding` hint instead of the raw degraded error. With
+    /// auto-repair off this is a plain pass-through.
+    fn serve_failover<T>(
+        &mut self,
+        idx: usize,
+        mut op: impl FnMut(&mut ChannelShard) -> Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        let mut repairs = 0;
+        loop {
+            match op(&mut self.shards[idx]) {
+                Err(CoreError::DegradedShard { .. })
+                    if self.failover.auto_repair && repairs < self.failover.max_repair_attempts =>
+                {
+                    repairs += 1;
+                    match self.repair_shard(idx) {
+                        Ok(_) => continue,
+                        // A power cut aborts everything; other repair
+                        // failures burn an attempt and retry.
+                        Err(CoreError::PowerInterrupted) => {
+                            return Err(CoreError::PowerInterrupted)
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                Err(CoreError::DegradedShard { shard, .. }) if self.failover.auto_repair => {
+                    return Err(CoreError::Rebuilding {
+                        shard,
+                        retry_after: self.failover.retry_after,
+                    });
+                }
+                other => return other,
             }
         }
+    }
+
+    /// Routes one read segment: catch-up, scheduler accounting, then the
+    /// blocking shard call under the failover policy.
+    fn route_read(
+        &mut self,
+        seg: &Segment,
+        t0: SimTime,
+        buf: &mut [u8],
+    ) -> Result<SimTime, CoreError> {
+        let idx = seg.shard as usize;
+        self.catch_up(idx, t0);
+        let queued = self.enqueue_accounted(idx, ReqKind::Read, seg, t0)?;
+        let local = seg.local_offset;
+        self.serve_failover(idx, |shard| shard.read_at(local, buf))?;
         if queued {
             self.sched.complete(idx);
         }
-        Ok(shard.now())
+        Ok(self.shards[idx].now())
+    }
+
+    /// Routes one write segment; see [`Self::route_read`].
+    fn route_write(
+        &mut self,
+        seg: &Segment,
+        t0: SimTime,
+        data: &[u8],
+    ) -> Result<SimTime, CoreError> {
+        let idx = seg.shard as usize;
+        self.catch_up(idx, t0);
+        let queued = self.enqueue_accounted(idx, ReqKind::Write, seg, t0)?;
+        let local = seg.local_offset;
+        self.serve_failover(idx, |shard| shard.write_at(local, data))?;
+        if queued {
+            self.sched.complete(idx);
+        }
+        Ok(self.shards[idx].now())
     }
 }
 
@@ -428,6 +597,8 @@ impl BlockDevice for MultiChannelSystem {
             .iter()
             .map(BlockDevice::now)
             .max()
+            // INVARIANT: `InterleaveMap::new` rejects zero channels, so a
+            // constructed system always has at least one shard.
             .expect("at least one shard")
     }
 
@@ -447,7 +618,7 @@ impl BlockDevice for MultiChannelSystem {
         let mut done = t0;
         for seg in self.map.split_range(offset, len) {
             let slice = &mut buf[seg.pos..seg.pos + seg.len as usize];
-            let end = self.route_blocking(ReqKind::Read, seg, t0, Some(slice), None)?;
+            let end = self.route_read(&seg, t0, slice)?;
             done = done.max(end);
         }
         Ok(done.since(t0))
@@ -463,7 +634,7 @@ impl BlockDevice for MultiChannelSystem {
         let mut done = t0;
         for seg in self.map.split_range(offset, len) {
             let slice = &data[seg.pos..seg.pos + seg.len as usize];
-            let end = self.route_blocking(ReqKind::Write, seg, t0, None, Some(slice))?;
+            let end = self.route_write(&seg, t0, slice)?;
             done = done.max(end);
         }
         Ok(done.since(t0))

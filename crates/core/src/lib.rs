@@ -54,6 +54,7 @@ pub mod error;
 pub mod faults;
 pub mod fpga;
 pub mod front;
+pub mod health;
 pub mod interleave;
 pub mod layout;
 pub mod perf;
@@ -69,6 +70,7 @@ pub use error::CoreError;
 pub use faults::{FaultInjector, FaultKind, FaultPlan, RecoveryParams, RecoveryStats};
 pub use fpga::{AckFault, Fpga};
 pub use front::{MultiChannelConfig, MultiChannelSystem};
+pub use health::{DegradeReason, FailoverPolicy, HealthState, HealthTransition, RebuildReport};
 pub use interleave::{InterleaveMap, Segment};
 pub use layout::Layout;
 pub use perf::PerfParams;

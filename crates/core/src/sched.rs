@@ -75,6 +75,8 @@ pub struct SchedStats {
     pub completed: u64,
     /// Requests bounced because the queue was full.
     pub rejected_full: u64,
+    /// Requests bounced because the shard was not admitted (rebuilding).
+    pub rejected_unhealthy: u64,
     /// FR-FCFS picks that jumped the queue for page locality.
     pub locality_promotions: u64,
     /// Times the fairness counter forced the oldest request through.
@@ -87,6 +89,7 @@ impl SchedStats {
         self.enqueued += other.enqueued;
         self.completed += other.completed;
         self.rejected_full += other.rejected_full;
+        self.rejected_unhealthy += other.rejected_unhealthy;
         self.locality_promotions += other.locality_promotions;
         self.starvation_breaks += other.starvation_breaks;
     }
@@ -102,6 +105,9 @@ pub struct RequestScheduler {
     head_deferrals: Vec<u32>,
     stats: Vec<SchedStats>,
     next_seq: u64,
+    /// Admission gate per shard: the front-end closes it while the shard
+    /// rebuilds, so no new request reaches a quiesced shard.
+    admitted: Vec<bool>,
 }
 
 impl RequestScheduler {
@@ -116,6 +122,7 @@ impl RequestScheduler {
             head_deferrals: vec![0; shards],
             stats: vec![SchedStats::default(); shards],
             next_seq: 0,
+            admitted: vec![true; shards],
         }
     }
 
@@ -142,6 +149,10 @@ impl RequestScheduler {
     ///
     /// Returns the request itself when the shard queue is at depth.
     pub fn enqueue(&mut self, shard: usize, mut req: ShardRequest) -> Result<(), ShardRequest> {
+        if !self.admitted[shard] {
+            self.stats[shard].rejected_unhealthy += 1;
+            return Err(req);
+        }
         if self.queues[shard].len() >= self.depth {
             self.stats[shard].rejected_full += 1;
             return Err(req);
@@ -192,6 +203,17 @@ impl RequestScheduler {
     /// Records a served request (pairs with [`RequestScheduler::pop`]).
     pub fn complete(&mut self, shard: usize) {
         self.stats[shard].completed += 1;
+    }
+
+    /// Opens or closes the admission gate for `shard`. Closed while the
+    /// shard rebuilds; requests already queued stay queued.
+    pub fn set_admitted(&mut self, shard: usize, admitted: bool) {
+        self.admitted[shard] = admitted;
+    }
+
+    /// Whether `shard` currently admits new requests.
+    pub fn is_admitted(&self, shard: usize) -> bool {
+        self.admitted[shard]
     }
 
     /// Outstanding requests on `shard`.
@@ -302,6 +324,23 @@ mod tests {
         s.enqueue(1, req(3, 0)).unwrap();
         assert_eq!(s.pending(0), 2);
         assert_eq!(s.pending(1), 1);
+    }
+
+    #[test]
+    fn closed_admission_gate_bounces_without_losing_queued_work() {
+        let mut s = RequestScheduler::new(2, 4, ArbitrationPolicy::Fcfs);
+        s.enqueue(0, req(0, 0)).unwrap();
+        s.set_admitted(0, false);
+        assert!(!s.is_admitted(0));
+        assert!(s.enqueue(0, req(1, 0)).is_err());
+        assert_eq!(s.stats(0).rejected_unhealthy, 1);
+        // Work queued before the gate closed survives and still pops.
+        assert_eq!(s.pending(0), 1);
+        assert_eq!(s.pop(0).unwrap().thread, 0);
+        // The other shard is unaffected; reopening restores admission.
+        s.enqueue(1, req(2, 0)).unwrap();
+        s.set_admitted(0, true);
+        s.enqueue(0, req(3, 0)).unwrap();
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::cp::{CpAck, CpCommand, CpOpcode, ACK_ERR_UNCORRECTABLE};
 use crate::error::CoreError;
 use crate::faults::{FaultInjector, FaultKind, RecoveryStats};
 use crate::fpga::{AckFault, Fpga};
+use crate::health::{DegradeReason, HealthState, HealthTransition, RebuildReport};
 use crate::layout::Layout;
 use crate::refresh::DetectorPipeline;
 use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, SharedBus, TraceEntry};
@@ -209,6 +210,11 @@ struct DriverRecovery {
     power_fails_fired: u64,
     power_fails_recovered: u64,
     degraded_entries: u64,
+    rebuilds_started: u64,
+    rebuilds_completed: u64,
+    rebuilds_failed: u64,
+    rebuild_writebacks: u64,
+    rebuild_pages_lost: u64,
 }
 
 /// One fully assembled NVDIMM-C channel.
@@ -248,9 +254,24 @@ pub struct ChannelShard {
     stats: SystemStats,
     /// Scheduled faults for this shard (campaign mode).
     injector: Option<FaultInjector>,
-    /// `Some(reason)` once a CP transaction exhausted its retransmit
-    /// budget: writes and NAND-backed fills are refused.
-    degraded: Option<String>,
+    /// Health state: `Degraded` once a CP transaction exhausted its
+    /// retransmit budget (writes and NAND-backed fills are refused),
+    /// `Rebuilding` while [`ChannelShard::repair`] runs.
+    health: HealthState,
+    /// Every health-state edge with its simulation time, for the
+    /// `check::health` audit pass. Reset (like the clock) on a power
+    /// cycle: each boot gets its own log.
+    health_log: Vec<HealthTransition>,
+    /// Conservation ledger of every rebuild attempt, oldest first.
+    /// Carried across power cycles.
+    rebuild_log: Vec<RebuildReport>,
+    /// 1-based repair attempt counter since the shard last left
+    /// `Healthy`; resets on re-admission.
+    rebuild_attempt: u32,
+    /// Index within a multi-channel front-end (0 for the single-channel
+    /// system); carried in typed errors so callers know which shard is
+    /// out.
+    shard_index: u32,
     /// CRC per tracked cache slot — the driver's scrub, enabled with the
     /// injector (campaign mode only; `None` keeps the fast path exact).
     scrub: Option<HashMap<u64, u32>>,
@@ -309,7 +330,11 @@ impl ChannelShard {
             cfg,
             stats: SystemStats::default(),
             injector: None,
-            degraded: None,
+            health: HealthState::Healthy,
+            health_log: Vec::new(),
+            rebuild_log: Vec::new(),
+            rebuild_attempt: 0,
+            shard_index: 0,
             scrub: None,
             power_fail_pending: false,
             drec: DriverRecovery::default(),
@@ -449,9 +474,12 @@ impl ChannelShard {
         nand_page: u64,
         wb_nand_page: Option<u64>,
     ) -> Result<(), CoreError> {
-        if let Some(reason) = &self.degraded {
+        // Only `Degraded` refuses the mailbox — the `Rebuilding` repair
+        // path drives its scrub traffic through this very function.
+        if let HealthState::Degraded { reason, .. } = self.health {
             return Err(CoreError::DegradedShard {
-                reason: reason.clone(),
+                shard: self.shard_index,
+                reason,
             });
         }
         // Catch up any refresh backlog from plain host activity while the
@@ -520,6 +548,9 @@ impl ChannelShard {
                     CpOpcode::Cachefill => self.stats.cachefills += 1,
                     CpOpcode::Writeback => self.stats.writebacks += 1,
                     CpOpcode::WritebackCachefill => self.stats.merged_ops += 1,
+                    // Probes are handshake traffic, not host operations;
+                    // the FPGA counts them on its side.
+                    CpOpcode::Probe => {}
                 }
                 return Ok(());
             }
@@ -530,10 +561,10 @@ impl ChannelShard {
             }
         }
         self.drec.cp_transactions_failed += 1;
-        self.enter_degraded(format!(
-            "CP {opcode:?} for page {nand_page:#x} unacked after {} attempts",
-            rp.cp_max_retransmits + 1
-        ));
+        self.enter_degraded(DegradeReason::CpExhausted {
+            opcode,
+            attempts: rp.cp_max_retransmits + 1,
+        });
         Err(CoreError::CpTimeout {
             attempts: rp.cp_max_retransmits + 1,
         })
@@ -587,13 +618,14 @@ impl ChannelShard {
         if let Some(slot) = self.cache.lookup(page) {
             return Ok(slot);
         }
-        if let Some(reason) = &self.degraded {
+        if let HealthState::Degraded { reason, .. } = self.health {
             // Degraded mode still serves what it can without the CP
             // mailbox: a never-written page with a free slot is a pure
             // CPU zero-fill.
             if self.nvmc.is_mapped(page) || self.cache.free_slots() == 0 {
                 return Err(CoreError::DegradedShard {
-                    reason: reason.clone(),
+                    shard: self.shard_index,
+                    reason,
                 });
             }
         }
@@ -882,14 +914,39 @@ impl ChannelShard {
         self.injector.as_ref()
     }
 
-    /// Whether the shard is in degraded (read-mostly) mode.
-    pub fn is_degraded(&self) -> bool {
-        self.degraded.is_some()
+    /// The shard's current health state.
+    pub fn health(&self) -> HealthState {
+        self.health
     }
 
-    /// Why the shard degraded, if it did.
-    pub fn degraded_reason(&self) -> Option<&str> {
-        self.degraded.as_deref()
+    /// Whether the shard is in degraded (read-mostly) mode.
+    pub fn is_degraded(&self) -> bool {
+        self.health.is_degraded()
+    }
+
+    /// Why and since when the shard is degraded, if it is.
+    pub fn degraded_info(&self) -> Option<(DegradeReason, SimTime)> {
+        match self.health {
+            HealthState::Degraded { reason, since } => Some((reason, since)),
+            _ => None,
+        }
+    }
+
+    /// Every recorded health-state transition of this boot, in order.
+    pub fn health_log(&self) -> &[HealthTransition] {
+        &self.health_log
+    }
+
+    /// The conservation ledger of every rebuild attempt, oldest first
+    /// (carried across power cycles).
+    pub fn rebuild_reports(&self) -> &[RebuildReport] {
+        &self.rebuild_log
+    }
+
+    /// Sets the shard's index within a multi-channel front-end, so typed
+    /// errors name the shard they came from.
+    pub(crate) fn set_shard_index(&mut self, idx: u32) {
+        self.shard_index = idx;
     }
 
     /// Applies one fault immediately (test/bench hook — campaigns schedule
@@ -959,6 +1016,11 @@ impl ChannelShard {
             power_fails_fired: d.power_fails_fired,
             power_fails_recovered: d.power_fails_recovered,
             degraded_entries: d.degraded_entries,
+            rebuilds_started: d.rebuilds_started,
+            rebuilds_completed: d.rebuilds_completed,
+            rebuilds_failed: d.rebuilds_failed,
+            rebuild_writebacks: d.rebuild_writebacks,
+            rebuild_pages_lost: d.rebuild_pages_lost,
             faults_scheduled: sched.iter().sum(),
             faults_fired: fired.iter().sum(),
         }
@@ -991,10 +1053,26 @@ impl ChannelShard {
         Ok(())
     }
 
-    fn enter_degraded(&mut self, reason: String) {
-        if self.degraded.is_none() {
+    /// Records a health-state edge and switches to `to`.
+    fn set_health(&mut self, to: HealthState) {
+        self.health_log.push(HealthTransition {
+            from: self.health,
+            to,
+            at: self.clock,
+        });
+        self.health = to;
+    }
+
+    /// Enters degraded mode from `Healthy` or `Rebuilding` (idempotent
+    /// when already degraded, so `degraded_entries` counts entries, not
+    /// bounced requests).
+    fn enter_degraded(&mut self, reason: DegradeReason) {
+        if !self.health.is_degraded() {
             self.drec.degraded_entries += 1;
-            self.degraded = Some(reason);
+            self.set_health(HealthState::Degraded {
+                reason,
+                since: self.clock,
+            });
         }
     }
 
@@ -1185,9 +1263,10 @@ impl BlockDevice for ChannelShard {
         }
         self.check_range(offset, len)?;
         self.begin_op();
-        if let Some(reason) = &self.degraded {
+        if let HealthState::Degraded { reason, .. } = self.health {
             return Err(CoreError::DegradedShard {
-                reason: reason.clone(),
+                shard: self.shard_index,
+                reason,
             });
         }
         let t0 = self.clock;
@@ -1275,9 +1354,10 @@ impl QueuedDevice for ChannelShard {
         }
         self.check_range(offset, len)?;
         self.begin_op();
-        if let Some(reason) = &self.degraded {
+        if let HealthState::Degraded { reason, .. } = self.health {
             return Err(CoreError::DegradedShard {
-                reason: reason.clone(),
+                shard: self.shard_index,
+                reason,
             });
         }
         if self.clock <= not_before {
@@ -1340,6 +1420,157 @@ impl ChannelShard {
         Ok(report)
     }
 
+    /// Repairs a degraded shard online: quiesce (the blocking model is
+    /// quiescent by construction), re-handshake the CP mailbox under a
+    /// fresh sequence epoch, CRC-scrub every resident cache slot, write
+    /// back or invalidate against Z-NAND through the ordinary
+    /// cachefill/writeback machinery inside extended-tRFC windows, and
+    /// re-admit the shard only if the rebuild ledger audits clean.
+    ///
+    /// A fault during the rebuild re-degrades the shard
+    /// deterministically: a CP exhaustion records its own
+    /// [`DegradeReason::CpExhausted`]; any other interruption (an
+    /// injected power failure, a NAND error) records
+    /// [`DegradeReason::RebuildInterrupted`]. The next repair call
+    /// restarts the rebuild from scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Protocol`] when the shard is not degraded; otherwise
+    /// the interrupting fault is propagated and the shard stays
+    /// degraded.
+    pub fn repair(&mut self) -> Result<RebuildReport, CoreError> {
+        if !self.health.is_degraded() {
+            return Err(CoreError::Protocol(
+                "repair requires a degraded shard".into(),
+            ));
+        }
+        self.rebuild_attempt += 1;
+        let attempt = self.rebuild_attempt;
+        self.drec.rebuilds_started += 1;
+        self.set_health(HealthState::Rebuilding {
+            attempt,
+            since: self.clock,
+        });
+        let mut report = RebuildReport {
+            attempt,
+            started: self.clock,
+            ..RebuildReport::default()
+        };
+        let run = self.rebuild(&mut report);
+        report.finished = self.clock;
+        let outcome = match run {
+            Ok(()) => match report.audit() {
+                Ok(()) => {
+                    report.readmitted = true;
+                    self.drec.rebuilds_completed += 1;
+                    self.rebuild_attempt = 0;
+                    self.set_health(HealthState::Healthy);
+                    Ok(report.clone())
+                }
+                Err(_) => {
+                    self.drec.rebuilds_failed += 1;
+                    self.enter_degraded(DegradeReason::AuditFailed);
+                    Err(CoreError::DegradedShard {
+                        shard: self.shard_index,
+                        reason: DegradeReason::AuditFailed,
+                    })
+                }
+            },
+            Err(e) => {
+                self.drec.rebuilds_failed += 1;
+                // A CP exhaustion inside the rebuild already re-degraded
+                // the shard with its own reason; anything else (power
+                // failure, NAND error) re-degrades here.
+                if !self.health.is_degraded() {
+                    self.enter_degraded(DegradeReason::RebuildInterrupted);
+                }
+                Err(e)
+            }
+        };
+        self.rebuild_log.push(report);
+        outcome
+    }
+
+    /// The rebuild pass proper. Every resident slot is CRC-verified:
+    /// intact clean slots stay; intact dirty slots are written back and
+    /// stay, now clean; corrupt clean slots heal from Z-NAND (or the
+    /// zero page); corrupt dirty slots have no intact copy anywhere, so
+    /// they are invalidated and the loss is surfaced in the report —
+    /// never silently.
+    fn rebuild(&mut self, report: &mut RebuildReport) -> Result<(), CoreError> {
+        // Fresh sequence epoch: rebuild traffic can never alias a
+        // retransmit of the transaction that killed the mailbox.
+        self.seq = self.seq.wrapping_add(0x10);
+        // Re-handshake through the ordinary retransmit machinery — the
+        // probe consumes any mailbox faults still armed and proves the
+        // FPGA acknowledges again.
+        self.cp_transaction(CpOpcode::Probe, 0, 0, None)?;
+        report.handshake_ok = true;
+
+        // `resident_entries` iterates the slot array in slot order, so
+        // the scrub sequence is deterministic.
+        let entries: Vec<(u64, u64, bool)> = self.cache.resident_entries().collect();
+        report.resident_at_start = entries.len() as u64;
+        report.dirty_at_start = entries.iter().filter(|&&(_, _, dirty)| dirty).count() as u64;
+        for (slot, page, dirty) in entries {
+            self.take_power_fail()?;
+            report.slots_scrubbed += 1;
+            let intact = match self.scrub.as_ref().and_then(|m| m.get(&slot).copied()) {
+                Some(expect) => self.page_crc(slot) == expect,
+                // Untracked slot (scrub enabled mid-run): no reference
+                // CRC to compare against — trusted, exactly like the
+                // read-path scrub.
+                None => true,
+            };
+            let addr = self.layout.slot_addr(slot);
+            if intact {
+                if dirty {
+                    // Write back so DRAM and Z-NAND agree; the slot
+                    // stays resident, now clean. Explicit coherence
+                    // before the FPGA reads the slot (§V-B).
+                    self.cpu
+                        .clflush_range(&mut DramBackdoor(&mut self.bus), addr, PAGE_BYTES);
+                    self.cpu.sfence();
+                    self.clock += self.cfg.perf.clflush_line * (PAGE_BYTES / 64);
+                    self.cp_transaction(CpOpcode::Writeback, slot, page, None)?;
+                    self.cache.mark_clean(slot);
+                    self.drec.rebuild_writebacks += 1;
+                    report.dirty_written_back += 1;
+                    self.scrub_note(slot);
+                }
+                continue;
+            }
+            self.drec.scrub_detected += 1;
+            if dirty {
+                // No intact copy anywhere: invalidate the slot and
+                // surface the loss in the ledger.
+                self.drec.cache_corruption_surfaced += 1;
+                self.drec.rebuild_pages_lost += 1;
+                report.pages_lost.push(page);
+                self.cpu.invalidate_range(addr, PAGE_BYTES);
+                self.cache.evict(slot);
+                self.cache.release(slot);
+                self.scrub_forget(slot);
+                self.pt.unmap(page);
+                self.tlb.flush_page(page);
+                continue;
+            }
+            // Corrupt but clean: the backing copy still holds the truth.
+            if self.nvmc.is_mapped(page) {
+                self.cp_transaction(CpOpcode::Cachefill, slot, page, None)?;
+            } else {
+                let zeros = vec![0u8; PAGE_BYTES as usize];
+                DramBackdoor(&mut self.bus).write(addr, &zeros);
+            }
+            self.cpu.invalidate_range(addr, PAGE_BYTES);
+            self.drec.scrub_refills += 1;
+            report.clean_healed += 1;
+            self.scrub_note(slot);
+        }
+        Ok(())
+    }
+
     /// Rebuilds the shard after a power failure, keeping the persistent
     /// Z-NAND contents. Volatile state (DRAM cache, CPU caches, mappings,
     /// degraded mode) starts empty, as at boot; the fault injector and
@@ -1357,6 +1588,11 @@ impl ChannelShard {
         let injector = self.injector;
         let scrub_on = self.scrub.is_some();
         let seq = self.seq;
+        // The rebuild ledgers are per-attempt facts and span power
+        // cycles; the health log restarts with the clock (fresh boot =
+        // fresh `Healthy`).
+        let rebuild_log = self.rebuild_log;
+        let shard_index = self.shard_index;
         let mut s = Self::assemble(self.cfg, self.nvmc)?;
         s.fpga.carry_recovery_counters(&fpga_prev);
         s.drec = drec;
@@ -1365,6 +1601,8 @@ impl ChannelShard {
             s.scrub = Some(HashMap::new());
         }
         s.seq = seq;
+        s.rebuild_log = rebuild_log;
+        s.shard_index = shard_index;
         Ok(s)
     }
 }

@@ -71,7 +71,12 @@ pub mod collection {
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let span = (self.size.max - self.size.min) as u64;
-            let len = self.size.min + if span == 0 { 0 } else { (rng.next_u64() % span) as usize };
+            let len = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    (rng.next_u64() % span) as usize
+                };
             (0..len).map(|_| self.elem.generate(rng)).collect()
         }
     }

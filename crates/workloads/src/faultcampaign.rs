@@ -30,7 +30,7 @@ use nvdimmc_ddr::TraceEntry;
 use nvdimmc_nand::ecc::crc32;
 use nvdimmc_sim::{DeterministicRng, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// Campaign configuration: load shape plus the fault mix.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -162,6 +162,12 @@ impl FaultCampaign {
         let mut rng = DeterministicRng::new(self.seed).fork(0xC0FF);
         let mut oracle: Vec<Vec<u8>> = vec![vec![0u8; PAGE_BYTES as usize]; pages as usize];
         let mut poisoned: HashSet<u64> = HashSet::new();
+        // Rejected-write ledger: page → CRC of the payload the device
+        // refused. The final read-back must never reflect a rejected
+        // payload; a later *successful* write to the page supersedes the
+        // rejection (the oracle check governs from then on), so the
+        // entry is cleared.
+        let mut rejected: BTreeMap<u64, u32> = BTreeMap::new();
         let mut report = CampaignReport::new(self.channels);
         let mut buf = vec![0u8; PAGE_BYTES as usize];
         let mut data = vec![0u8; PAGE_BYTES as usize];
@@ -192,11 +198,16 @@ impl FaultCampaign {
             } else {
                 sys.read_at(off, &mut buf).map(|_| ())
             };
+            if write && res.is_err() {
+                report.writes_rejected += 1;
+                rejected.insert(page, crc32(&data));
+            }
             match res {
                 Ok(()) => {
                     report.ops_completed += 1;
                     if write {
                         oracle[page as usize].copy_from_slice(&data);
+                        rejected.remove(&page);
                     } else if buf != oracle[page as usize] {
                         report.oracle_mismatches += 1;
                     }
@@ -241,6 +252,9 @@ impl FaultCampaign {
                     if buf != oracle[page as usize] {
                         report.oracle_mismatches += 1;
                     }
+                    if rejected.get(&page) == Some(&crc32(&buf)) {
+                        report.rejected_write_leaks += 1;
+                    }
                     report.digest = report
                         .digest
                         .wrapping_mul(0x0000_0100_0000_01B3)
@@ -258,6 +272,9 @@ impl FaultCampaign {
                     sys.read_at(off, &mut buf)?;
                     if buf != oracle[page as usize] {
                         report.oracle_mismatches += 1;
+                    }
+                    if rejected.get(&page) == Some(&crc32(&buf)) {
+                        report.rejected_write_leaks += 1;
                     }
                     report.digest = report
                         .digest
@@ -320,6 +337,11 @@ pub struct CampaignReport {
     /// Pages excluded from the final verification because their loss was
     /// surfaced (never silently).
     pub pages_excluded: u64,
+    /// Writes the device refused with a typed error (ledgered).
+    pub writes_rejected: u64,
+    /// Final read-backs that matched a still-ledgered rejected payload —
+    /// a write the device claimed to refuse but applied; must be zero.
+    pub rejected_write_leaks: u64,
     /// Bytes that differed from the oracle — the silent-corruption
     /// counter; must be zero.
     pub oracle_mismatches: u64,
@@ -344,6 +366,8 @@ impl CampaignReport {
             cache_corruptions: 0,
             degraded_shards: 0,
             pages_excluded: 0,
+            writes_rejected: 0,
+            rejected_write_leaks: 0,
             oracle_mismatches: 0,
             digest: 0xCBF2_9CE4_8422_2325,
             recovery: RecoveryStats::default(),
@@ -371,6 +395,7 @@ mod tests {
     fn single_channel_campaign_recovers_everything() {
         let r = FaultCampaign::recoverable(1).run().expect("campaign");
         assert_eq!(r.oracle_mismatches, 0, "silent corruption");
+        assert_eq!(r.rejected_write_leaks, 0, "rejected write applied");
         assert_eq!(r.recovery.faults_fired, r.recovery.faults_scheduled);
         assert_eq!(r.degraded_shards, 0);
         let diags = nvdimmc_check::check_recovery(&r.recovery);

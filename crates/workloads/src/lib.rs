@@ -21,7 +21,11 @@
 //! - [`faultcampaign`] — seeded fault-injection campaigns over the
 //!   multi-channel system: inject NAND/mailbox/window/cache/power faults
 //!   mid-load, drain until every fault fired, then verify byte-exact
-//!   read-back and a balanced recovery ledger.
+//!   read-back and a balanced recovery ledger;
+//! - [`soak`] — SLO soak runner: sustained load while dead-mailbox
+//!   waves rotate over every shard, each degradation repaired online
+//!   through the front-end failover policy, reporting availability and
+//!   per-health-state latency percentiles.
 //!
 //! [`System`]: nvdimmc_core::System
 
@@ -33,6 +37,7 @@ pub mod faultcampaign;
 pub mod filecopy;
 pub mod fio;
 pub mod mixedload;
+pub mod soak;
 pub mod stream;
 pub mod tpch;
 
@@ -41,5 +46,6 @@ pub use faultcampaign::{CampaignReport, FaultCampaign, TraceEpoch};
 pub use filecopy::{CopyReport, FileCopy};
 pub use fio::{FioJob, FioReport, RwMode};
 pub use mixedload::{MixedLoad, MixedLoadReport};
+pub use soak::{LatencySummary, SoakConfig, SoakReport};
 pub use stream::{StreamReport, StreamValidator};
 pub use tpch::{QueryProfile, TpchReport, TpchRunner};

@@ -18,8 +18,8 @@
 
 use nvdimmc::check::{check_recovery, check_shards, Severity};
 use nvdimmc::core::{
-    BlockDevice, CoreError, FaultKind, MultiChannelConfig, MultiChannelSystem, NvdimmCConfig,
-    System, PAGE_BYTES,
+    BlockDevice, CoreError, DegradeReason, FaultKind, MultiChannelConfig, MultiChannelSystem,
+    NvdimmCConfig, System, PAGE_BYTES,
 };
 use nvdimmc::workloads::FaultCampaign;
 
@@ -196,7 +196,17 @@ fn dead_mailbox_degrades_one_shard_others_keep_serving() {
     }
 
     // Exactly shard 2 is degraded and rejects further writes...
-    assert_eq!(sys.degraded_shards(), vec![2]);
+    let degraded = sys.degraded_shards();
+    assert_eq!(degraded.len(), 1);
+    assert_eq!(degraded[0].0, 2);
+    assert!(
+        matches!(
+            degraded[0].1,
+            DegradeReason::CpExhausted { attempts: 4, .. }
+        ),
+        "expected CP exhaustion after 4 attempts, got {:?}",
+        degraded[0].1
+    );
     match sys.write_at((2 + 4 * 17) * PAGE_BYTES, &page(0x66)) {
         Err(CoreError::DegradedShard { .. }) => {}
         other => panic!("expected DegradedShard, got {other:?}"),
