@@ -228,14 +228,16 @@ impl DramCache {
         }
         let slot = match self.policy {
             EvictionPolicyKind::Lrc => loop {
-                let &(s, t) = self.lrc_queue.front().expect("resident ⇒ queued");
+                // Residency ⇒ a live queue entry; an empty queue here
+                // would be index corruption, answered with `None`.
+                let &(s, t) = self.lrc_queue.front()?;
                 let meta = &self.slots[s as usize];
                 if meta.nand_page.is_some() && meta.fill_tick == t {
                     break s;
                 }
                 self.lrc_queue.pop_front();
             },
-            EvictionPolicyKind::Lru => self.lru_index.iter().next().expect("resident ⇒ indexed").1,
+            EvictionPolicyKind::Lru => self.lru_index.iter().next()?.1,
             EvictionPolicyKind::Clock => {
                 let n = self.slots.len() as u64;
                 loop {
@@ -254,11 +256,7 @@ impl DramCache {
             }
         };
         let meta = self.slots[slot as usize];
-        Some((
-            slot,
-            meta.nand_page.expect("victim must be resident"),
-            meta.dirty,
-        ))
+        Some((slot, meta.nand_page?, meta.dirty))
     }
 
     /// Evicts a resident slot. Returns the page it held. The slot is NOT
@@ -268,6 +266,7 @@ impl DramCache {
     /// # Panics
     ///
     /// Panics if the slot is not resident.
+    #[allow(clippy::expect_used)] // documented contract: resident slot required
     pub fn evict(&mut self, slot: u64) -> u64 {
         let meta = &mut self.slots[slot as usize];
         let page = meta.nand_page.take().expect("evicting a free slot");

@@ -62,7 +62,7 @@ impl CpOpcode {
 /// across retransmits (only the phase changes), so the FPGA can tell a
 /// retransmit of a command it already executed from genuinely new work
 /// and re-acknowledge instead of re-executing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CpCommand {
     /// Monotonically advancing 4-bit phase; a value different from the
     /// last one the FPGA saw marks the word as new.
@@ -115,8 +115,12 @@ impl CpCommand {
     /// Decodes a mailbox word pair. Returns `None` for an empty/garbage
     /// word (opcode 0 or unknown).
     pub fn decode(bytes: &[u8; 16]) -> Option<CpCommand> {
-        let word = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
-        let aux = u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+        let mut lo = [0u8; 8];
+        let mut hi = [0u8; 8];
+        lo.copy_from_slice(&bytes[..8]);
+        hi.copy_from_slice(&bytes[8..]);
+        let word = u64::from_le_bytes(lo);
+        let aux = u64::from_le_bytes(hi);
         let opcode = CpOpcode::from_bits((word >> 56) & 0xF)?;
         Some(CpCommand {
             phase: ((word >> 60) & 0xF) as u8,
@@ -154,13 +158,25 @@ pub const ACK_ERR_PROTOCOL: u8 = 3;
 
 /// The acknowledgement word the FPGA writes back.
 ///
-/// Layout: `[63:60] phase`, `[15:8] status code`, `[1] ok`, `[0] valid`.
-/// On failure (`ok == false`) the status code says why, so the driver can
-/// surface a typed error instead of a generic protocol failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Layout: `[63:60] phase`, `[55:48] seq echo`, `[15:8] status code`,
+/// `[1] ok`, `[0] valid`. On failure (`ok == false`) the status code says
+/// why, so the driver can surface a typed error instead of a generic
+/// protocol failure.
+///
+/// The **seq echo** exists because the ack slot is persistent DRAM: the
+/// previous transaction's ack stays there until overwritten, and the
+/// 4-bit phase wraps every 15 publishes, so with a long enough retransmit
+/// ladder a stale ack can alias the phase of the transaction currently
+/// waiting. Matching on phase *and* seq (see
+/// [`crate::proto::ack_matches`]) makes stale cross-transaction acks
+/// unambiguous — the model checker in `nvdimmc-model` found the
+/// phase-only variant accepting a never-executed writeback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CpAck {
     /// Echo of the command's phase.
     pub phase: u8,
+    /// Echo of the command's per-transaction sequence number.
+    pub seq: u8,
     /// Whether the operation succeeded.
     pub ok: bool,
     /// Status code ([`ACK_OK`], [`ACK_ERR_UNCORRECTABLE`], ...).
@@ -168,19 +184,22 @@ pub struct CpAck {
 }
 
 impl CpAck {
-    /// A success ack for `phase`.
-    pub fn ok(phase: u8) -> Self {
+    /// A success ack for `phase` answering transaction `seq`.
+    pub fn ok(phase: u8, seq: u8) -> Self {
         CpAck {
             phase,
+            seq,
             ok: true,
             code: ACK_OK,
         }
     }
 
-    /// A failure ack for `phase` carrying `code`.
-    pub fn failed(phase: u8, code: u8) -> Self {
+    /// A failure ack for `phase` answering transaction `seq`, carrying
+    /// `code`.
+    pub fn failed(phase: u8, seq: u8, code: u8) -> Self {
         CpAck {
             phase,
+            seq,
             ok: false,
             code,
         }
@@ -189,6 +208,7 @@ impl CpAck {
     /// Encodes the ack word.
     pub fn encode(&self) -> [u8; 8] {
         let w = (u64::from(self.phase & 0xF) << 60)
+            | (u64::from(self.seq) << 48)
             | (u64::from(self.code) << 8)
             | (u64::from(self.ok) << 1)
             | 1;
@@ -203,6 +223,7 @@ impl CpAck {
         }
         Some(CpAck {
             phase: ((w >> 60) & 0xF) as u8,
+            seq: ((w >> 48) & 0xFF) as u8,
             ok: (w >> 1) & 1 == 1,
             code: ((w >> 8) & 0xFF) as u8,
         })
@@ -292,6 +313,7 @@ mod tests {
         for ok in [true, false] {
             let ack = CpAck {
                 phase: 9,
+                seq: 0x7E,
                 ok,
                 code: 2,
             };
@@ -341,10 +363,20 @@ mod tests {
             ACK_ERR_NAND,
             ACK_ERR_PROTOCOL,
         ] {
-            let ack = CpAck::failed(5, code);
+            let ack = CpAck::failed(5, 0x42, code);
             assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
         }
-        assert!(CpAck::decode(&CpAck::ok(3).encode()).unwrap().ok);
+        assert!(CpAck::decode(&CpAck::ok(3, 1).encode()).unwrap().ok);
+    }
+
+    #[test]
+    fn ack_seq_echo_distinguishes_aliased_phases() {
+        // Two transactions, same (wrapped) phase: the seq echo tells the
+        // acks apart even though the phases collide.
+        let a = CpAck::ok(5, 41);
+        let b = CpAck::ok(5, 42);
+        assert_ne!(a.encode(), b.encode());
+        assert_eq!(CpAck::decode(&a.encode()).unwrap().seq, 41);
     }
 }
 
@@ -420,8 +452,13 @@ mod props {
         }
 
         #[test]
-        fn ack_roundtrips_for_all_fields(phase in 0u8..16, ok in any::<bool>(), code in any::<u8>()) {
-            let ack = CpAck { phase, ok, code };
+        fn ack_roundtrips_for_all_fields(
+            phase in 0u8..16,
+            seq in any::<u8>(),
+            ok in any::<bool>(),
+            code in any::<u8>(),
+        ) {
+            let ack = CpAck { phase, seq, ok, code };
             prop_assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
         }
 

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Number of distinct fault classes.
-pub const FAULT_KINDS: usize = 7;
+pub const FAULT_KINDS: usize = 8;
 
 /// An injectable fault class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -41,6 +41,15 @@ pub enum FaultKind {
     /// Power failure mid-operation: the battery-backed dump plus reboot
     /// recover.
     PowerFail,
+    /// A CP *command* word whose FPGA-side capture is mangled: the FPGA
+    /// drops it as a decode failure and never executes or acks, so the
+    /// driver's full attempt timeout elapses before the retransmit
+    /// recovers. The model-checker counterexample for the stale-ack
+    /// aliasing bug needs exactly this shape of loss (an [`AckDrop`]
+    /// still executes the command).
+    ///
+    /// [`AckDrop`]: FaultKind::AckDrop
+    CmdCorrupt,
 }
 
 impl FaultKind {
@@ -53,6 +62,7 @@ impl FaultKind {
         FaultKind::WindowOverrun,
         FaultKind::SlotCorruption,
         FaultKind::PowerFail,
+        FaultKind::CmdCorrupt,
     ];
 
     /// Stable index into per-class counter arrays.
@@ -65,6 +75,7 @@ impl FaultKind {
             FaultKind::WindowOverrun => 4,
             FaultKind::SlotCorruption => 5,
             FaultKind::PowerFail => 6,
+            FaultKind::CmdCorrupt => 7,
         }
     }
 
@@ -78,6 +89,7 @@ impl FaultKind {
             FaultKind::WindowOverrun => "window-overrun",
             FaultKind::SlotCorruption => "slot-corruption",
             FaultKind::PowerFail => "power-fail",
+            FaultKind::CmdCorrupt => "cmd-corrupt",
         }
     }
 }
@@ -185,7 +197,15 @@ impl FaultPlan {
         let mut root = DeterministicRng::new(self.seed);
         let mut per_shard: Vec<Vec<(u64, FaultKind)>> = vec![Vec::new(); channels];
         for kind in FaultKind::ALL {
-            let mut stream = root.fork(kind.index() as u64 + 1);
+            // Classes added after the original seven draw their placement
+            // stream straight from the seed instead of forking `root`:
+            // `fork` advances the parent, so one extra fork here would
+            // shift every per-shard parameter stream below and break
+            // bit-identical replay of pre-existing campaign seeds.
+            let mut stream = match kind {
+                FaultKind::CmdCorrupt => DeterministicRng::new(self.seed ^ 0xC0DE_0000_0000_0007),
+                _ => root.fork(kind.index() as u64 + 1),
+            };
             for _ in 0..self.counts[kind.index()] {
                 let op = stream.gen_range(0..self.horizon_ops);
                 let shard = stream.gen_range(0..channels as u64) as usize;

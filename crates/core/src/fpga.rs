@@ -21,10 +21,11 @@
 //! identical.
 
 use crate::cp::{
-    CpAck, CpCommand, CpOpcode, ACK_ERR_NAND, ACK_ERR_PROTOCOL, ACK_ERR_UNCORRECTABLE, ACK_OK,
+    CpCommand, CpOpcode, ACK_ERR_NAND, ACK_ERR_PROTOCOL, ACK_ERR_UNCORRECTABLE, ACK_OK,
 };
 use crate::error::CoreError;
 use crate::layout::{Layout, SLOT_BYTES};
+use crate::proto::{FpgaProto, PollVerdict};
 use nvdimmc_ddr::{BusMaster, Command, SharedBus};
 use nvdimmc_nand::{NandError, Nvmc};
 use nvdimmc_sim::{SimDuration, SimTime};
@@ -101,10 +102,6 @@ pub enum AckFault {
     Corrupt,
 }
 
-/// The identity of the last completed transaction and how it was acked:
-/// `(txn_key, ok, code)`.
-type DoneTxn = ((u8, CpOpcode, u64, u64, Option<u64>), bool, u8);
-
 #[derive(Debug)]
 enum FpgaState {
     /// No command in flight; poll the CP area.
@@ -147,18 +144,22 @@ pub struct Fpga {
     state: FpgaState,
     /// Earliest instant the FSM can take its next window action.
     ready_at: SimTime,
-    last_phase: Option<u8>,
+    /// The pure mailbox protocol state (phase tracking, retransmit
+    /// detection by txn key, garbage dedup) — shared with `nvdimmc-model`.
+    proto: FpgaProto,
     /// Fill data read ahead for a merged writeback+cachefill command.
     pending_fill: Option<Vec<u8>>,
-    /// Identity + outcome of the last completed transaction, for
-    /// retransmit detection: a new phase carrying the same key means the
-    /// ack was lost, and the FPGA re-acks instead of re-executing.
-    last_done: Option<DoneTxn>,
-    /// Last non-empty mailbox word that failed to decode (so one garbage
-    /// word is counted once, not once per poll).
-    last_garbage: Option<[u8; 16]>,
     /// Injected ack faults, consumed FIFO as acks go out.
     ack_faults: std::collections::VecDeque<AckFault>,
+    /// Injected command-word corruptions: each one mangles the capture of
+    /// one *new* published command, and the mangled capture persists until
+    /// the driver republishes fresh bytes — so the command is never
+    /// executed and never acked, and the driver's ladder must time out.
+    cmd_faults_armed: u32,
+    /// The pristine word whose capture is currently mangled, so repeated
+    /// polls of the same publish stay corrupted without consuming more
+    /// armed faults.
+    corrupted_word: Option<[u8; 16]>,
     /// Injected window-overrun stall, armed for the next NVMC transfer.
     stall_armed: bool,
     stats: FpgaStats,
@@ -173,11 +174,11 @@ impl Fpga {
             window_xfer_bytes: window_xfer_bytes.max(SLOT_BYTES),
             state: FpgaState::Idle,
             ready_at: SimTime::ZERO,
-            last_phase: None,
+            proto: FpgaProto::new(),
             pending_fill: None,
-            last_done: None,
-            last_garbage: None,
             ack_faults: std::collections::VecDeque::new(),
+            cmd_faults_armed: 0,
+            corrupted_word: None,
             stall_armed: false,
             stats: FpgaStats::default(),
         }
@@ -206,9 +207,18 @@ impl Fpga {
         self.stall_armed = true;
     }
 
+    /// Queues a command-word fault: the FPGA's capture of the next *new*
+    /// published command is mangled (and stays mangled until the driver
+    /// republishes), so the command is dropped as a decode failure and
+    /// the driver's retransmit ladder must recover it. Unlike
+    /// [`AckFault::Drop`] the command is never executed.
+    pub fn inject_cmd_fault(&mut self) {
+        self.cmd_faults_armed += 1;
+    }
+
     /// Injected faults armed but not yet consumed.
     pub fn armed_faults(&self) -> usize {
-        self.ack_faults.len() + usize::from(self.stall_armed)
+        self.ack_faults.len() + self.cmd_faults_armed as usize + usize::from(self.stall_armed)
     }
 
     /// Carries the cumulative recovery counters of a pre-power-cycle FPGA
@@ -292,29 +302,42 @@ impl Fpga {
                     return Ok(0);
                 }
                 let (bytes, end) = self.dma_read(bus, layout.cp_command(), 128, start)?;
-                let word: [u8; 16] = bytes[..16]
+                let mut word: [u8; 16] = bytes[..16]
                     .try_into()
                     .map_err(|_| CoreError::Protocol("CP poll returned short data".into()))?;
-                match CpCommand::decode(&word) {
-                    Some(cmd) if Some(cmd.phase) != self.last_phase => {
-                        self.last_phase = Some(cmd.phase);
-                        self.last_garbage = None;
+                // An armed command fault mangles the capture of a *new*
+                // publish, and the mangled capture persists across repeat
+                // polls of the same word — the command never executes and
+                // the driver's ladder must time out and retransmit.
+                if self.corrupted_word == Some(word)
+                    || (self.cmd_faults_armed > 0
+                        && CpCommand::decode(&word)
+                            .is_some_and(|c| Some(c.phase) != self.proto.last_phase()))
+                {
+                    if self.corrupted_word != Some(word) {
+                        self.cmd_faults_armed -= 1;
+                        self.corrupted_word = Some(word);
+                    }
+                    // Mangle the opcode bit-field ([59:56]) so decode fails.
+                    word[7] |= 0x0F;
+                }
+                match self.proto.classify(&word) {
+                    PollVerdict::Replay { cmd, ok, code } => {
+                        // A retransmit of the transaction we just
+                        // completed: its ack was lost. Re-ack under the
+                        // new phase without re-executing.
                         self.ready_at = end + self.step_delay;
-                        if let Some((key, ok, code)) = self.last_done {
-                            if key == cmd.txn_key() {
-                                // A retransmit of the transaction we just
-                                // completed: its ack was lost. Re-ack under
-                                // the new phase without re-executing.
-                                self.stats.replayed_acks += 1;
-                                self.state = FpgaState::Ack {
-                                    cmd,
-                                    ok,
-                                    code,
-                                    done: None,
-                                };
-                                return Ok(128);
-                            }
-                        }
+                        self.stats.replayed_acks += 1;
+                        self.state = FpgaState::Ack {
+                            cmd,
+                            ok,
+                            code,
+                            done: None,
+                        };
+                        Ok(128)
+                    }
+                    PollVerdict::Execute(cmd) => {
+                        self.ready_at = end + self.step_delay;
                         self.state = match cmd.opcode {
                             CpOpcode::Cachefill => {
                                 // Start the NAND read as soon as decode
@@ -361,20 +384,20 @@ impl Fpga {
                         };
                         Ok(128)
                     }
-                    None if word != [0u8; 16] => {
+                    PollVerdict::Garbage { count } => {
                         // A non-empty word that does not decode: a mangled
                         // command. Drop it — the driver's retransmit (new
-                        // phase, fresh bytes) recovers. Count each distinct
-                        // garbage word once, not once per poll.
-                        if self.last_garbage != Some(word) {
-                            self.last_garbage = Some(word);
+                        // phase, fresh bytes) recovers. The proto layer
+                        // dedups so each distinct garbage word counts once,
+                        // not once per poll.
+                        if count {
                             self.stats.cmd_decode_failures += 1;
                         }
                         Ok(0)
                     }
                     // Polled, nothing new: the idle FPGA is done with this
                     // window.
-                    _ => Ok(0),
+                    PollVerdict::Stale => Ok(0),
                 }
             }
             FpgaState::WbRead { cmd, mut got } => {
@@ -499,6 +522,10 @@ impl Fpga {
                     };
                     return Ok(0);
                 }
+                // Record the completion (and build the seq-echoing ack)
+                // regardless of ack faults: the command *did* run, so a
+                // later retransmit must replay, not re-execute.
+                let ack = self.proto.complete(&cmd, ok, code);
                 let end = match self.ack_faults.pop_front() {
                     Some(AckFault::Drop) => {
                         // The ack is lost in flight: no bus activity, but
@@ -515,14 +542,8 @@ impl Fpga {
                         self.dma_write(bus, layout.cp_ack(), &line, start)?
                     }
                     None => {
-                        let word = CpAck {
-                            phase: cmd.phase,
-                            ok,
-                            code,
-                        }
-                        .encode();
                         let mut line = [0u8; 64];
-                        line[..8].copy_from_slice(&word);
+                        line[..8].copy_from_slice(&ack.encode());
                         self.dma_write(bus, layout.cp_ack(), &line, start)?
                     }
                 };
@@ -535,7 +556,6 @@ impl Fpga {
                         CpOpcode::Probe => self.stats.probes += 1,
                     }
                 }
-                self.last_done = Some((cmd.txn_key(), ok, code));
                 self.state = FpgaState::Idle;
                 Ok(64)
             }

@@ -128,10 +128,18 @@ impl MultiChannelSystem {
     ///
     /// Propagates configuration errors from the interleaver or shards.
     pub fn new(cfg: MultiChannelConfig) -> Result<Self, CoreError> {
-        let map = InterleaveMap::new(cfg.channels, cfg.granularity_bytes)?;
-        let mut shards = Vec::with_capacity(cfg.channels as usize);
-        for i in 0..cfg.channels {
-            let mut c = cfg.shard.clone();
+        let MultiChannelConfig {
+            shard: base,
+            channels,
+            granularity_bytes,
+            queue_depth,
+            policy,
+            failover,
+        } = cfg;
+        let map = InterleaveMap::new(channels, granularity_bytes)?;
+        let mut shards = Vec::with_capacity(channels as usize);
+        for i in 0..channels {
+            let mut c = base.clone();
             // Shard 0 keeps the base seed (single-channel bit-identity);
             // the rest get decorrelated media-model streams.
             c.seed = c.seed.wrapping_add(u64::from(i).wrapping_mul(SEED_STRIDE));
@@ -139,12 +147,12 @@ impl MultiChannelSystem {
             shard.set_shard_index(i);
             shards.push(shard);
         }
-        let sched = RequestScheduler::new(cfg.channels as usize, cfg.queue_depth, cfg.policy);
+        let sched = RequestScheduler::new(channels as usize, queue_depth, policy);
         Ok(MultiChannelSystem {
             shards,
             map,
             sched,
-            failover: cfg.failover,
+            failover,
         })
     }
 
@@ -599,7 +607,7 @@ impl BlockDevice for MultiChannelSystem {
             .max()
             // INVARIANT: `InterleaveMap::new` rejects zero channels, so a
             // constructed system always has at least one shard.
-            .expect("at least one shard")
+            .unwrap_or_default()
     }
 
     fn advance(&mut self, d: SimDuration) {

@@ -7,6 +7,9 @@
 //!   plus the refresh-state decoder (paper §IV-A, Figure 4);
 //! - [`cp`] — the 64-bit communication-protocol mailbox between the nvdc
 //!   driver and the FPGA (§IV-C);
+//! - [`proto`] — the pure CP transition layer (driver retransmit ladder,
+//!   FPGA mailbox classification) shared with the `nvdimmc-model`
+//!   exhaustive model checker;
 //! - [`cache`] — the fully-associative 4 KB-slot DRAM cache with LRC
 //!   (paper), LRU and CLOCK policies (§IV-B, §VII-B5);
 //! - [`fpga`] — the window-serialized DMA engine: one protocol action per
@@ -45,6 +48,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod baseline;
 pub mod cache;
@@ -58,6 +65,7 @@ pub mod health;
 pub mod interleave;
 pub mod layout;
 pub mod perf;
+pub mod proto;
 pub mod refresh;
 pub mod sched;
 pub mod shard;
@@ -74,6 +82,7 @@ pub use health::{DegradeReason, FailoverPolicy, HealthState, HealthTransition, R
 pub use interleave::{InterleaveMap, Segment};
 pub use layout::Layout;
 pub use perf::PerfParams;
+pub use proto::{AckOutcome, DriverTxn, FpgaProto, PollVerdict, RetryOutcome};
 pub use refresh::{DetectorPipeline, RefreshDetector};
 pub use sched::{ArbitrationPolicy, ReqKind, RequestScheduler, SchedStats, ShardRequest};
 pub use shard::{BlockDevice, ChannelShard, PowerFailReport, QueuedDevice, System, SystemStats};

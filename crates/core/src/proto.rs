@@ -1,0 +1,438 @@
+//! The pure CP-protocol transition layer, shared by the simulator and
+//! the `nvdimmc-model` exhaustive model checker.
+//!
+//! Everything in this module is a *pure* state machine: no wall clock,
+//! no RNG, no bus, no DRAM. The driver side ([`DriverTxn`]) captures the
+//! retransmit ladder — bounded attempts, exponential backoff, ack
+//! matching — exactly as `ChannelShard::cp_transaction` executes it; the
+//! FPGA side ([`FpgaProto`]) captures mailbox classification — phase
+//! novelty, retransmit detection by transaction key, garbage dedup — and
+//! completion accounting exactly as the window engine in
+//! [`crate::fpga`] executes them. The simulator owns *when* these
+//! transitions fire (refresh windows, FSM step delays, DMA timing); the
+//! model checker owns *in which order* they fire (an adversarial
+//! scheduler). Both drive the same decision logic, so a divergence
+//! between the simulated protocol and the verified protocol cannot creep
+//! in silently.
+//!
+//! Extracting this layer surfaced (and fixed) a real protocol hole: the
+//! 4-bit phase cycles through 15 values, so attempt *k* and attempt
+//! *k + 15* of the retransmit ladder publish under the same phase. An
+//! ack word is a *persistent* DRAM location — the previous transaction's
+//! ack sits there until the FPGA overwrites it — so a driver that
+//! matched acks by phase alone would, on attempt 16 against a dead FPGA,
+//! read the *previous transaction's* stale ack, see its own phase, and
+//! declare the new transaction complete even though it never executed.
+//! For a writeback that means data reported persistent that exists
+//! nowhere. The fix is the sequence-number echo: the FPGA echoes the
+//! command's `seq` in the ack word and [`DriverTxn::on_ack`] requires
+//! both phase *and* seq to match. Phases alias every 15 publishes and
+//! seqs advance per transaction, so a stale ack can never satisfy both.
+//! `nvdimmc-model` keeps the phase-only variant reproducible (see its
+//! `legacy_phase_match` knob) as the regression corpus for this bug.
+
+use crate::cp::{CpAck, CpCommand, CpOpcode};
+use crate::faults::RecoveryParams;
+
+/// What the driver should make of a polled ack word, given the command
+/// it is currently waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// Not an answer to the outstanding attempt (stale phase or foreign
+    /// sequence number): keep waiting.
+    Ignored,
+    /// The FPGA completed the transaction successfully.
+    Accepted {
+        /// True when at least one retransmit preceded the accepted ack
+        /// (the `cp_recovered` ledger counter).
+        recovered: bool,
+    },
+    /// The FPGA completed the transaction with a failure verdict. A nack
+    /// is an answer, not a loss: the driver surfaces it immediately
+    /// instead of retransmitting.
+    Nacked {
+        /// The ack status code (see [`crate::cp::ACK_OK`] siblings).
+        code: u8,
+    },
+}
+
+/// What the driver does when an attempt's window budget runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// Publish the same transaction again under a fresh phase, with the
+    /// attempt's window budget grown by the backoff multiplier.
+    Retransmit,
+    /// The retransmit budget is exhausted: the shard degrades and the
+    /// transaction surfaces as [`crate::CoreError::CpTimeout`].
+    Exhausted,
+}
+
+/// Matches an ack word against the attempt that is waiting for it.
+///
+/// This is *the* acceptance predicate of the protocol: phase equality
+/// proves the ack answers the current publish, and the sequence-number
+/// echo proves it answers the current *transaction* — a stale ack left
+/// in the mailbox by an earlier transaction can alias the 4-bit phase
+/// (it wraps every 15 publishes) but never the 8-bit seq as well.
+pub fn ack_matches(cmd: &CpCommand, ack: &CpAck) -> bool {
+    ack.phase == cmd.phase && ack.seq == cmd.seq
+}
+
+/// Driver-side state of one CP transaction: the retransmit ladder of
+/// `cp_transaction`, with the timing stripped out.
+///
+/// The caller supplies phases (the shard's rolling 4-bit counter) and
+/// reports elapsed ack-poll windows; this type decides everything else —
+/// when an attempt times out, whether to retransmit or give up, and
+/// whether a polled ack answers this transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DriverTxn {
+    cmd: CpCommand,
+    /// 0-based attempt index (0 = initial publish).
+    attempt: u32,
+    /// Window budget of the current attempt.
+    timeout_windows: u32,
+    /// Ack-poll windows consumed by the current attempt.
+    windows_waited: u32,
+    /// Total attempts allowed (1 initial + `cp_max_retransmits`).
+    max_attempts: u32,
+    /// Backoff multiplier applied to the window budget per retransmit.
+    backoff: u32,
+}
+
+impl DriverTxn {
+    /// Starts a transaction: the first attempt's command is `cmd` (the
+    /// caller has already assigned its phase and seq) and the ladder
+    /// parameters come from `rp`.
+    pub fn new(cmd: CpCommand, rp: &RecoveryParams) -> Self {
+        DriverTxn {
+            cmd,
+            attempt: 0,
+            timeout_windows: rp.cp_timeout_windows.max(1),
+            windows_waited: 0,
+            max_attempts: rp.cp_max_retransmits + 1,
+            backoff: rp.cp_backoff.max(1),
+        }
+    }
+
+    /// The command of the current attempt (what sits in the mailbox).
+    pub fn command(&self) -> &CpCommand {
+        &self.cmd
+    }
+
+    /// 1-based count of publishes so far.
+    pub fn attempts_made(&self) -> u32 {
+        self.attempt + 1
+    }
+
+    /// Total attempts this ladder will make before giving up.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Classifies a polled ack word. `None` (an empty or mangled ack
+    /// slot) is [`AckOutcome::Ignored`].
+    pub fn on_ack(&self, ack: Option<&CpAck>) -> AckOutcome {
+        let Some(ack) = ack else {
+            return AckOutcome::Ignored;
+        };
+        if !ack_matches(&self.cmd, ack) {
+            return AckOutcome::Ignored;
+        }
+        if ack.ok {
+            AckOutcome::Accepted {
+                recovered: self.attempt > 0,
+            }
+        } else {
+            AckOutcome::Nacked { code: ack.code }
+        }
+    }
+
+    /// Records one elapsed ack-poll window; returns `true` when the
+    /// current attempt's budget is exhausted (attempt timeout).
+    pub fn on_window(&mut self) -> bool {
+        self.windows_waited += 1;
+        self.windows_waited >= self.timeout_windows
+    }
+
+    /// Decides what follows an attempt timeout. On
+    /// [`RetryOutcome::Retransmit`] the caller must assign the next
+    /// phase via [`DriverTxn::republish`] before publishing.
+    pub fn next_attempt(&mut self) -> RetryOutcome {
+        if self.attempt + 1 >= self.max_attempts {
+            return RetryOutcome::Exhausted;
+        }
+        self.attempt += 1;
+        self.windows_waited = 0;
+        self.timeout_windows = self.timeout_windows.saturating_mul(self.backoff);
+        RetryOutcome::Retransmit
+    }
+
+    /// Re-publishes the transaction under a fresh phase: same seq, same
+    /// fields — only the phase changes, so the FPGA can tell a
+    /// retransmit from new work. Returns the command to publish.
+    pub fn republish(&mut self, phase: u8) -> CpCommand {
+        self.cmd.phase = phase;
+        self.cmd
+    }
+}
+
+/// The identity of the last completed transaction and its verdict:
+/// `(txn_key, ok, code)`. Kept by the FPGA to replay acks for
+/// retransmits of work it already executed.
+pub type DoneTxn = ((u8, CpOpcode, u64, u64, Option<u64>), bool, u8);
+
+/// What the FPGA should do with a polled mailbox word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollVerdict {
+    /// Empty slot or a phase the FPGA has already seen: nothing to do.
+    Stale,
+    /// A non-empty word that does not decode. `count` is true the first
+    /// time this particular garbage word is seen (the decode-failure
+    /// counter must not inflate once per poll of the same word).
+    Garbage {
+        /// Whether to count a decode failure for this sighting.
+        count: bool,
+    },
+    /// A retransmit of the transaction the FPGA just completed: its ack
+    /// was lost. Re-ack under the new phase without re-executing.
+    Replay {
+        /// The retransmitted command (carrying the fresh phase).
+        cmd: CpCommand,
+        /// The recorded verdict of the original execution.
+        ok: bool,
+        /// The recorded status code of the original execution.
+        code: u8,
+    },
+    /// Genuinely new work: execute it.
+    Execute(CpCommand),
+}
+
+/// FPGA-side mailbox protocol state: phase tracking, retransmit
+/// detection, garbage dedup, and completion recording — the decision
+/// half of the window engine in [`crate::fpga`], with the DMA and
+/// timing stripped out.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct FpgaProto {
+    /// Phase of the last command word acted on.
+    last_phase: Option<u8>,
+    /// Identity + verdict of the last completed transaction.
+    last_done: Option<DoneTxn>,
+    /// Last non-empty word that failed to decode (dedup).
+    last_garbage: Option<[u8; 16]>,
+}
+
+impl FpgaProto {
+    /// A fresh mailbox protocol state (new boot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies a polled 16-byte command word and advances the phase /
+    /// garbage tracking accordingly. Execution side effects (DMA, NAND,
+    /// ack write) are the caller's job; completion must be reported back
+    /// via [`FpgaProto::complete`].
+    pub fn classify(&mut self, word: &[u8; 16]) -> PollVerdict {
+        match CpCommand::decode(word) {
+            Some(cmd) if Some(cmd.phase) != self.last_phase => {
+                self.last_phase = Some(cmd.phase);
+                self.last_garbage = None;
+                if let Some((key, ok, code)) = self.last_done {
+                    if key == cmd.txn_key() {
+                        return PollVerdict::Replay { cmd, ok, code };
+                    }
+                }
+                PollVerdict::Execute(cmd)
+            }
+            None if *word != [0u8; 16] => {
+                let count = self.last_garbage != Some(*word);
+                if count {
+                    self.last_garbage = Some(*word);
+                }
+                PollVerdict::Garbage { count }
+            }
+            _ => PollVerdict::Stale,
+        }
+    }
+
+    /// Records a completed transaction and builds its ack word — the
+    /// seq echo lives here, so every ack (first execution or replay)
+    /// carries the seq of the command it answers.
+    pub fn complete(&mut self, cmd: &CpCommand, ok: bool, code: u8) -> CpAck {
+        self.last_done = Some((cmd.txn_key(), ok, code));
+        CpAck {
+            phase: cmd.phase,
+            seq: cmd.seq,
+            ok,
+            code,
+        }
+    }
+
+    /// The recorded identity+verdict of the last completed transaction.
+    pub fn last_done(&self) -> Option<DoneTxn> {
+        self.last_done
+    }
+
+    /// The phase of the last command word acted on (`None` at boot).
+    pub fn last_phase(&self) -> Option<u8> {
+        self.last_phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::{ACK_ERR_NAND, ACK_OK};
+
+    fn cmd(phase: u8, seq: u8) -> CpCommand {
+        CpCommand {
+            phase,
+            seq,
+            opcode: CpOpcode::Writeback,
+            dram_slot: 3,
+            nand_page: 9,
+            wb_nand_page: None,
+        }
+    }
+
+    fn rp(timeout: u32, retransmits: u32, backoff: u32) -> RecoveryParams {
+        RecoveryParams {
+            cp_timeout_windows: timeout,
+            cp_max_retransmits: retransmits,
+            cp_backoff: backoff,
+        }
+    }
+
+    #[test]
+    fn ack_requires_phase_and_seq() {
+        let c = cmd(5, 42);
+        let good = CpAck {
+            phase: 5,
+            seq: 42,
+            ok: true,
+            code: ACK_OK,
+        };
+        assert!(ack_matches(&c, &good));
+        // Phase aliases but the seq gives the stale ack away.
+        let stale = CpAck { seq: 41, ..good };
+        assert!(!ack_matches(&c, &stale));
+        let wrong_phase = CpAck { phase: 6, ..good };
+        assert!(!ack_matches(&c, &wrong_phase));
+    }
+
+    #[test]
+    fn ladder_times_out_retransmits_and_exhausts() {
+        let mut txn = DriverTxn::new(cmd(1, 7), &rp(2, 1, 3));
+        assert!(!txn.on_window());
+        assert!(txn.on_window(), "2-window budget exhausted");
+        assert_eq!(txn.next_attempt(), RetryOutcome::Retransmit);
+        let re = txn.republish(2);
+        assert_eq!(re.phase, 2);
+        assert_eq!(re.seq, 7, "seq is stable across retransmits");
+        // Backoff: budget is now 6 windows.
+        for _ in 0..5 {
+            assert!(!txn.on_window());
+        }
+        assert!(txn.on_window());
+        assert_eq!(txn.next_attempt(), RetryOutcome::Exhausted);
+        assert_eq!(txn.attempts_made(), 2);
+    }
+
+    #[test]
+    fn accepted_ack_reports_recovery_after_retransmit() {
+        let mut txn = DriverTxn::new(cmd(1, 7), &rp(1, 2, 1));
+        let first = CpAck {
+            phase: 1,
+            seq: 7,
+            ok: true,
+            code: ACK_OK,
+        };
+        assert_eq!(
+            txn.on_ack(Some(&first)),
+            AckOutcome::Accepted { recovered: false }
+        );
+        assert!(txn.on_window());
+        assert_eq!(txn.next_attempt(), RetryOutcome::Retransmit);
+        let re = txn.republish(2);
+        let replay = CpAck {
+            phase: re.phase,
+            seq: re.seq,
+            ok: true,
+            code: ACK_OK,
+        };
+        assert_eq!(
+            txn.on_ack(Some(&replay)),
+            AckOutcome::Accepted { recovered: true }
+        );
+    }
+
+    #[test]
+    fn nack_is_a_verdict_not_a_loss() {
+        let txn = DriverTxn::new(cmd(3, 9), &rp(4, 4, 2));
+        let nack = CpAck {
+            phase: 3,
+            seq: 9,
+            ok: false,
+            code: ACK_ERR_NAND,
+        };
+        assert_eq!(
+            txn.on_ack(Some(&nack)),
+            AckOutcome::Nacked { code: ACK_ERR_NAND }
+        );
+        assert_eq!(txn.on_ack(None), AckOutcome::Ignored);
+    }
+
+    #[test]
+    fn fpga_executes_new_replays_retransmit_ignores_stale() {
+        let mut f = FpgaProto::new();
+        let c1 = cmd(1, 7);
+        assert_eq!(f.classify(&c1.encode()), PollVerdict::Execute(c1));
+        // Same phase again: stale, not a re-execution.
+        assert_eq!(f.classify(&c1.encode()), PollVerdict::Stale);
+        let ack = f.complete(&c1, true, ACK_OK);
+        assert_eq!((ack.phase, ack.seq, ack.ok), (1, 7, true));
+        // Retransmit under a new phase: replay the verdict.
+        let c1r = cmd(2, 7);
+        match f.classify(&c1r.encode()) {
+            PollVerdict::Replay { cmd, ok, code } => {
+                assert_eq!(cmd, c1r);
+                assert!(ok);
+                assert_eq!(code, ACK_OK);
+            }
+            v => panic!("expected replay, got {v:?}"),
+        }
+        // A different transaction under the next phase: execute.
+        let c2 = CpCommand {
+            nand_page: 10,
+            ..cmd(3, 8)
+        };
+        assert_eq!(f.classify(&c2.encode()), PollVerdict::Execute(c2));
+    }
+
+    #[test]
+    fn garbage_words_count_once_each() {
+        let mut f = FpgaProto::new();
+        let junk = [0xFFu8; 16];
+        assert_eq!(f.classify(&junk), PollVerdict::Garbage { count: true });
+        assert_eq!(f.classify(&junk), PollVerdict::Garbage { count: false });
+        let mut junk2 = junk;
+        junk2[0] = 0xEE;
+        assert_eq!(f.classify(&junk2), PollVerdict::Garbage { count: true });
+        assert_eq!(f.classify(&[0u8; 16]), PollVerdict::Stale);
+    }
+
+    #[test]
+    fn stale_ack_from_previous_txn_never_matches() {
+        // The bug the model checker found: txn N's ack persists in the
+        // mailbox; txn N+1's 16th publish aliases its 4-bit phase. The
+        // seq echo is what rejects it.
+        let mut f = FpgaProto::new();
+        let prev = cmd(5, 41);
+        f.classify(&prev.encode());
+        let stale_ack = f.complete(&prev, true, ACK_OK);
+        // 15 publishes later the phase wraps back to 5.
+        let next = cmd(5, 42);
+        let txn = DriverTxn::new(next, &rp(1, 20, 1));
+        assert_eq!(txn.on_ack(Some(&stale_ack)), AckOutcome::Ignored);
+    }
+}

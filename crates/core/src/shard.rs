@@ -24,6 +24,7 @@ use crate::faults::{FaultInjector, FaultKind, RecoveryStats};
 use crate::fpga::{AckFault, Fpga};
 use crate::health::{DegradeReason, HealthState, HealthTransition, RebuildReport};
 use crate::layout::Layout;
+use crate::proto::{AckOutcome, DriverTxn, RetryOutcome};
 use crate::refresh::DetectorPipeline;
 use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, SharedBus, TraceEntry};
 use nvdimmc_host::{CpuCache, Memory, PageTable, Tlb};
@@ -112,12 +113,17 @@ pub trait QueuedDevice: Send {
 struct DramBackdoor<'a>(&'a mut SharedBus);
 
 impl Memory for DramBackdoor<'_> {
+    // The layout mapper hands out only in-range addresses; an
+    // out-of-range backdoor access is memory corruption and must stop
+    // the simulation rather than fabricate data.
+    #[allow(clippy::expect_used)]
     fn read(&mut self, addr: u64, buf: &mut [u8]) {
         self.0
             .device()
             .peek(addr, buf)
             .expect("backdoor read in range");
     }
+    #[allow(clippy::expect_used)]
     fn write(&mut self, addr: u64, data: &[u8]) {
         self.0
             .device_mut()
@@ -294,10 +300,10 @@ impl ChannelShard {
     pub fn new(cfg: NvdimmCConfig) -> Result<Self, CoreError> {
         cfg.validate().map_err(CoreError::Config)?;
         let nvmc = Nvmc::new(cfg.nvmc)?;
-        Self::assemble(cfg, nvmc)
+        Ok(Self::assemble(cfg, nvmc))
     }
 
-    fn assemble(cfg: NvdimmCConfig, nvmc: Nvmc) -> Result<Self, CoreError> {
+    fn assemble(cfg: NvdimmCConfig, nvmc: Nvmc) -> Self {
         let layout = Layout::new(0, cfg.cache_slots);
         // Round the DRAM capacity up to the device's 16-bank row stripe.
         let stripe = 8 * 1024 * 16;
@@ -313,7 +319,7 @@ impl ChannelShard {
         let cache = DramCache::new(cfg.cache_slots, cfg.eviction);
         let cpu = CpuCache::new(cfg.cpu_cache_bytes, 8);
         let tlb = Tlb::new(cfg.tlb_entries);
-        Ok(ChannelShard {
+        ChannelShard {
             layout,
             bus,
             imc,
@@ -338,7 +344,7 @@ impl ChannelShard {
             scrub: None,
             power_fail_pending: false,
             drec: DriverRecovery::default(),
-        })
+        }
     }
 
     /// The configuration.
@@ -490,16 +496,23 @@ impl ChannelShard {
         self.seq = self.seq.wrapping_add(1);
         let seq = self.seq;
         let rp = self.cfg.recovery;
-        let mut timeout = rp.cp_timeout_windows.max(1);
-        for attempt in 0..=rp.cp_max_retransmits {
-            let cmd = CpCommand {
+        // The retransmit ladder itself — attempt budget, backoff, ack
+        // matching — lives in the pure [`crate::proto::DriverTxn`] shared
+        // with the model checker; this loop supplies only what the pure
+        // layer cannot own: phases, wall-clock windows, and the bus.
+        let mut txn = DriverTxn::new(
+            CpCommand {
                 phase: self.next_phase(),
                 opcode,
                 dram_slot,
                 nand_page,
                 wb_nand_page,
                 seq,
-            };
+            },
+            &rp,
+        );
+        loop {
+            let cmd = *txn.command();
             // Publish: store + clflush + sfence (§V-B: the FPGA must read
             // up-to-date data in the next tRFC window).
             let mut line = [0u8; 64];
@@ -512,7 +525,7 @@ impl ChannelShard {
             self.clock += self.cfg.perf.cp_submit;
 
             // Wait for the acknowledgement, one window at a time.
-            for _ in 0..timeout {
+            loop {
                 self.take_power_fail()?;
                 self.advance_one_window()?;
                 self.clock += self.cfg.perf.driver_poll_interval;
@@ -522,42 +535,45 @@ impl ChannelShard {
                 let mut ack_bytes = [0u8; 8];
                 self.cpu
                     .load(&mut DramBackdoor(&mut self.bus), ack_addr, &mut ack_bytes);
-                let Some(ack) = CpAck::decode(&ack_bytes) else {
-                    continue;
-                };
-                if ack.phase != cmd.phase {
-                    continue;
-                }
-                if !ack.ok {
-                    return Err(if ack.code == ACK_ERR_UNCORRECTABLE {
-                        CoreError::MediaFailed {
-                            page: nand_page,
-                            code: ack.code,
+                match txn.on_ack(CpAck::decode(&ack_bytes).as_ref()) {
+                    AckOutcome::Ignored => {}
+                    AckOutcome::Nacked { code } => {
+                        return Err(if code == ACK_ERR_UNCORRECTABLE {
+                            CoreError::MediaFailed {
+                                page: nand_page,
+                                code,
+                            }
+                        } else {
+                            CoreError::Protocol(format!("FPGA nacked {opcode:?} with code {code}"))
+                        });
+                    }
+                    AckOutcome::Accepted { recovered } => {
+                        if recovered {
+                            self.drec.cp_recovered += 1;
                         }
-                    } else {
-                        CoreError::Protocol(format!(
-                            "FPGA nacked {opcode:?} with code {}",
-                            ack.code
-                        ))
-                    });
+                        match opcode {
+                            CpOpcode::Cachefill => self.stats.cachefills += 1,
+                            CpOpcode::Writeback => self.stats.writebacks += 1,
+                            CpOpcode::WritebackCachefill => self.stats.merged_ops += 1,
+                            // Probes are handshake traffic, not host
+                            // operations; the FPGA counts them on its side.
+                            CpOpcode::Probe => {}
+                        }
+                        return Ok(());
+                    }
                 }
-                if attempt > 0 {
-                    self.drec.cp_recovered += 1;
+                if txn.on_window() {
+                    break;
                 }
-                match opcode {
-                    CpOpcode::Cachefill => self.stats.cachefills += 1,
-                    CpOpcode::Writeback => self.stats.writebacks += 1,
-                    CpOpcode::WritebackCachefill => self.stats.merged_ops += 1,
-                    // Probes are handshake traffic, not host operations;
-                    // the FPGA counts them on its side.
-                    CpOpcode::Probe => {}
-                }
-                return Ok(());
             }
             self.drec.cp_attempt_timeouts += 1;
-            if attempt < rp.cp_max_retransmits {
-                self.drec.cp_retransmits += 1;
-                timeout = timeout.saturating_mul(rp.cp_backoff.max(1));
+            match txn.next_attempt() {
+                RetryOutcome::Retransmit => {
+                    self.drec.cp_retransmits += 1;
+                    let phase = self.next_phase();
+                    txn.republish(phase);
+                }
+                RetryOutcome::Exhausted => break,
             }
         }
         self.drec.cp_transactions_failed += 1;
@@ -1098,6 +1114,10 @@ impl ChannelShard {
                 self.fpga.inject_window_stall();
                 true
             }
+            FaultKind::CmdCorrupt => {
+                self.fpga.inject_cmd_fault();
+                true
+            }
             FaultKind::PowerFail => {
                 self.power_fail_pending = true;
                 true
@@ -1593,7 +1613,7 @@ impl ChannelShard {
         // fresh `Healthy`).
         let rebuild_log = self.rebuild_log;
         let shard_index = self.shard_index;
-        let mut s = Self::assemble(self.cfg, self.nvmc)?;
+        let mut s = Self::assemble(self.cfg, self.nvmc);
         s.fpga.carry_recovery_counters(&fpga_prev);
         s.drec = drec;
         s.injector = injector;

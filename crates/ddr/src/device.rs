@@ -342,12 +342,13 @@ impl DramDevice {
                     }
                 }
                 if self.recent_acts.len() >= 4 {
+                    let oldest = self.recent_acts.front().copied().unwrap_or(at);
                     return Err(BusViolation::Timing {
                         master: None,
                         at,
                         command: cmd,
                         parameter: "tFAW",
-                        legal_at: *self.recent_acts.front().expect("non-empty") + self.timing.tfaw,
+                        legal_at: oldest + self.timing.tfaw,
                     });
                 }
                 self.banks[usize::from(bank.index())].activate(at, row, &self.timing, &cmd)?;
@@ -435,8 +436,7 @@ impl DramDevice {
                     }
                 }
                 for b in &mut self.banks {
-                    b.precharge(at, &self.timing, &cmd)
-                        .expect("validated above");
+                    b.precharge(at, &self.timing, &cmd)?;
                 }
                 self.stats.precharges += 1;
                 Ok(at + self.timing.trp)
@@ -509,18 +509,18 @@ impl DramDevice {
     }
 
     fn auto_precharge_if_requested(&mut self, cmd: &Command, data_end: SimTime) {
-        let (bank, ap) = match *cmd {
-            Command::Read {
-                bank,
-                auto_precharge,
-                ..
-            }
-            | Command::Write {
-                bank,
-                auto_precharge,
-                ..
-            } => (bank, auto_precharge),
-            _ => return,
+        let (Command::Read {
+            bank,
+            auto_precharge: ap,
+            ..
+        }
+        | Command::Write {
+            bank,
+            auto_precharge: ap,
+            ..
+        }) = *cmd
+        else {
+            return;
         };
         if ap {
             let b = &mut self.banks[usize::from(bank.index())];
@@ -537,6 +537,7 @@ impl DramDevice {
     ///
     /// Panics if the bank has no open row — issue the commands through
     /// [`DramDevice::issue`] first, which returns errors instead.
+    #[allow(clippy::expect_used)] // documented contract: open row required
     pub fn burst_read(&mut self, bank: BankAddr, col: u16) -> [u8; 64] {
         let row = self
             .bank(bank)
@@ -553,6 +554,7 @@ impl DramDevice {
     /// # Panics
     ///
     /// Panics if the bank has no open row.
+    #[allow(clippy::expect_used)] // documented contract: open row required
     pub fn burst_write(&mut self, bank: BankAddr, col: u16, data: &[u8; 64]) {
         let row = self
             .bank(bank)

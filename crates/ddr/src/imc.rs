@@ -218,12 +218,12 @@ impl Imc {
         kind: AccessKind,
     ) -> Result<AccessResult, BusViolation> {
         let at = self.pump_refresh(bus, at)?;
-        let dec = self.decode(bus, at, addr)?;
+        let dec = Self::decode(bus, at, addr)?;
         let col_at = self.open_row(bus, at, &dec)?;
         self.column_access(bus, col_at, &dec, kind)
     }
 
-    fn decode(&self, bus: &SharedBus, at: SimTime, addr: u64) -> Result<DecodedAddr, BusViolation> {
+    fn decode(bus: &SharedBus, at: SimTime, addr: u64) -> Result<DecodedAddr, BusViolation> {
         bus.device()
             .mapping()
             .decode(addr)
@@ -439,7 +439,7 @@ impl Imc {
             let off = (a % 64) as usize;
             let n = (64 - off as u64).min(len - pos) as usize;
             let t = self.pump_refresh(bus, next_issue)?;
-            let dec = self.decode(bus, t, a)?;
+            let dec = Self::decode(bus, t, a)?;
             let col_at = self.open_row(bus, t, &dec)?;
             let res = self.column_access(bus, col_at, &dec, kind)?;
             mover(

@@ -1,0 +1,225 @@
+//! Exploration bounds: how big a protocol instance the checker
+//! enumerates exhaustively.
+//!
+//! Every bound is finite and small by design — the point of a model
+//! checker is an *exhaustive* sweep of a small instance, not a sampled
+//! sweep of a big one. The presets encode the three configurations the
+//! project ships: a [`ModelParams::smoke`] instance for unit tests, the
+//! [`ModelParams::ci`] instance the CI gate explores on every push, and
+//! the [`ModelParams::bug_hunt`] instance that reproduces the stale-ack
+//! phase-aliasing bug against the legacy (phase-only) ack matcher.
+
+use nvdimmc_core::RecoveryParams;
+
+/// Bounds of one model-checking run.
+///
+/// Fault, crash and rebuild budgets are **per shard**: shards share no
+/// state, so a per-shard budget keeps every action of shard *i*
+/// independent of every action of shard *j* — the property the
+/// persistent-set reduction in [`crate::explore`] relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelParams {
+    /// Number of independent channel shards.
+    pub shards: usize,
+    /// Writeback transactions each shard's driver issues.
+    pub txns_per_shard: u32,
+    /// Ack-wait window budget of a ladder attempt (`cp_timeout_windows`).
+    pub timeout_windows: u32,
+    /// Retransmit budget (`cp_max_retransmits`); attempts = this + 1.
+    pub max_retransmits: u32,
+    /// Backoff multiplier applied to the window budget per retransmit.
+    pub backoff: u32,
+    /// Per-shard injected-fault budget (ack drop, command-capture
+    /// corruption, NAND nack).
+    pub fault_budget: u32,
+    /// Per-shard power-fail budget: how many crash points the scheduler
+    /// may inject on that shard.
+    pub crash_budget: u32,
+    /// Per-shard online-repair budget (degraded → rebuilding edges).
+    pub rebuild_budget: u32,
+    /// Match acks by phase alone, the pre-seq-echo protocol. The shipped
+    /// protocol matches phase *and* seq; this knob keeps the bug that
+    /// motivated the seq echo reproducible as a regression.
+    pub legacy_phase_match: bool,
+    /// Hard cap on schedule length (cycle/blow-up guard; shipped bounds
+    /// never reach it).
+    pub max_depth: usize,
+}
+
+impl ModelParams {
+    /// Tiny instance for unit tests: one shard, strict matching, one
+    /// fault + one crash point + one rebuild. 2,014 distinct states —
+    /// explores in well under a second even unoptimised.
+    pub fn smoke() -> Self {
+        ModelParams {
+            shards: 1,
+            txns_per_shard: 1,
+            timeout_windows: 1,
+            max_retransmits: 1,
+            backoff: 2,
+            fault_budget: 1,
+            crash_budget: 1,
+            rebuild_budget: 1,
+            legacy_phase_match: false,
+            max_depth: 4096,
+        }
+    }
+
+    /// The CI gate instance: two shards, each with one transaction, one
+    /// fault, one crash point and one rebuild, strict matching. Under
+    /// the persistent-set reduction this is 573,301 distinct states
+    /// (~2 s in release); the naive sweep of the same instance is
+    /// 7,458,361 states (~51 s) — a measured 13× reduction.
+    pub fn ci() -> Self {
+        ModelParams {
+            shards: 2,
+            txns_per_shard: 1,
+            timeout_windows: 1,
+            max_retransmits: 1,
+            backoff: 2,
+            fault_budget: 1,
+            crash_budget: 1,
+            rebuild_budget: 1,
+            legacy_phase_match: false,
+            max_depth: 4096,
+        }
+    }
+
+    /// Reduction-calibration instance: identical bounds to
+    /// [`ModelParams::ci`], kept as a separate named preset so the
+    /// calibration run (`nvdimmc-model compare`) is pinned to the
+    /// shipped CI bound even if the gate instance grows later. Small
+    /// enough that the *naive* interleaving sweep also finishes, so the
+    /// partial-order reduction factor is measured rather than asserted.
+    pub fn calibrate() -> Self {
+        ModelParams::ci()
+    }
+
+    /// Micro instance for the *schedule-level* baseline: the full
+    /// schedule tree ([`crate::Mode::Tree`], no state cache, no sleep
+    /// sets) is only tractable with adversarial budgets zeroed and no
+    /// retransmit ladder — 6,300 schedules, against which the sleep-set
+    /// sweep's 80 is a measured 79× reduction. (One retransmit already
+    /// pushes the tree to 3.8 × 10⁸ schedules.)
+    pub fn micro() -> Self {
+        ModelParams {
+            shards: 2,
+            txns_per_shard: 1,
+            timeout_windows: 1,
+            max_retransmits: 0,
+            backoff: 1,
+            fault_budget: 0,
+            crash_budget: 0,
+            rebuild_budget: 0,
+            legacy_phase_match: false,
+            max_depth: 256,
+        }
+    }
+
+    /// The configuration that finds the stale-ack phase-aliasing bug:
+    /// one shard, a 15-attempt ladder (so the 4-bit phase wraps onto the
+    /// previous transaction's persistent ack word) and **zero** fault
+    /// budget — the only adversarial power needed is scheduling (an FPGA
+    /// that stops polling).
+    pub fn bug_hunt() -> Self {
+        ModelParams {
+            shards: 1,
+            txns_per_shard: 2,
+            timeout_windows: 1,
+            max_retransmits: 14,
+            backoff: 1,
+            fault_budget: 0,
+            crash_budget: 0,
+            rebuild_budget: 0,
+            legacy_phase_match: true,
+            max_depth: 4096,
+        }
+    }
+
+    /// The driver-ladder parameters this instance hands to
+    /// [`nvdimmc_core::DriverTxn::new`].
+    pub fn recovery_params(&self) -> RecoveryParams {
+        RecoveryParams {
+            cp_timeout_windows: self.timeout_windows,
+            cp_max_retransmits: self.max_retransmits,
+            cp_backoff: self.backoff,
+        }
+    }
+
+    /// Serialises the bounds as the `# params` header line of a schedule
+    /// artifact (see [`crate::schedule`]).
+    pub fn to_header(&self) -> String {
+        format!(
+            "shards={} txns={} windows={} retransmits={} backoff={} \
+             faults={} crashes={} rebuilds={} legacy={} depth={}",
+            self.shards,
+            self.txns_per_shard,
+            self.timeout_windows,
+            self.max_retransmits,
+            self.backoff,
+            self.fault_budget,
+            self.crash_budget,
+            self.rebuild_budget,
+            u8::from(self.legacy_phase_match),
+            self.max_depth,
+        )
+    }
+
+    /// Parses a `# params` header line produced by
+    /// [`ModelParams::to_header`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed `key=value` field.
+    pub fn from_header(line: &str) -> Result<Self, String> {
+        let mut p = ModelParams::smoke();
+        for field in line.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("malformed params field {field:?}"))?;
+            let v: u64 = value
+                .parse()
+                .map_err(|e| format!("params field {key}: {e}"))?;
+            match key {
+                "shards" => p.shards = v as usize,
+                "txns" => p.txns_per_shard = v as u32,
+                "windows" => p.timeout_windows = v as u32,
+                "retransmits" => p.max_retransmits = v as u32,
+                "backoff" => p.backoff = v as u32,
+                "faults" => p.fault_budget = v as u32,
+                "crashes" => p.crash_budget = v as u32,
+                "rebuilds" => p.rebuild_budget = v as u32,
+                "legacy" => p.legacy_phase_match = v != 0,
+                "depth" => p.max_depth = v as usize,
+                other => return Err(format!("unknown params field {other:?}")),
+            }
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrips() {
+        for p in [
+            ModelParams::smoke(),
+            ModelParams::ci(),
+            ModelParams::calibrate(),
+            ModelParams::micro(),
+            ModelParams::bug_hunt(),
+        ] {
+            let line = p.to_header();
+            assert_eq!(ModelParams::from_header(&line), Ok(p), "{line}");
+        }
+    }
+
+    #[test]
+    fn bad_headers_are_rejected_with_context() {
+        assert!(ModelParams::from_header("shards").is_err());
+        assert!(ModelParams::from_header("shards=x").is_err());
+        assert!(ModelParams::from_header("quux=3").is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! The global model state: a vector of independent [`ShardState`]s plus
+//! the terminal-state oracle that reuses the `nvdimmc-check` passes.
+//!
+//! Shards share nothing — no mailbox, no medium, no budgets — so every
+//! action of shard *i* commutes with every action of shard *j ≠ i*.
+//! That independence is what makes the persistent-set reduction in
+//! [`crate::explore`] sound, and it is stated here (rather than proved
+//! per action) because the type owns the only cross-shard coupling
+//! point: the merged [`RecoveryStats`] ledger, which is only ever read
+//! at *terminal* states, where every interleaving has produced the same
+//! per-shard counters.
+
+use crate::params::ModelParams;
+use crate::shard::{ShardAction, ShardState, Violation, ALL_ACTIONS};
+use nvdimmc_check::{check_health, check_recovery, Severity};
+use nvdimmc_core::RecoveryStats;
+use std::hash::{Hash, Hasher};
+
+/// One scheduler step: which shard, which of its actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Action {
+    /// Target shard index.
+    pub shard: usize,
+    /// The shard-local action.
+    pub act: ShardAction,
+}
+
+impl Action {
+    /// Two actions are independent exactly when they touch different
+    /// shards (shards share no state).
+    pub fn independent(&self, other: &Action) -> bool {
+        self.shard != other.shard
+    }
+}
+
+/// The complete state of a model-checking run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelState {
+    shards: Vec<ShardState>,
+}
+
+impl ModelState {
+    /// The initial state: every shard freshly booted.
+    pub fn new(p: &ModelParams) -> Self {
+        ModelState {
+            shards: (0..p.shards).map(|_| ShardState::new(p)).collect(),
+        }
+    }
+
+    /// Read access to the per-shard states.
+    pub fn shards(&self) -> &[ShardState] {
+        &self.shards
+    }
+
+    /// Whether `a` may fire here.
+    pub fn is_enabled(&self, a: Action, p: &ModelParams) -> bool {
+        self.shards
+            .get(a.shard)
+            .is_some_and(|s| s.is_enabled(a.act, p))
+    }
+
+    /// Every enabled action, shard-major in the fixed action order.
+    pub fn enabled(&self, p: &ModelParams) -> Vec<Action> {
+        let mut out = Vec::new();
+        for (shard, s) in self.shards.iter().enumerate() {
+            for &act in &ALL_ACTIONS {
+                if s.is_enabled(act, p) {
+                    out.push(Action { shard, act });
+                }
+            }
+        }
+        out
+    }
+
+    /// A persistent set: all enabled actions of the lowest-indexed shard
+    /// that has any. Sound because actions of distinct shards are fully
+    /// independent (they commute and neither enables nor disables the
+    /// other), so delaying every other shard's actions cannot lose a
+    /// reachable local state or terminal combination.
+    pub fn enabled_persistent(&self, p: &ModelParams) -> Vec<Action> {
+        for (shard, s) in self.shards.iter().enumerate() {
+            let acts: Vec<Action> = ALL_ACTIONS
+                .iter()
+                .filter(|&&act| s.is_enabled(act, p))
+                .map(|&act| Action { shard, act })
+                .collect();
+            if !acts.is_empty() {
+                return acts;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Applies one action (a disabled action is a deterministic no-op)
+    /// and reports the first invariant its effects violated.
+    pub fn apply(&mut self, a: Action, p: &ModelParams) -> Option<Violation> {
+        let s = self.shards.get_mut(a.shard)?;
+        s.apply(a.act, p).map(|mut v| {
+            v.shard = a.shard;
+            v
+        })
+    }
+
+    /// True when no shard has an enabled action.
+    pub fn is_terminal(&self, p: &ModelParams) -> bool {
+        self.shards.iter().all(|s| s.is_terminal(p))
+    }
+
+    /// Deterministic 64-bit fingerprint for the visited set.
+    ///
+    /// `DefaultHasher` is keyed with fixed constants, so fingerprints
+    /// are stable across runs and platforms — a prerequisite for
+    /// bit-identical replay of recorded explorations.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.shards.hash(&mut h);
+        h.finish()
+    }
+
+    /// The terminal-state property oracle: replays each shard's health
+    /// evidence through [`check_health`] and the merged recovery ledger
+    /// through [`check_recovery`], returning every error-severity
+    /// diagnostic as a [`Violation`]. Ledger violations carry
+    /// `shard == shards.len()` (the merged ledger has no single shard).
+    pub fn oracle(&self, _p: &ModelParams) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut merged = RecoveryStats::default();
+        for (shard, s) in self.shards.iter().enumerate() {
+            let (log, reports) = s.health_evidence();
+            for d in check_health(shard, &log, &reports) {
+                if d.severity == Severity::Error {
+                    out.push(Violation {
+                        rule: d.rule.to_string(),
+                        message: d.message,
+                        shard,
+                    });
+                }
+            }
+            merged.merge(&s.stats().materialize());
+        }
+        for d in check_recovery(&merged) {
+            if d.severity == Severity::Error {
+                out.push(Violation {
+                    rule: d.rule.to_string(),
+                    message: d.message,
+                    shard: self.shards.len(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives one shard through its happy path by always taking the
+    /// first enabled action under the persistent-set policy.
+    #[test]
+    fn run_to_terminal_is_clean_without_adversary() {
+        let p = ModelParams {
+            fault_budget: 0,
+            crash_budget: 0,
+            rebuild_budget: 0,
+            ..ModelParams::smoke()
+        };
+        let mut s = ModelState::new(&p);
+        let mut steps = 0;
+        while let Some(&a) = s.enabled_persistent(&p).first() {
+            assert!(s.apply(a, &p).is_none(), "violation on {a:?}");
+            steps += 1;
+            assert!(steps < 1000, "no terminal state reached");
+        }
+        assert!(s.is_terminal(&p));
+        assert_eq!(s.oracle(&p), vec![], "oracle flagged the happy path");
+        assert_eq!(s.shards()[0].txns_retired(), p.txns_per_shard);
+        assert_eq!(
+            s.shards()[0].acked_generation(),
+            u64::from(p.txns_per_shard),
+            "every transaction acked"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_logical_time_but_not_protocol_state() {
+        let p = ModelParams::smoke();
+        let a = ModelState::new(&p);
+        let mut b = ModelState::new(&p);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let v = b.apply(
+            Action {
+                shard: 0,
+                act: ShardAction::Publish,
+            },
+            &p,
+        );
+        assert!(v.is_none());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn disabled_actions_are_noops() {
+        let p = ModelParams::smoke();
+        let mut s = ModelState::new(&p);
+        let before = s.clone();
+        // Nothing is in flight: every FPGA/driver action is disabled.
+        for act in [
+            ShardAction::FpgaPoll,
+            ShardAction::FpgaRun,
+            ShardAction::FpgaAck,
+            ShardAction::DriverPoll,
+            ShardAction::DriverWindow,
+            ShardAction::Repair,
+        ] {
+            assert!(s.apply(Action { shard: 0, act }, &p).is_none());
+        }
+        assert_eq!(s, before, "disabled actions mutated state");
+    }
+}

@@ -166,6 +166,16 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
+/// Loads a little-endian u64 from a slice produced by `chunks_exact(8)`
+/// without a fallible conversion (short slices read as zero-padded).
+fn le_word(chunk: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    for (dst, src) in w.iter_mut().zip(chunk) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(w)
+}
+
 /// Encodes/decodes whole 4 KB pages: per-word SEC-DED plus a trailing
 /// CRC-32 over the raw data.
 ///
@@ -227,8 +237,7 @@ impl PageCodec {
         let mut out = Vec::with_capacity(self.stored_bytes());
         out.extend_from_slice(data);
         for chunk in data.chunks_exact(8) {
-            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-            out.push(Ecc::encode(word));
+            out.push(Ecc::encode(le_word(chunk)));
         }
         out.extend_from_slice(&crc32(data).to_le_bytes());
         Ok(out)
@@ -255,8 +264,7 @@ impl PageCodec {
         let mut data = data_in.to_vec();
         let mut corrected = 0u64;
         for (i, chunk) in data_in.chunks_exact(8).enumerate() {
-            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-            match Ecc::decode(word, parities[i]) {
+            match Ecc::decode(le_word(chunk), parities[i]) {
                 Decode::Clean(_) => {}
                 Decode::Corrected(fixed) => {
                     data[i * 8..i * 8 + 8].copy_from_slice(&fixed.to_le_bytes());
@@ -265,7 +273,11 @@ impl PageCodec {
                 Decode::Uncorrectable => return Err(PageDecodeError::Uncorrectable),
             }
         }
-        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte crc"));
+        let mut crc_word = [0u8; 4];
+        for (dst, src) in crc_word.iter_mut().zip(crc_bytes) {
+            *dst = *src;
+        }
+        let stored_crc = u32::from_le_bytes(crc_word);
         if crc32(&data) != stored_crc {
             return Err(PageDecodeError::CrcMismatch);
         }

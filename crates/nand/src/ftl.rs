@@ -366,9 +366,8 @@ impl Ftl {
         for _ in 0..64 {
             let ch = self.rr % geo.channels as usize;
             self.rr += 1;
-            let block = match self.ensure_active(ch, at, is_gc)? {
-                Some(b) => b,
-                None => continue, // this channel is out of blocks; try next
+            let Some(block) = self.ensure_active(ch, at, is_gc)? else {
+                continue; // this channel is out of blocks; try next
             };
             let page = self.media.write_pointer(block);
             let phys = PhysPage { block, page };

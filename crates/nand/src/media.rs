@@ -240,11 +240,11 @@ impl ZNandArray {
         let wear_scale = 1.0 + 99.0 * f64::from(meta.erase_count) / f64::from(self.endurance);
         let flip = self.rng.gen_bool((self.ber_per_read * wear_scale).min(1.0));
         let idx = p.flat_index(&self.geo);
-        let mut bytes = self
-            .data
-            .get(&idx)
-            .cloned()
-            .expect("programmed page must have data");
+        // `next_page` said the page is programmed; a missing backing
+        // entry would mean the store lost it — surface, don't panic.
+        let Some(mut bytes) = self.data.get(&idx).cloned() else {
+            return Err(NandError::ReadUnwritten { page: p });
+        };
         if flip {
             let bit = self.rng.gen_range(0..(bytes.len() as u64 * 8));
             bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
@@ -360,6 +360,7 @@ impl ZNandArray {
     /// # Panics
     ///
     /// Panics if the page is not programmed.
+    #[allow(clippy::expect_used)] // fault-injection hook, documented to panic
     pub fn corrupt(&mut self, p: PhysPage, bit_offsets: &[u64]) {
         let idx = p.flat_index(&self.geo);
         let bytes = self.data.get_mut(&idx).expect("page not programmed");

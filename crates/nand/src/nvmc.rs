@@ -193,7 +193,9 @@ impl Nvmc {
         // Backpressure: with more in-flight programs than buffer slots, the
         // ack waits until enough of the oldest complete.
         while self.inflight.len() > self.buffer_pages {
-            let std::cmp::Reverse(t) = self.inflight.pop().expect("len checked");
+            let Some(std::cmp::Reverse(t)) = self.inflight.pop() else {
+                break;
+            };
             ack = ack.max(t);
             self.stats.buffer_stalls += 1;
         }

@@ -158,11 +158,13 @@ impl ConcurrentFio {
         }
         let blocks = job.span / job.block_size;
         let zipf = job.zipf_theta.map(|theta| Zipf::new(blocks.max(1), theta));
+        // Non-empty is checked above; an empty iterator would mean the
+        // guard is gone, and time zero is the only sane fallback.
         let start = devices
             .iter()
             .map(QueuedDevice::clock)
             .max()
-            .expect("non-empty devices");
+            .unwrap_or_default();
         let mut root = DeterministicRng::new(job.seed);
         let per_thread = (job.ops / u64::from(self.threads)).max(1);
         let mut workers: Vec<Worker> = (0..self.threads)
@@ -304,7 +306,10 @@ impl ConcurrentFio {
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("shard worker panicked"))
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            Err(_) => Err(CoreError::Config("shard worker panicked".into())),
+                        })
                         .collect()
                 });
             // Account completions and fold per-thread op results.
@@ -334,11 +339,7 @@ impl ConcurrentFio {
                 w.remaining -= 1;
             }
         }
-        let end = workers
-            .iter()
-            .map(|w| w.ready)
-            .max()
-            .expect("non-empty workers");
+        let end = workers.iter().map(|w| w.ready).max().unwrap_or(start);
         meter.finish(end.since(start));
         Ok(ConcurrentReport {
             job,

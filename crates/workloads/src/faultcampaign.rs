@@ -24,7 +24,7 @@
 
 use nvdimmc_core::{
     BlockDevice, CoreError, FaultKind, FaultPlan, MultiChannelConfig, MultiChannelSystem,
-    NvdimmCConfig, RecoveryStats, PAGE_BYTES,
+    NvdimmCConfig, RecoveryParams, RecoveryStats, PAGE_BYTES,
 };
 use nvdimmc_ddr::TraceEntry;
 use nvdimmc_nand::ecc::crc32;
@@ -49,6 +49,11 @@ pub struct FaultCampaign {
     /// Extra operations allowed after the scheduled load to flush every
     /// remaining armed/pending fault before the final verification.
     pub drain_cap: u64,
+    /// Overrides the shards' CP-recovery ladder (`None` keeps the
+    /// [`RecoveryParams`] defaults). Long ladders — 15 attempts wrap the
+    /// 4-bit mailbox phase — are how the stale-ack regression is driven
+    /// end to end.
+    pub recovery: Option<RecoveryParams>,
 }
 
 impl FaultCampaign {
@@ -70,7 +75,15 @@ impl FaultCampaign {
                 (FaultKind::SlotCorruption, 3),
             ],
             drain_cap: 2000,
+            recovery: None,
         }
+    }
+
+    /// Replaces the shards' CP-recovery ladder parameters.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryParams) -> Self {
+        self.recovery = Some(recovery);
+        self
     }
 
     /// Adds `count` mid-operation power failures to the mix.
@@ -103,6 +116,9 @@ impl FaultCampaign {
         // A deliberately tiny cache: the working set must overflow it so
         // CP traffic (writebacks + cachefills) continues all campaign.
         shard.cache_slots = 16;
+        if let Some(recovery) = self.recovery {
+            shard.recovery = recovery;
+        }
         MultiChannelConfig::new(shard, self.channels)
     }
 

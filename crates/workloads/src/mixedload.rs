@@ -79,13 +79,19 @@ fn encode_record(value: u64, serial: u64) -> [u8; RECORD_BYTES as usize] {
 }
 
 fn validate_record(rec: &[u8]) -> Option<(u64, u64)> {
-    let crc = u32::from_le_bytes(rec[60..64].try_into().expect("4 bytes"));
-    if crc32(&rec[..60]) != crc {
+    if rec.len() < RECORD_BYTES as usize {
         return None;
     }
-    let value = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
-    let serial = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
-    Some((value, serial))
+    let mut crc_b = [0u8; 4];
+    crc_b.copy_from_slice(&rec[60..64]);
+    if crc32(&rec[..60]) != u32::from_le_bytes(crc_b) {
+        return None;
+    }
+    let mut value_b = [0u8; 8];
+    let mut serial_b = [0u8; 8];
+    value_b.copy_from_slice(&rec[..8]);
+    serial_b.copy_from_slice(&rec[8..16]);
+    Some((u64::from_le_bytes(value_b), u64::from_le_bytes(serial_b)))
 }
 
 impl MixedLoad {

@@ -53,16 +53,15 @@ impl StreamValidator {
         dev.read_at(base, &mut raw)?;
         Ok(raw
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                f64::from_le_bytes(w)
+            })
             .collect())
     }
 
-    fn write_array(
-        &self,
-        dev: &mut impl BlockDevice,
-        base: u64,
-        data: &[f64],
-    ) -> Result<(), CoreError> {
+    fn write_array(dev: &mut impl BlockDevice, base: u64, data: &[f64]) -> Result<(), CoreError> {
         let mut raw = Vec::with_capacity(data.len() * 8);
         for v in data {
             raw.extend_from_slice(&v.to_le_bytes());
@@ -86,9 +85,9 @@ impl StreamValidator {
         let mut oa: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.5).collect();
         let mut ob: Vec<f64> = vec![2.0; n];
         let mut oc: Vec<f64> = vec![0.0; n];
-        self.write_array(dev, base_a, &oa)?;
-        self.write_array(dev, base_b, &ob)?;
-        self.write_array(dev, base_c, &oc)?;
+        Self::write_array(dev, base_a, &oa)?;
+        Self::write_array(dev, base_b, &ob)?;
+        Self::write_array(dev, base_c, &oc)?;
 
         let mut mismatches = 0u64;
         let mut kernels = 0u32;
@@ -96,14 +95,14 @@ impl StreamValidator {
         for _ in 0..self.iterations {
             // Copy: C = A
             let a = self.read_array(dev, base_a)?;
-            self.write_array(dev, base_c, &a)?;
+            Self::write_array(dev, base_c, &a)?;
             oc.copy_from_slice(&oa);
             mismatches += self.verify(dev, base_c, &oc)?;
             kernels += 1;
             // Scale: B = s * C
             let c = self.read_array(dev, base_c)?;
             let scaled: Vec<f64> = c.iter().map(|v| self.scalar * v).collect();
-            self.write_array(dev, base_b, &scaled)?;
+            Self::write_array(dev, base_b, &scaled)?;
             for (dst, src) in ob.iter_mut().zip(&oc) {
                 *dst = self.scalar * src;
             }
@@ -113,7 +112,7 @@ impl StreamValidator {
             let a = self.read_array(dev, base_a)?;
             let b = self.read_array(dev, base_b)?;
             let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
-            self.write_array(dev, base_c, &sum)?;
+            Self::write_array(dev, base_c, &sum)?;
             for ((dst, x), y) in oc.iter_mut().zip(&oa).zip(&ob) {
                 *dst = x + y;
             }
@@ -123,7 +122,7 @@ impl StreamValidator {
             let b = self.read_array(dev, base_b)?;
             let c = self.read_array(dev, base_c)?;
             let triad: Vec<f64> = b.iter().zip(&c).map(|(x, y)| x + self.scalar * y).collect();
-            self.write_array(dev, base_a, &triad)?;
+            Self::write_array(dev, base_a, &triad)?;
             for ((dst, x), y) in oa.iter_mut().zip(&ob).zip(&oc) {
                 *dst = x + self.scalar * y;
             }

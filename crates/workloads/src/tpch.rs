@@ -274,15 +274,16 @@ pub fn hit_rate_study(
             };
             let hit = cache.lookup(page).is_some();
             if !hit {
-                let slot = match cache.take_free_slot() {
-                    Some(s) => s,
-                    None => {
-                        let (victim, _, _) = cache.pick_victim().expect("non-empty");
+                let slot = cache.take_free_slot().or_else(|| {
+                    cache.pick_victim().map(|(victim, _, _)| {
                         cache.evict(victim);
                         victim
-                    }
-                };
-                cache.fill(slot, page);
+                    })
+                });
+                // A zero-slot cache caches nothing; the access stays a miss.
+                if let Some(slot) = slot {
+                    cache.fill(slot, page);
+                }
             }
             if round_idx == 2 {
                 measured_total += 1;

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.series.bin_width()
     );
     let bins = report.series.bins_mb_per_s();
-    let max = bins.iter().cloned().fold(1.0_f64, f64::max);
+    let max = bins.iter().copied().fold(1.0_f64, f64::max);
     let step = (bins.len() / 24).max(1);
     for (i, chunk) in bins.chunks(step).enumerate() {
         let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;

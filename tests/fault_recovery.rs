@@ -223,3 +223,59 @@ fn dead_mailbox_degrades_one_shard_others_keep_serving() {
     assert_eq!(s.degraded_entries, 1, "{s:?}");
     assert!(s.cp_attempt_timeouts >= 4, "{s:?}");
 }
+
+#[test]
+fn long_retransmit_ladders_survive_a_mailbox_fault_storm() {
+    // The nvdimmc-model checker's stale-ack counterexample, driven end
+    // to end: with a 15-attempt retransmit ladder, attempt 15 of one
+    // transaction reuses the 4-bit mailbox phase under which the
+    // *previous* transaction's ack still sits in persistent DRAM. Under
+    // phase-only ack matching the driver accepted that stale ack for a
+    // writeback the FPGA never executed (the minimized schedule is
+    // committed at tests/model_corpus/stale_ack_phase_alias.schedule);
+    // the shipped protocol matches the ack's echoed sequence number
+    // too. This campaign arms every mailbox fault class — mangled
+    // command captures, dropped acks, corrupted acks — against
+    // 15-attempt ladders and requires byte-exact data with a balanced
+    // recovery ledger.
+    use nvdimmc::core::RecoveryParams;
+    let campaign = FaultCampaign {
+        channels: 1,
+        faults: vec![
+            (FaultKind::CmdCorrupt, 6),
+            (FaultKind::AckDrop, 6),
+            (FaultKind::AckCorrupt, 6),
+        ],
+        ..FaultCampaign::recoverable(1)
+    }
+    .with_recovery(RecoveryParams {
+        cp_timeout_windows: 512,
+        cp_max_retransmits: 14,
+        cp_backoff: 1,
+    });
+    let r = campaign.run().expect("campaign");
+
+    assert_eq!(r.oracle_mismatches, 0, "a stale ack reached the data path");
+    assert_eq!(
+        r.pages_excluded, 0,
+        "mailbox faults must all be transparent"
+    );
+    assert_eq!(
+        r.degraded_shards, 0,
+        "a 15-attempt ladder must outlast 1-shot faults"
+    );
+    let s = &r.recovery;
+    assert_eq!(s.faults_fired, s.faults_scheduled, "{s:?}");
+    assert_eq!(s.cmd_decode_failures, 6, "{s:?}");
+    assert_eq!(s.acks_dropped, 6, "{s:?}");
+    assert_eq!(s.acks_corrupted, 6, "{s:?}");
+    // Every loss cost a visible attempt timeout and a retransmit; the
+    // FPGA answered retransmits of executed commands by replaying the
+    // ack (same txn key), never by re-executing.
+    assert!(s.cp_attempt_timeouts >= 18, "{s:?}");
+    assert!(s.cp_retransmits >= 18, "{s:?}");
+    assert!(s.cp_recovered >= 1, "{s:?}");
+    assert_eq!(s.cp_transactions_failed, 0, "{s:?}");
+    let diags = check_recovery(s);
+    assert!(diags.is_empty(), "recovery ledger unbalanced: {diags:?}");
+}

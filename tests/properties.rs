@@ -406,8 +406,13 @@ mod cp_props {
         }
 
         #[test]
-        fn cp_ack_roundtrip(phase in 0u8..16, ok in any::<bool>(), code in any::<u8>()) {
-            let ack = CpAck { phase, ok, code: if ok { 0 } else { code } };
+        fn cp_ack_roundtrip(
+            phase in 0u8..16,
+            seq in any::<u8>(),
+            ok in any::<bool>(),
+            code in any::<u8>(),
+        ) {
+            let ack = CpAck { phase, seq, ok, code: if ok { 0 } else { code } };
             prop_assert_eq!(CpAck::decode(&ack.encode()), Some(ack));
         }
     }
