@@ -1,0 +1,125 @@
+//! Records (or gates on) the executor's channel-scaling trajectory.
+//!
+//! ```text
+//! # regenerate the committed baseline (1/4/16/64/256 channels):
+//! cargo run --release -p nvdimmc-bench --bin frontend_scaleout -- --out BENCH_frontend.json
+//!
+//! # CI smoke: re-measure a subset and gate against the baseline:
+//! cargo run --release -p nvdimmc-bench --bin frontend_scaleout -- \
+//!     --check BENCH_frontend.json --channels 1,16,64
+//! ```
+//!
+//! The workload is the paper's cached 4 KB random read (§VI) at
+//! `4 × channels` closed-loop threads. The clock is simulated, so every
+//! number is bit-deterministic and machine-independent; `--check` fails
+//! if any re-measured channel count loses more than 10% ops/s against
+//! the committed file, or if the file does not parse against the
+//! `nvdimmc-frontend-scaleout-v1` schema.
+
+use nvdimmc_bench::scaleout::{
+    check_regression, parse_points, run_point, to_json, ScaleoutPoint, CHANNEL_SWEEP,
+};
+
+fn parse_channels(spec: &str) -> Result<Vec<u32>, String> {
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|e| format!("bad channel count {s:?}: {e}"))
+        })
+        .collect()
+}
+
+fn measure(channels: &[u32]) -> Vec<ScaleoutPoint> {
+    channels
+        .iter()
+        .map(|&c| {
+            let t0 = std::time::Instant::now();
+            let p = run_point(c);
+            eprintln!(
+                "  {c:>3} ch / {:>4} threads: {:>9.0} ops/s, p50 {:.2} us, p99 {:.2} us, \
+                 util {:.2} [{:.1}s]",
+                p.threads,
+                p.ops_per_sec,
+                p.p50_us,
+                p.p99_us,
+                p.util_mean(),
+                t0.elapsed().as_secs_f64()
+            );
+            p
+        })
+        .collect()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("frontend_scaleout: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut channels: Option<Vec<u32>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[*i - 1])))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--out" => out = Some(take_value(&mut i)),
+            "--check" => check = Some(take_value(&mut i)),
+            "--channels" => {
+                channels = Some(parse_channels(&take_value(&mut i)).unwrap_or_else(|e| fail(&e)));
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {baseline_path}: {e}")));
+        let baseline = parse_points(&text)
+            .unwrap_or_else(|e| fail(&format!("{baseline_path} failed validation: {e}")));
+        println!(
+            "baseline {baseline_path}: schema ok, {} points",
+            baseline.len()
+        );
+        let subset = channels.unwrap_or_else(|| vec![1, 16, 64]);
+        println!("re-measuring {subset:?} channels...");
+        let fresh = measure(&subset);
+        check_regression(&baseline, &fresh, 0.10)
+            .unwrap_or_else(|e| fail(&format!("regression gate: {e}")));
+        println!("regression gate passed (>10% ops/s loss would fail).");
+        return;
+    }
+
+    let sweep = channels.unwrap_or_else(|| CHANNEL_SWEEP.to_vec());
+    println!("frontend scale-out sweep: {sweep:?} channels");
+    let points = measure(&sweep);
+    if let (Some(x4), Some(x64)) = (
+        points.iter().find(|p| p.channels == 4),
+        points.iter().find(|p| p.channels == 64),
+    ) {
+        let ratio = x64.ops_per_sec / x4.ops_per_sec;
+        println!("64ch / 4ch ops/s ratio: {ratio:.1}x");
+        if ratio < 8.0 {
+            fail(&format!(
+                "64-channel scaling fell below 8x the 4-channel figure ({ratio:.1}x)"
+            ));
+        }
+    }
+    let json = to_json(&points);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

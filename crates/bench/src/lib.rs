@@ -20,5 +20,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod scaleout;
 
 pub use report::{Figure, Row};

@@ -1,0 +1,550 @@
+//! Frontend scale-out benchmark: the executor's throughput trajectory
+//! over channel count, recorded to `BENCH_frontend.json`.
+//!
+//! Each point drives a cached 4 KB random-read fio load (the paper's
+//! workhorse, §VI) through [`ConcurrentFio::run_multichannel`] — i.e.
+//! through the batched [`ShardExecutor`] request path — at
+//! `4 × channels` closed-loop threads, and records ops/s, p50/p99
+//! latency and per-shard utilisation. Because the clock is simulated,
+//! every figure is bit-deterministic and machine-independent, so the
+//! committed baseline doubles as a CI regression gate.
+//!
+//! The JSON codec is hand-rolled (the workspace deliberately carries no
+//! JSON dependency): [`to_json`] writes the file, [`parse_points`] reads
+//! it back for `--check`.
+//!
+//! [`ShardExecutor`]: nvdimmc_core::ShardExecutor
+
+use nvdimmc_core::{MultiChannelConfig, MultiChannelSystem, NvdimmCConfig, PAGE_BYTES};
+use nvdimmc_workloads::{ConcurrentFio, FioJob};
+
+/// Schema tag stamped into (and demanded from) `BENCH_frontend.json`.
+pub const SCHEMA: &str = "nvdimmc-frontend-scaleout-v1";
+
+/// Closed-loop threads driven per channel.
+pub const THREADS_PER_CHANNEL: u32 = 4;
+
+/// Operations issued per thread (total ops = threads × this).
+pub const OPS_PER_THREAD: u64 = 128;
+
+/// Cached span per channel: fits the 12 MB `small_for_tests` DRAM cache
+/// with room to spare, so the sweep measures the request path, not the
+/// media.
+pub const SPAN_PER_CHANNEL: u64 = 4 << 20;
+
+/// The recorded channel counts.
+pub const CHANNEL_SWEEP: [u32; 5] = [1, 4, 16, 64, 256];
+
+/// One measured point of the scaling trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutPoint {
+    /// Channels (= shards) behind the executor.
+    pub channels: u32,
+    /// Closed-loop threads driven.
+    pub threads: u32,
+    /// Total operations issued.
+    pub ops: u64,
+    /// Throughput in operations per second (simulated clock).
+    pub ops_per_sec: f64,
+    /// Median per-op latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-op latency in microseconds.
+    pub p99_us: f64,
+    /// Mean per-op latency in microseconds.
+    pub mean_us: f64,
+    /// Requests merged into a larger DMA by the coalescer.
+    pub coalesced_reqs: u64,
+    /// Device DMAs issued (≤ requests served when coalescing bites).
+    pub dmas: u64,
+    /// Per-shard device-busy fraction of the elapsed window.
+    pub utilisation: Vec<f64>,
+}
+
+impl ScaleoutPoint {
+    /// Mean of the per-shard utilisation fractions.
+    pub fn util_mean(&self) -> f64 {
+        if self.utilisation.is_empty() {
+            return 0.0;
+        }
+        self.utilisation.iter().sum::<f64>() / self.utilisation.len() as f64
+    }
+}
+
+/// Runs one point of the sweep: `channels` shards, `4 × channels`
+/// threads, cached random reads.
+///
+/// # Panics
+///
+/// Panics if the simulated system rejects the configuration — a bug,
+/// not an operational error, for these fixed shapes.
+pub fn run_point(channels: u32) -> ScaleoutPoint {
+    let cfg = MultiChannelConfig::new(NvdimmCConfig::small_for_tests(), channels);
+    let mut sys = MultiChannelSystem::new(cfg).expect("bench config must construct");
+    let span = SPAN_PER_CHANNEL * u64::from(channels);
+    for page in 0..span / PAGE_BYTES {
+        sys.prefault(page).expect("prefault within exported span");
+    }
+    let threads = THREADS_PER_CHANNEL * channels;
+    let fio = ConcurrentFio {
+        job: FioJob::rand_read_4k(span, u64::from(threads) * OPS_PER_THREAD),
+        threads,
+    };
+    let report = fio
+        .run_multichannel(&mut sys)
+        .expect("cached sweep must serve");
+    ScaleoutPoint {
+        channels,
+        threads,
+        ops: u64::from(threads) * OPS_PER_THREAD,
+        ops_per_sec: report.kiops() * 1e3,
+        p50_us: report.latency_percentile(50.0).as_us_f64(),
+        p99_us: report.latency_percentile(99.0).as_us_f64(),
+        mean_us: report.mean_latency().as_us_f64(),
+        coalesced_reqs: report.exec.coalesced_reqs,
+        dmas: report.exec.dmas,
+        utilisation: report.utilisation.clone(),
+    }
+}
+
+/// Renders the sweep as the committed `BENCH_frontend.json` document.
+pub fn to_json(points: &[ScaleoutPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let util: Vec<String> = p.utilisation.iter().map(|u| format!("{u:.6}")).collect();
+            format!(
+                concat!(
+                    "    {{\"channels\":{},\"threads\":{},\"ops\":{},",
+                    "\"ops_per_sec\":{:.3},\"p50_us\":{:.4},\"p99_us\":{:.4},",
+                    "\"mean_us\":{:.4},\"coalesced_reqs\":{},\"dmas\":{},",
+                    "\"utilisation\":[{}]}}"
+                ),
+                p.channels,
+                p.threads,
+                p.ops,
+                p.ops_per_sec,
+                p.p50_us,
+                p.p99_us,
+                p.mean_us,
+                p.coalesced_reqs,
+                p.dmas,
+                util.join(",")
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n  \"schema\":\"{}\",\n  \"workload\":\"cached 4K randread\",\n",
+            "  \"threads_per_channel\":{},\n  \"ops_per_thread\":{},\n",
+            "  \"span_per_channel\":{},\n  \"results\":[\n{}\n  ]\n}}\n"
+        ),
+        SCHEMA,
+        THREADS_PER_CHANNEL,
+        OPS_PER_THREAD,
+        SPAN_PER_CHANNEL,
+        rows.join(",\n")
+    )
+}
+
+// ----- minimal JSON reader (enough for the schema above) ---------------
+
+/// A parsed JSON value (minimal reader for `--check`; the workspace
+/// carries no JSON dependency).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escape sequences decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(c), self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            out.push(hex);
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .b
+                        .get(self.i..self.i + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| format!("bad utf-8 at byte {}", self.i))?;
+                    out.push_str(chunk);
+                    self.i += len;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a position-tagged message on malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut r = Reader {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = r.value()?;
+    r.skip_ws();
+    if r.i != r.b.len() {
+        return Err(format!("trailing garbage at byte {}", r.i));
+    }
+    Ok(v)
+}
+
+fn num_field(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-numeric field \"{key}\""))
+}
+
+/// Parses and schema-validates a `BENCH_frontend.json` document into
+/// its points.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, a schema-tag mismatch, or any result row
+/// missing a required field.
+pub fn parse_points(text: &str) -> Result<Vec<ScaleoutPoint>, String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing \"schema\" tag".to_owned())?;
+    if schema != SCHEMA {
+        return Err(format!("schema mismatch: {schema:?} (want {SCHEMA:?})"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing \"results\" array".to_owned())?;
+    let mut points = Vec::with_capacity(results.len());
+    for row in results {
+        let utilisation = row
+            .get("utilisation")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing \"utilisation\" array".to_owned())?
+            .iter()
+            .map(|u| {
+                u.as_num()
+                    .ok_or_else(|| "non-numeric utilisation".to_owned())
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        points.push(ScaleoutPoint {
+            channels: num_field(row, "channels")? as u32,
+            threads: num_field(row, "threads")? as u32,
+            ops: num_field(row, "ops")? as u64,
+            ops_per_sec: num_field(row, "ops_per_sec")?,
+            p50_us: num_field(row, "p50_us")?,
+            p99_us: num_field(row, "p99_us")?,
+            mean_us: num_field(row, "mean_us")?,
+            coalesced_reqs: num_field(row, "coalesced_reqs")? as u64,
+            dmas: num_field(row, "dmas")? as u64,
+            utilisation,
+        });
+    }
+    if points.is_empty() {
+        return Err("empty \"results\" array".into());
+    }
+    Ok(points)
+}
+
+/// Compares freshly measured points against the committed baseline:
+/// every overlapping channel count must reach at least
+/// `1 - tolerance` of the baseline's ops/s.
+///
+/// # Errors
+///
+/// Returns the first regressed point, or a complaint if the baseline
+/// lacks a fresh point's channel count.
+pub fn check_regression(
+    baseline: &[ScaleoutPoint],
+    fresh: &[ScaleoutPoint],
+    tolerance: f64,
+) -> Result<(), String> {
+    for f in fresh {
+        let b = baseline
+            .iter()
+            .find(|b| b.channels == f.channels)
+            .ok_or_else(|| format!("baseline has no {}-channel point", f.channels))?;
+        let floor = b.ops_per_sec * (1.0 - tolerance);
+        if f.ops_per_sec < floor {
+            return Err(format!(
+                "{}-channel ops/s regressed: measured {:.0}, baseline {:.0} (floor {:.0})",
+                f.channels, f.ops_per_sec, b.ops_per_sec, floor
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(channels: u32, ops_per_sec: f64) -> ScaleoutPoint {
+        ScaleoutPoint {
+            channels,
+            threads: channels * THREADS_PER_CHANNEL,
+            ops: 100,
+            ops_per_sec,
+            p50_us: 2.0,
+            p99_us: 4.0,
+            mean_us: 2.5,
+            coalesced_reqs: 0,
+            dmas: 100,
+            utilisation: vec![0.5; channels as usize],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_point() {
+        let pts = vec![point(1, 450_000.0), point(4, 1_700_000.0)];
+        let parsed = parse_points(&to_json(&pts)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].channels, 1);
+        assert_eq!(parsed[1].threads, 16);
+        assert!((parsed[1].ops_per_sec - 1_700_000.0).abs() < 1.0);
+        assert_eq!(parsed[0].utilisation.len(), 1);
+        assert_eq!(parsed[1].utilisation.len(), 4);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let doc = to_json(&[point(1, 1.0)]).replace(SCHEMA, "some-other-schema");
+        let err = parse_points(&doc).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let doc = to_json(&[point(1, 1.0)]).replace("\"p99_us\"", "\"p99_renamed\"");
+        let err = parse_points(&doc).unwrap_err();
+        assert!(err.contains("p99_us"), "{err}");
+    }
+
+    #[test]
+    fn regression_gate_trips_past_tolerance() {
+        let base = vec![point(64, 1_000_000.0)];
+        let good = vec![point(64, 950_000.0)];
+        let bad = vec![point(64, 850_000.0)];
+        assert!(check_regression(&base, &good, 0.10).is_ok());
+        let err = check_regression(&base, &bad, 0.10).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json("{\"a\": [1, 2.5, \"x\\n\\u0041\"], \"b\": {\"c\": true}}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_str(),
+            Some("x\nA")
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn one_channel_point_measures_sanely() {
+        let p = run_point(1);
+        assert_eq!(p.channels, 1);
+        assert_eq!(p.threads, THREADS_PER_CHANNEL);
+        assert!(p.ops_per_sec > 0.0);
+        assert!(p.p50_us > 0.0 && p.p99_us >= p.p50_us);
+        assert_eq!(p.utilisation.len(), 1);
+        assert!(p.utilisation[0] > 0.0 && p.utilisation[0] <= 1.0);
+    }
+}

@@ -51,11 +51,21 @@ pub enum CoreError {
     },
     /// The shard's request queue is full and the failover policy sheds
     /// load instead of blocking; retry after the hinted delay.
+    ///
+    /// `queued` / `queue_limit` expose the shard's congestion at shed
+    /// time so callers can back off *proportionally* (deep queue → long
+    /// wait) instead of hot-looping on the fixed hint.
     Overloaded {
         /// Index of the overloaded shard.
         shard: u32,
-        /// How long the caller should wait before retrying.
+        /// Base delay the caller should wait before retrying; scale it by
+        /// `queued / queue_limit` for fairness under congestion.
         retry_after: SimDuration,
+        /// Requests sitting in the shard's queue when the request bounced.
+        queued: usize,
+        /// The queue's configured bound (`queued == queue_limit` when the
+        /// bounce came from a full queue).
+        queue_limit: usize,
     },
     /// A simulated power failure interrupted the operation; recover with
     /// the power-fail dump and a rebuild.
@@ -95,8 +105,17 @@ impl fmt::Display for CoreError {
             CoreError::Rebuilding { shard, retry_after } => {
                 write!(f, "shard {shard} is rebuilding; retry after {retry_after}")
             }
-            CoreError::Overloaded { shard, retry_after } => {
-                write!(f, "shard {shard} is overloaded; retry after {retry_after}")
+            CoreError::Overloaded {
+                shard,
+                retry_after,
+                queued,
+                queue_limit,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} is overloaded ({queued}/{queue_limit} queued); \
+                     retry after {retry_after}"
+                )
             }
             CoreError::PowerInterrupted => write!(f, "power failure interrupted the operation"),
             CoreError::CacheCorruption { page } => {

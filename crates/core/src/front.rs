@@ -8,8 +8,8 @@
 //! routed through the bounded [`RequestScheduler`] queues, and served by
 //! the owning shard on its own clock. Shards share *no* mutable state —
 //! separate buses, iMCs, FPGA pipelines, caches and RNG streams — which
-//! is what lets the concurrent drivers in `nvdimmc-workloads` serve
-//! shards from scoped threads.
+//! is what lets the [`ShardExecutor`](crate::exec::ShardExecutor) worker
+//! pool serve many shards concurrently.
 //!
 //! The single-channel configuration ([`MultiChannelConfig::single`]) is
 //! the paper's artifact and stays bit-identical to driving a bare
@@ -187,8 +187,8 @@ impl MultiChannelSystem {
     }
 
     /// Split borrow for concurrent drivers: all shards mutably, the map,
-    /// and the scheduler — lets a driver enqueue globally and serve each
-    /// shard from its own scoped thread.
+    /// and the scheduler — lets a driver split requests globally and
+    /// hand the shard slice to a [`ShardExecutor`](crate::exec::ShardExecutor).
     pub fn parts_mut(&mut self) -> (&mut [ChannelShard], &InterleaveMap, &mut RequestScheduler) {
         (&mut self.shards, &self.map, &mut self.sched)
     }
@@ -504,6 +504,8 @@ impl MultiChannelSystem {
             Err(_) if self.failover.shed_on_overload => Err(CoreError::Overloaded {
                 shard: idx as u32,
                 retry_after: self.failover.retry_after,
+                queued: self.sched.pending(idx),
+                queue_limit: self.sched.depth(),
             }),
             // A bounced request (full queue) is served directly anyway —
             // the blocking path cannot defer.

@@ -26,6 +26,12 @@
 //!   FR-FCFS arbitration and fairness counters;
 //! - [`front`] — [`MultiChannelSystem`]: N shards behind the interleaver
 //!   and scheduler, with cross-shard persist ordering;
+//! - [`ring`] — the bounded per-shard SPSC inbound rings feeding the
+//!   executor;
+//! - [`mod@coalesce`] — adjacent-request merging in front of the DMA engine;
+//! - [`exec`] — [`ShardExecutor`]: the batched, lock-light worker pool
+//!   that serves ready shards in discrete-event order (scale-out request
+//!   path, §VII-A);
 //! - [`baseline`] — the emulated-NVDIMM `/dev/pmem0` comparator (§VI);
 //! - [`perf`] — the calibrated software-path constants with their anchors.
 //!
@@ -55,9 +61,11 @@
 
 pub mod baseline;
 pub mod cache;
+pub mod coalesce;
 pub mod config;
 pub mod cp;
 pub mod error;
+pub mod exec;
 pub mod faults;
 pub mod fpga;
 pub mod front;
@@ -67,14 +75,17 @@ pub mod layout;
 pub mod perf;
 pub mod proto;
 pub mod refresh;
+pub mod ring;
 pub mod sched;
 pub mod shard;
 
 pub use baseline::EmulatedPmem;
 pub use cache::DramCache;
+pub use coalesce::{coalesce, CoalescedReq, ParentSpan};
 pub use config::{Backend, EvictionPolicyKind, NvdimmCConfig, PAGE_BYTES};
 pub use cp::{CpAck, CpCommand, CpOpcode};
 pub use error::CoreError;
+pub use exec::{Completion, ExecStats, ExecutorConfig, ShardExecutor, Submitted};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, RecoveryParams, RecoveryStats};
 pub use fpga::{AckFault, Fpga};
 pub use front::{MultiChannelConfig, MultiChannelSystem};
@@ -84,5 +95,6 @@ pub use layout::Layout;
 pub use perf::PerfParams;
 pub use proto::{AckOutcome, DriverTxn, FpgaProto, PollVerdict, RetryOutcome};
 pub use refresh::{DetectorPipeline, RefreshDetector};
+pub use ring::SpscRing;
 pub use sched::{ArbitrationPolicy, ReqKind, RequestScheduler, SchedStats, ShardRequest};
 pub use shard::{BlockDevice, ChannelShard, PowerFailReport, QueuedDevice, System, SystemStats};

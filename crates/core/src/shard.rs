@@ -13,8 +13,8 @@
 //! one-shard system is the default and [`System`] remains its name: it is
 //! a type alias for `ChannelShard`. Multi-channel deployments compose
 //! shards behind [`crate::front::MultiChannelSystem`]; because shards
-//! share no mutable state they can be driven from scoped threads (see
-//! [`QueuedDevice`]).
+//! share no mutable state they can be served in parallel by the
+//! [`crate::exec::ShardExecutor`] worker pool (see [`QueuedDevice`]).
 
 use crate::cache::DramCache;
 use crate::config::{Backend, NvdimmCConfig, PAGE_BYTES};
@@ -66,9 +66,9 @@ pub trait BlockDevice {
 /// issuing thread's software cost ([`QueuedDevice::pre_cost`]) and CPU
 /// copy ([`QueuedDevice::copy_cost`]) elapse on the thread's own timeline
 /// and overlap other threads' device phases. Implemented by
-/// [`ChannelShard`] and [`crate::baseline::EmulatedPmem`]; the concurrent
-/// drivers in `nvdimmc-workloads` fan requests out over implementations
-/// from scoped threads, one worker per shard.
+/// [`ChannelShard`] and [`crate::baseline::EmulatedPmem`]; the
+/// [`crate::exec::ShardExecutor`] fans batches out over implementations
+/// from its worker pool, each shard claimed by exactly one worker.
 pub trait QueuedDevice: Send {
     /// Exported capacity in bytes.
     fn capacity_bytes(&self) -> u64;
@@ -105,6 +105,13 @@ pub trait QueuedDevice: Send {
         offset: u64,
         data: &[u8],
     ) -> Result<SimTime, CoreError>;
+    /// Moves the device's captured bus trace out (zero-copy handoff: the
+    /// executor takes the buffer right after serving a batch, while the
+    /// device is still claimed, so capture never crosses a lock later).
+    /// Devices without trace capture return an empty vec — the default.
+    fn drain_trace(&mut self) -> Vec<TraceEntry> {
+        Vec::new()
+    }
 }
 
 /// Zero-time backdoor [`Memory`] view of the DRAM array, used for the
@@ -1399,6 +1406,10 @@ impl QueuedDevice for ChannelShard {
             self.stats.write_latency.record(self.clock.since(t0));
         }
         Ok(self.clock)
+    }
+
+    fn drain_trace(&mut self) -> Vec<TraceEntry> {
+        self.take_trace()
     }
 }
 

@@ -25,7 +25,7 @@
 //! campaigns are audited by one shared set of predicates.
 //!
 //! Exploration offers sleep-set DPOR and a persistent-set reduction
-//! with 64-bit state-fingerprint hashing (see [`explore`]); violations
+//! with 64-bit state-fingerprint hashing (see [`explore()`]); violations
 //! are emitted as minimized, bit-identically replayable schedule
 //! artifacts (see [`schedule`]). The checker's first catch — a stale
 //! ack aliasing the 4-bit phase of a 15-attempt retransmit ladder and

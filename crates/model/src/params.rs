@@ -16,7 +16,7 @@ use nvdimmc_core::RecoveryParams;
 /// Fault, crash and rebuild budgets are **per shard**: shards share no
 /// state, so a per-shard budget keeps every action of shard *i*
 /// independent of every action of shard *j* — the property the
-/// persistent-set reduction in [`crate::explore`] relies on.
+/// persistent-set reduction in [`crate::explore()`] relies on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelParams {
     /// Number of independent channel shards.

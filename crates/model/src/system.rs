@@ -4,7 +4,7 @@
 //! Shards share nothing — no mailbox, no medium, no budgets — so every
 //! action of shard *i* commutes with every action of shard *j ≠ i*.
 //! That independence is what makes the persistent-set reduction in
-//! [`crate::explore`] sound, and it is stated here (rather than proved
+//! [`crate::explore()`] sound, and it is stated here (rather than proved
 //! per action) because the type owns the only cross-shard coupling
 //! point: the merged [`RecoveryStats`] ledger, which is only ever read
 //! at *terminal* states, where every interleaving has produced the same

@@ -6,6 +6,10 @@
 //!   that DDR4 clock arithmetic (e.g. 1.25 ns cycles at DDR4-1600) is exact;
 //! - [`EventQueue`] — a deterministic, cancellable priority queue of timed
 //!   events (ties broken by insertion order);
+//! - [`ShardCalendar`] — the discrete-event fast path for multi-shard
+//!   front-ends: per-shard next-event registration with deterministic
+//!   pop-min ordering, so executors advance each shard's clock straight
+//!   to its next scheduled event instead of ticking idle shards;
 //! - [`stats`] — counters, latency histograms with percentiles, bandwidth
 //!   time series and rate meters used by every experiment harness;
 //! - [`rng`] — deterministic random number helpers (uniform, Zipfian) so
@@ -28,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod event;
 pub mod queueing;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use calendar::ShardCalendar;
 pub use event::{EventHandle, EventQueue};
 pub use queueing::ClosedLoopModel;
 pub use rng::{DeterministicRng, Zipf};

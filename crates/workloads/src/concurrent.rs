@@ -1,16 +1,26 @@
-//! Genuinely concurrent fio driving: one worker per simulated thread,
-//! requests fanned out over the front-end scheduler, shards served from
-//! scoped OS threads.
+//! Genuinely concurrent fio driving on the scale-out executor: per-shard
+//! SPSC rings, adjacent-request coalescing, and a fixed work-stealing
+//! worker pool instead of one OS thread per shard.
 //!
 //! This replaces the old analytic closed-loop contention model with a
 //! *measured* multi-thread result (the paper's Figure 9 methodology):
 //! every simulated thread runs a closed loop — generate an op, pay its
 //! private software cost, queue the device phase, overlap its CPU copy
-//! with the device-serial transfer, repeat. Device phases land in the
-//! [`RequestScheduler`]'s bounded per-shard queues and each shard's batch
-//! is served on its own `std::thread::scope` worker; shards share no
-//! mutable state, so the result is deterministic regardless of how the
-//! OS schedules the workers.
+//! with the device-serial transfer, repeat. Device phases are routed by
+//! the [`InterleaveMap`] onto the [`ShardExecutor`]'s bounded per-shard
+//! rings and served by `M` pool workers claiming ready shards in
+//! discrete-event order — wall-clock cost scales with the worker pool,
+//! not the channel count, which is what lets one process drive 256
+//! channels. Shards share no mutable state and completions fold in shard
+//! order, so the result is deterministic regardless of the worker count
+//! or how the OS schedules the pool.
+//!
+//! The pre-executor round engine survives as
+//! [`ConcurrentFio::run_lockstep`]: it serves each shard's batch
+//! sequentially through the [`RequestScheduler`] exactly as the
+//! thread-per-shard design did, and the differential tests pin the
+//! executor to it bit-for-bit (with coalescing disabled — a merged DMA
+//! is a modelled optimisation the old engine cannot express).
 //!
 //! Timing model per op (see [`QueuedDevice`]):
 //!
@@ -28,8 +38,8 @@
 
 use crate::fio::{FioJob, RwMode};
 use nvdimmc_core::{
-    ArbitrationPolicy, CoreError, EmulatedPmem, InterleaveMap, MultiChannelSystem, QueuedDevice,
-    ReqKind, RequestScheduler, SchedStats, ShardRequest,
+    CoreError, EmulatedPmem, ExecStats, ExecutorConfig, InterleaveMap, MultiChannelSystem,
+    QueuedDevice, ReqKind, RequestScheduler, SchedStats, ShardExecutor, ShardRequest,
 };
 use nvdimmc_sim::{DeterministicRng, Histogram, RateMeter, SimDuration, SimTime, Zipf};
 
@@ -55,10 +65,16 @@ pub struct ConcurrentReport {
     pub read_latency: Histogram,
     /// Write latency distribution.
     pub write_latency: Histogram,
-    /// Scheduler counters summed over shards.
+    /// Scheduler-style counters summed over shards (executor runs map
+    /// ring accounting onto the same shape).
     pub sched: SchedStats,
     /// Per-shard `(enqueued, completed)` — the conservation invariant.
     pub conservation: Vec<(u64, u64)>,
+    /// Executor counters summed over shards (zero for lockstep runs).
+    pub exec: ExecStats,
+    /// Per-shard device-busy fraction of the elapsed window (empty for
+    /// lockstep runs).
+    pub utilisation: Vec<f64>,
 }
 
 impl ConcurrentReport {
@@ -80,6 +96,13 @@ impl ConcurrentReport {
             return SimDuration::ZERO;
         }
         merged.mean()
+    }
+
+    /// Latency percentile (0–100) over reads and writes merged.
+    pub fn latency_percentile(&self, p: f64) -> SimDuration {
+        let mut merged = self.read_latency.clone();
+        merged.merge(&self.write_latency);
+        merged.percentile(p)
     }
 
     /// Total elapsed simulated time (slowest thread).
@@ -104,8 +127,202 @@ struct PendingOp {
     segs: Vec<(usize, ShardRequest)>,
 }
 
+/// Round generator shared by both engines: the closed-loop thread state,
+/// the op stream, and the per-op fold. Keeping it in one place is what
+/// makes the two engines bit-comparable — they differ only in *how* a
+/// round's requests reach the devices.
+struct RoundDriver {
+    job: FioJob,
+    workers: Vec<Worker>,
+    zipf: Option<Zipf>,
+    blocks: u64,
+    seq_tick: u64,
+    buf: Vec<u8>,
+    meter: RateMeter,
+    read_lat: Histogram,
+    write_lat: Histogram,
+    start: SimTime,
+}
+
+impl RoundDriver {
+    fn new(job: FioJob, threads: u32, start: SimTime) -> Self {
+        let blocks = job.span / job.block_size;
+        let mut root = DeterministicRng::new(job.seed);
+        let per_thread = (job.ops / u64::from(threads)).max(1);
+        RoundDriver {
+            job,
+            workers: (0..threads)
+                .map(|t| Worker {
+                    rng: root.fork(u64::from(t)),
+                    ready: start,
+                    remaining: per_thread,
+                })
+                .collect(),
+            zipf: job.zipf_theta.map(|theta| Zipf::new(blocks.max(1), theta)),
+            blocks,
+            seq_tick: 0,
+            buf: vec![0u8; job.block_size as usize],
+            meter: RateMeter::new(),
+            read_lat: Histogram::new(),
+            write_lat: Histogram::new(),
+            start,
+        }
+    }
+
+    fn live(&self) -> bool {
+        self.workers.iter().any(|w| w.remaining > 0)
+    }
+
+    /// Generates one op per live thread, pre-split into segments, sorted
+    /// by device arrival time (stable: ties keep thread-id order) — the
+    /// arrival order both engines serve in.
+    fn next_round<D: QueuedDevice>(&mut self, dev0: &D, map: &InterleaveMap) -> Vec<PendingOp> {
+        let job = self.job;
+        let mut round: Vec<PendingOp> = Vec::new();
+        for (t, w) in self.workers.iter_mut().enumerate() {
+            if w.remaining == 0 {
+                continue;
+            }
+            let block = match job.mode {
+                RwMode::SeqRead | RwMode::SeqWrite => {
+                    let b = self.seq_tick % self.blocks;
+                    self.seq_tick += 1;
+                    b
+                }
+                _ => match &self.zipf {
+                    Some(z) => z.sample(&mut w.rng),
+                    None => w.rng.gen_range(0..self.blocks),
+                },
+            };
+            let off = job.offset + block * job.block_size;
+            let is_read = match job.mode {
+                RwMode::RandRead | RwMode::SeqRead => true,
+                RwMode::RandWrite | RwMode::SeqWrite => false,
+                RwMode::RandRw { read_fraction } => w.rng.gen_bool(read_fraction),
+            };
+            if !is_read {
+                w.rng.fill_bytes(&mut self.buf);
+            }
+            let bus_at = w.ready + dev0.pre_cost(job.block_size, !is_read);
+            let copy = dev0.copy_cost(job.block_size);
+            let buf = &self.buf;
+            let segs = map
+                .split_range(off, job.block_size)
+                .into_iter()
+                .map(|seg| {
+                    (
+                        seg.shard as usize,
+                        ShardRequest {
+                            seq: 0,
+                            thread: t as u32,
+                            kind: if is_read {
+                                ReqKind::Read
+                            } else {
+                                ReqKind::Write
+                            },
+                            local_offset: seg.local_offset,
+                            len: seg.len,
+                            not_before: bus_at,
+                            data: if is_read {
+                                Vec::new()
+                            } else {
+                                buf[seg.pos..seg.pos + seg.len as usize].to_vec()
+                            },
+                        },
+                    )
+                })
+                .collect();
+            round.push(PendingOp {
+                thread: t as u32,
+                is_read,
+                bus_at,
+                copy,
+                segs,
+            });
+        }
+        round.sort_by_key(|op| op.bus_at);
+        round
+    }
+
+    /// Folds one round's per-thread completion times back into the closed
+    /// loop: thread ready = `max(device completion, bus_at + copy)`.
+    fn fold_round(&mut self, round: &[PendingOp], op_done: &[SimTime]) {
+        for op in round {
+            let t = op.thread as usize;
+            let w = &mut self.workers[t];
+            let finished = op_done[t].max(op.bus_at + op.copy);
+            let lat = finished.since(w.ready);
+            if op.is_read {
+                self.read_lat.record(lat);
+            } else {
+                self.write_lat.record(lat);
+            }
+            self.meter.record_op(self.job.block_size);
+            w.ready = finished;
+            w.remaining -= 1;
+        }
+    }
+
+    fn finish(mut self, threads: u32) -> (ConcurrentReport, SimDuration) {
+        let end = self
+            .workers
+            .iter()
+            .map(|w| w.ready)
+            .max()
+            .unwrap_or(self.start);
+        let elapsed = end.since(self.start);
+        self.meter.finish(elapsed);
+        (
+            ConcurrentReport {
+                job: self.job,
+                threads,
+                meter: self.meter,
+                read_latency: self.read_lat,
+                write_latency: self.write_lat,
+                sched: SchedStats::default(),
+                conservation: Vec::new(),
+                exec: ExecStats::default(),
+                utilisation: Vec::new(),
+            },
+            elapsed,
+        )
+    }
+}
+
+fn check_shapes<D: QueuedDevice>(
+    threads: u32,
+    job: FioJob,
+    devices: &[D],
+    map: &InterleaveMap,
+    sched_shards: usize,
+) -> Result<(), CoreError> {
+    assert!(threads >= 1, "at least one thread");
+    assert!(job.block_size > 0, "block size must be positive");
+    assert!(job.span >= job.block_size, "span must hold one block");
+    if devices.is_empty()
+        || devices.len() != map.channels() as usize
+        || sched_shards != devices.len()
+    {
+        return Err(CoreError::Config(
+            "concurrent fio: devices, map and executor must agree on shard count".into(),
+        ));
+    }
+    Ok(())
+}
+
 impl ConcurrentFio {
-    /// Runs against a [`MultiChannelSystem`], shards served in parallel.
+    /// Sizes an executor for this run: rings deep enough that a full
+    /// round (one op per thread, every segment on one shard in the worst
+    /// case) fits without bouncing, and one pool worker per available
+    /// core (the worker count never changes results, only wall clock).
+    pub fn executor_config(&self) -> ExecutorConfig {
+        let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+        ExecutorConfig::default()
+            .with_workers(workers)
+            .with_ring_depth((self.threads as usize * 4).max(64))
+    }
+
+    /// Runs against a [`MultiChannelSystem`] on the scale-out executor.
     ///
     /// # Errors
     ///
@@ -114,50 +331,41 @@ impl ConcurrentFio {
         &self,
         sys: &mut MultiChannelSystem,
     ) -> Result<ConcurrentReport, CoreError> {
-        let (shards, map, sched) = sys.parts_mut();
-        self.run_queued(shards, map, sched)
+        let cfg = self.executor_config();
+        let (shards, map, _) = sys.parts_mut();
+        self.run_executor(shards, map, cfg)
     }
 
-    /// Runs against the emulated-pmem baseline (one "shard").
+    /// Runs against the emulated-pmem baseline (one "shard") on the
+    /// executor.
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn run_baseline(&self, pmem: &mut EmulatedPmem) -> Result<ConcurrentReport, CoreError> {
         let map = InterleaveMap::page_interleaved(1)?;
-        let mut sched = RequestScheduler::new(1, 64, ArbitrationPolicy::Fcfs);
-        self.run_queued(std::slice::from_mut(pmem), &map, &mut sched)
+        let cfg = self.executor_config();
+        self.run_executor(std::slice::from_mut(pmem), &map, cfg)
     }
 
-    /// The generic engine: fans the job out over `devices` through `map`
-    /// and `sched`. Deterministic: request order is fixed by ready times
-    /// and thread ids, and each shard's batch is served sequentially on
-    /// its own scoped thread.
+    /// The scale-out engine: routes every round through a
+    /// [`ShardExecutor`] — bounded SPSC rings, coalescing, and a fixed
+    /// worker pool claiming ready shards in discrete-event order.
+    /// Deterministic for any worker count; a bounced round (full ring)
+    /// drains in place and retries, so backpressure never drops work.
     ///
     /// # Errors
     ///
     /// Propagates device errors; rejects empty device lists and
-    /// mismatched map/scheduler shapes.
-    pub fn run_queued<D: QueuedDevice>(
+    /// mismatched map shapes.
+    pub fn run_executor<D: QueuedDevice>(
         &self,
         devices: &mut [D],
         map: &InterleaveMap,
-        sched: &mut RequestScheduler,
+        cfg: ExecutorConfig,
     ) -> Result<ConcurrentReport, CoreError> {
-        let job = self.job;
-        assert!(self.threads >= 1, "at least one thread");
-        assert!(job.block_size > 0, "block size must be positive");
-        assert!(job.span >= job.block_size, "span must hold one block");
-        if devices.is_empty()
-            || devices.len() != map.channels() as usize
-            || sched.shards() != devices.len()
-        {
-            return Err(CoreError::Config(
-                "concurrent fio: devices, map and scheduler must agree on shard count".into(),
-            ));
-        }
-        let blocks = job.span / job.block_size;
-        let zipf = job.zipf_theta.map(|theta| Zipf::new(blocks.max(1), theta));
+        check_shapes(self.threads, self.job, devices, map, devices.len())?;
+        let mut exec = ShardExecutor::new(devices.len(), cfg);
         // Non-empty is checked above; an empty iterator would mean the
         // guard is gone, and time zero is the only sane fallback.
         let start = devices
@@ -165,89 +373,76 @@ impl ConcurrentFio {
             .map(QueuedDevice::clock)
             .max()
             .unwrap_or_default();
-        let mut root = DeterministicRng::new(job.seed);
-        let per_thread = (job.ops / u64::from(self.threads)).max(1);
-        let mut workers: Vec<Worker> = (0..self.threads)
-            .map(|t| Worker {
-                rng: root.fork(u64::from(t)),
-                ready: start,
-                remaining: per_thread,
+        let mut driver = RoundDriver::new(self.job, self.threads, start);
+        let mut op_done: Vec<SimTime> = vec![SimTime::ZERO; driver.workers.len()];
+        while driver.live() {
+            let round = driver.next_round(&devices[0], map);
+            op_done.iter_mut().for_each(|t| *t = SimTime::ZERO);
+            for op in &round {
+                for (shard, req) in &op.segs {
+                    let mut req = req.clone();
+                    loop {
+                        match exec.submit_request(*shard, req) {
+                            Ok(_) => break,
+                            Err(bounced) => {
+                                // Ring full: serve what's queued, retry.
+                                req = bounced;
+                                drain_completions(&mut exec, devices, &mut op_done)?;
+                            }
+                        }
+                    }
+                }
+            }
+            drain_completions(&mut exec, devices, &mut op_done)?;
+            driver.fold_round(&round, &op_done);
+        }
+        let (mut report, elapsed) = driver.finish(self.threads);
+        report.conservation = exec.conservation();
+        report.utilisation = (0..exec.shards())
+            .map(|s| {
+                if elapsed == SimDuration::ZERO {
+                    0.0
+                } else {
+                    exec.stats(s).busy / elapsed
+                }
             })
             .collect();
-        let mut seq_tick = 0u64; // sequential-mode cursor shared by threads
-        let mut meter = RateMeter::new();
-        let mut read_lat = Histogram::new();
-        let mut write_lat = Histogram::new();
-        let mut buf = vec![0u8; job.block_size as usize];
+        report.exec = exec.total_stats();
+        report.sched = SchedStats {
+            enqueued: report.exec.accepted,
+            completed: report.exec.served,
+            rejected_full: report.exec.rejected_ring_full,
+            ..SchedStats::default()
+        };
+        Ok(report)
+    }
 
-        while workers.iter().any(|w| w.remaining > 0) {
-            // Generate one op per live thread — each thread is a closed
-            // loop at queue depth 1.
-            let mut round: Vec<PendingOp> = Vec::new();
-            for (t, w) in workers.iter_mut().enumerate() {
-                if w.remaining == 0 {
-                    continue;
-                }
-                let block = match job.mode {
-                    RwMode::SeqRead | RwMode::SeqWrite => {
-                        let b = seq_tick % blocks;
-                        seq_tick += 1;
-                        b
-                    }
-                    _ => match &zipf {
-                        Some(z) => z.sample(&mut w.rng),
-                        None => w.rng.gen_range(0..blocks),
-                    },
-                };
-                let off = job.offset + block * job.block_size;
-                let is_read = match job.mode {
-                    RwMode::RandRead | RwMode::SeqRead => true,
-                    RwMode::RandWrite | RwMode::SeqWrite => false,
-                    RwMode::RandRw { read_fraction } => w.rng.gen_bool(read_fraction),
-                };
-                if !is_read {
-                    w.rng.fill_bytes(&mut buf);
-                }
-                let dev0 = &devices[0];
-                let bus_at = w.ready + dev0.pre_cost(job.block_size, !is_read);
-                let copy = dev0.copy_cost(job.block_size);
-                let segs = map
-                    .split_range(off, job.block_size)
-                    .into_iter()
-                    .map(|seg| {
-                        (
-                            seg.shard as usize,
-                            ShardRequest {
-                                seq: 0,
-                                thread: t as u32,
-                                kind: if is_read {
-                                    ReqKind::Read
-                                } else {
-                                    ReqKind::Write
-                                },
-                                local_offset: seg.local_offset,
-                                len: seg.len,
-                                not_before: bus_at,
-                                data: if is_read {
-                                    Vec::new()
-                                } else {
-                                    buf[seg.pos..seg.pos + seg.len as usize].to_vec()
-                                },
-                            },
-                        )
-                    })
-                    .collect();
-                round.push(PendingOp {
-                    thread: t as u32,
-                    is_read,
-                    bus_at,
-                    copy,
-                    segs,
-                });
-            }
-            // Arrival order at the queues = ready order (stable: ties
-            // keep thread-id order).
-            round.sort_by_key(|op| op.bus_at);
+    /// The pre-executor reference engine: fans the job out over `devices`
+    /// through `map` and `sched`, serving each shard's batch sequentially
+    /// exactly as the retired thread-per-shard design did. Kept as the
+    /// lockstep oracle for the executor's bit-identity tests; new callers
+    /// should use [`Self::run_executor`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; rejects empty device lists and
+    /// mismatched map/scheduler shapes.
+    pub fn run_lockstep<D: QueuedDevice>(
+        &self,
+        devices: &mut [D],
+        map: &InterleaveMap,
+        sched: &mut RequestScheduler,
+    ) -> Result<ConcurrentReport, CoreError> {
+        check_shapes(self.threads, self.job, devices, map, sched.shards())?;
+        let start = devices
+            .iter()
+            .map(QueuedDevice::clock)
+            .max()
+            .unwrap_or_default();
+        let mut driver = RoundDriver::new(self.job, self.threads, start);
+        let mut op_done: Vec<SimTime> = vec![SimTime::ZERO; driver.workers.len()];
+        while driver.live() {
+            let round = driver.next_round(&devices[0], map);
             // Enqueue; a bounced request (bounded queue) is carried in an
             // overflow list and appended to the shard's batch — the
             // closed loop cannot drop work, it just records backpressure.
@@ -262,94 +457,60 @@ impl ConcurrentFio {
             // Drain each queue under the arbitration policy into a batch;
             // bounced requests ride at the end (served, but never counted
             // as enqueued — `queued_counts` keeps conservation honest).
-            let mut batches: Vec<Vec<ShardRequest>> = Vec::with_capacity(devices.len());
-            let mut queued_counts: Vec<usize> = Vec::with_capacity(devices.len());
+            op_done.iter_mut().for_each(|t| *t = SimTime::ZERO);
+            let mut scratch = Vec::new();
             for (shard, extra) in overflow.into_iter().enumerate() {
                 let mut batch = Vec::new();
                 while let Some(r) = sched.pop(shard) {
                     batch.push(r);
                 }
-                queued_counts.push(batch.len());
+                let queued = batch.len();
                 batch.extend(extra);
-                batches.push(batch);
-            }
-            // Serve every shard's batch concurrently — one scoped worker
-            // per shard; shards share no state, so this is deterministic.
-            let results: Vec<Result<Vec<(u32, SimTime)>, CoreError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = devices
-                        .iter_mut()
-                        .zip(batches.iter())
-                        .map(|(dev, batch)| {
-                            scope.spawn(move || {
-                                let mut done: Vec<(u32, SimTime)> = Vec::new();
-                                let mut scratch = Vec::new();
-                                for r in batch {
-                                    let end = match r.kind {
-                                        ReqKind::Read => {
-                                            scratch.resize(r.len as usize, 0);
-                                            dev.serve_read(
-                                                r.not_before,
-                                                r.local_offset,
-                                                &mut scratch,
-                                            )?
-                                        }
-                                        ReqKind::Write => {
-                                            dev.serve_write(r.not_before, r.local_offset, &r.data)?
-                                        }
-                                    };
-                                    done.push((r.thread, end));
-                                }
-                                Ok(done)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| match h.join() {
-                            Ok(r) => r,
-                            Err(_) => Err(CoreError::Config("shard worker panicked".into())),
-                        })
-                        .collect()
-                });
-            // Account completions and fold per-thread op results.
-            let mut op_done: Vec<SimTime> = vec![SimTime::ZERO; workers.len()];
-            for (shard, res) in results.into_iter().enumerate() {
-                let done = res?;
-                for (i, (thread, end)) in done.into_iter().enumerate() {
-                    if i < queued_counts[shard] {
+                let dev = &mut devices[shard];
+                for (i, r) in batch.iter().enumerate() {
+                    let end = match r.kind {
+                        ReqKind::Read => {
+                            scratch.resize(r.len as usize, 0);
+                            dev.serve_read(r.not_before, r.local_offset, &mut scratch)?
+                        }
+                        ReqKind::Write => dev.serve_write(r.not_before, r.local_offset, &r.data)?,
+                    };
+                    if i < queued {
                         sched.complete(shard);
                     }
-                    let t = thread as usize;
+                    let t = r.thread as usize;
                     op_done[t] = op_done[t].max(end);
                 }
             }
-            for op in &round {
-                let t = op.thread as usize;
-                let w = &mut workers[t];
-                let finished = op_done[t].max(op.bus_at + op.copy);
-                let lat = finished.since(w.ready);
-                if op.is_read {
-                    read_lat.record(lat);
-                } else {
-                    write_lat.record(lat);
-                }
-                meter.record_op(job.block_size);
-                w.ready = finished;
-                w.remaining -= 1;
-            }
+            driver.fold_round(&round, &op_done);
         }
-        let end = workers.iter().map(|w| w.ready).max().unwrap_or(start);
-        meter.finish(end.since(start));
-        Ok(ConcurrentReport {
-            job,
-            threads: self.threads,
-            meter,
-            read_latency: read_lat,
-            write_latency: write_lat,
-            sched: sched.total_stats(),
-            conservation: sched.conservation(),
-        })
+        let (mut report, _) = driver.finish(self.threads);
+        report.sched = sched.total_stats();
+        report.conservation = sched.conservation();
+        Ok(report)
+    }
+}
+
+/// Serves everything queued on the executor, folding completions into
+/// the per-thread end times; the first failure (deterministic: lowest
+/// shard, FIFO) propagates exactly like the lockstep engine's `?`.
+fn drain_completions<D: QueuedDevice>(
+    exec: &mut ShardExecutor,
+    devices: &mut [D],
+    op_done: &mut [SimTime],
+) -> Result<(), CoreError> {
+    let mut first_err = None;
+    for c in exec.dispatch(devices) {
+        if let Some(e) = c.error {
+            first_err.get_or_insert(e);
+            continue;
+        }
+        let t = c.thread as usize;
+        op_done[t] = op_done[t].max(c.end);
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -380,8 +541,9 @@ mod tests {
 
     #[test]
     fn one_thread_matches_sequential_fio() {
-        // The concurrent engine at 1 thread must reproduce the blocking
-        // harness: the idle-arrival serve path is the blocking path.
+        // The executor at 1 thread must reproduce the blocking harness:
+        // singleton batches take the idle-arrival serve path, which IS
+        // the blocking path.
         let job = FioJob::rand_read_4k(32 << 20, 1_500);
         let mut a = pmem();
         let seq = job.run(&mut a).unwrap();
@@ -394,6 +556,64 @@ mod tests {
             (c - s).abs() / s < 0.05,
             "1-thread concurrent {c:.0} vs blocking {s:.0} KIOPS"
         );
+    }
+
+    #[test]
+    fn executor_matches_lockstep_reference_bit_for_bit() {
+        // With coalescing disabled the executor serves exactly the
+        // lockstep engine's per-shard FCFS sequences, so every latency,
+        // clock and counter must agree bit-for-bit — at one channel this
+        // pins the executor to the pre-refactor monolith path.
+        for channels in [1u32, 4] {
+            let job = FioJob::rand_read_4k(16 << 20, 600);
+            let fio = ConcurrentFio { job, threads: 6 };
+            let mk = || {
+                MultiChannelSystem::new(MultiChannelConfig::new(
+                    NvdimmCConfig::small_for_tests(),
+                    channels,
+                ))
+                .unwrap()
+            };
+            let lock = {
+                let mut sys = mk();
+                let (shards, map, sched) = sys.parts_mut();
+                fio.run_lockstep(shards, map, sched).unwrap()
+            };
+            let exec = {
+                let mut sys = mk();
+                let (shards, map, _) = sys.parts_mut();
+                let cfg = fio.executor_config().with_coalesce_bytes(1);
+                fio.run_executor(shards, map, cfg).unwrap()
+            };
+            assert_eq!(
+                lock.kiops(),
+                exec.kiops(),
+                "{channels}ch kiops diverged from the reference engine"
+            );
+            assert_eq!(lock.mean_latency(), exec.mean_latency());
+            assert_eq!(lock.latency_percentile(99.0), exec.latency_percentile(99.0));
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let job = FioJob::rand_write_4k(24 << 20, 800);
+        let fio = ConcurrentFio { job, threads: 8 };
+        let run = |workers: usize| {
+            let mut sys = MultiChannelSystem::new(MultiChannelConfig::new(
+                NvdimmCConfig::small_for_tests(),
+                4,
+            ))
+            .unwrap();
+            let (shards, map, _) = sys.parts_mut();
+            let cfg = fio.executor_config().with_workers(workers);
+            fio.run_executor(shards, map, cfg).unwrap()
+        };
+        let (a, b, c) = (run(1), run(3), run(16));
+        assert_eq!(a.kiops(), b.kiops(), "1 vs 3 workers");
+        assert_eq!(a.kiops(), c.kiops(), "1 vs 16 workers");
+        assert_eq!(a.mean_latency(), c.mean_latency());
+        assert_eq!(a.utilisation, c.utilisation);
     }
 
     #[test]
@@ -481,5 +701,30 @@ mod tests {
             assert!(*enq > 0, "shard {i} idle");
         }
         assert_eq!(report.sched.enqueued, report.sched.completed);
+    }
+
+    #[test]
+    fn sequential_runs_exercise_coalescing() {
+        // A sequential stream on one channel produces adjacent requests
+        // in every multi-thread round; the executor must merge some of
+        // them and still satisfy conservation.
+        let mut dev = pmem();
+        let report = ConcurrentFio {
+            job: FioJob {
+                mode: RwMode::SeqRead,
+                ..FioJob::rand_read_4k(16 << 20, 1_200)
+            },
+            threads: 8,
+        }
+        .run_baseline(&mut dev)
+        .unwrap();
+        assert!(
+            report.exec.coalesced_reqs > 0,
+            "sequential stream never coalesced"
+        );
+        assert!(report.exec.dmas < report.exec.served, "no DMA was merged");
+        for (enq, comp) in &report.conservation {
+            assert_eq!(enq, comp);
+        }
     }
 }

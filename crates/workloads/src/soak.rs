@@ -16,8 +16,9 @@
 //! same config reproduces the same [`SoakReport`] bit-exactly.
 
 use nvdimmc_core::{
-    BlockDevice, CoreError, FailoverPolicy, FaultKind, MultiChannelConfig, MultiChannelSystem,
-    NvdimmCConfig, RecoveryStats, PAGE_BYTES,
+    BlockDevice, ChannelShard, CoreError, ExecutorConfig, FailoverPolicy, FaultKind,
+    MultiChannelConfig, MultiChannelSystem, NvdimmCConfig, RecoveryStats, ShardExecutor,
+    PAGE_BYTES,
 };
 use nvdimmc_nand::ecc::crc32;
 use nvdimmc_sim::{DeterministicRng, Histogram, SimDuration, SimTime};
@@ -203,7 +204,20 @@ impl SoakConfig {
                         CoreError::CpTimeout { .. } => report.cp_timeouts += 1,
                         CoreError::DegradedShard { .. } => report.degraded_rejections += 1,
                         CoreError::Rebuilding { .. } => report.shed_rebuilding += 1,
-                        CoreError::Overloaded { .. } => report.shed_overloaded += 1,
+                        CoreError::Overloaded {
+                            retry_after,
+                            queued,
+                            queue_limit,
+                            ..
+                        } => {
+                            report.shed_overloaded += 1;
+                            // Proportional backoff: scale the hint by the
+                            // shard's congestion so a deeper queue waits
+                            // longer instead of every caller hot-looping
+                            // on the same fixed delay.
+                            let frac = queued.max(1) as f64 / queue_limit.max(1) as f64;
+                            sys.advance(retry_after.mul_f64(frac));
+                        }
                         other => return Err(other),
                     }
                 }
@@ -235,23 +249,63 @@ impl SoakConfig {
         }
 
         // Phase 4 — verification: byte-exact read-back against the
-        // oracle, no rejected payload visible.
+        // oracle, no rejected payload visible. The sweep batches through
+        // the scale-out executor — pages stream onto the per-shard rings
+        // (adjacent pages coalesce into joint DMAs on one channel) and
+        // every completion carries its payload back; the digest still
+        // folds in page order, so it is deterministic.
+        let t0 = sys.now();
+        let mut exec = ShardExecutor::new(sys.channels() as usize, ExecutorConfig::default());
+        let mut page_data: Vec<Option<Vec<u8>>> = vec![None; pages as usize];
+        fn fold_sweep(
+            exec: &mut ShardExecutor,
+            shards: &mut [ChannelShard],
+            page_data: &mut [Option<Vec<u8>>],
+        ) -> Result<(), CoreError> {
+            for c in exec.dispatch(shards) {
+                if let Some(e) = c.error {
+                    return Err(e);
+                }
+                page_data[c.thread as usize] = Some(c.data);
+            }
+            Ok(())
+        }
+        {
+            let (shards, map, _) = sys.parts_mut();
+            for page in 0..pages {
+                if excluded.contains(&page) {
+                    continue;
+                }
+                loop {
+                    match exec.submit_read(map, page as u32, page * PAGE_BYTES, PAGE_BYTES, t0) {
+                        Ok(_) => break,
+                        Err(CoreError::Overloaded { .. }) => {
+                            fold_sweep(&mut exec, shards, &mut page_data)?;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            fold_sweep(&mut exec, shards, &mut page_data)?;
+        }
         for page in 0..pages {
             if excluded.contains(&page) {
                 report.pages_excluded += 1;
                 continue;
             }
-            sys.read_at(page * PAGE_BYTES, &mut buf)?;
-            if buf != oracle[page as usize] {
+            let got = page_data[page as usize]
+                .take()
+                .ok_or_else(|| CoreError::Config("verification sweep lost a completion".into()))?;
+            if got != oracle[page as usize] {
                 report.oracle_mismatches += 1;
             }
-            if rejected.get(&page) == Some(&crc32(&buf)) {
+            if rejected.get(&page) == Some(&crc32(&got)) {
                 report.rejected_write_leaks += 1;
             }
             report.digest = report
                 .digest
                 .wrapping_mul(0x0000_0100_0000_01B3)
-                .wrapping_add(u64::from(crc32(&buf)));
+                .wrapping_add(u64::from(crc32(&got)));
         }
 
         report.waves = waves;

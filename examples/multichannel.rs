@@ -3,8 +3,8 @@
 //!
 //! Builds the same NVDIMM-C channel 1, 2 and 4 times behind the
 //! interleaved front-end, drives each configuration with the concurrent
-//! fio workload (8 closed-loop threads, shards served on scoped OS
-//! threads), then verifies every shard's bus trace with the full
+//! fio workload (8 closed-loop threads, shards served by the batched
+//! executor), then verifies every shard's bus trace with the full
 //! `nvdimmc-check` pass and the scheduler's request-conservation
 //! invariant.
 //!

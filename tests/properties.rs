@@ -573,3 +573,152 @@ mod histogram_props {
         }
     }
 }
+
+mod ring_props {
+    use super::*;
+    use nvdimmc::core::{ReqKind, ShardRequest, SpscRing};
+    use nvdimmc::sim::SimTime;
+    use std::collections::VecDeque;
+
+    fn req(seq: u64) -> ShardRequest {
+        ShardRequest {
+            seq,
+            thread: (seq % 7) as u32,
+            kind: if seq.is_multiple_of(3) {
+                ReqKind::Write
+            } else {
+                ReqKind::Read
+            },
+            local_offset: seq * 4096,
+            len: 4096,
+            not_before: SimTime::ZERO,
+            data: Vec::new(),
+        }
+    }
+
+    proptest! {
+        /// The bounded SPSC ring is an exact FIFO against a VecDeque
+        /// model under arbitrary interleavings of pushes and pops, and
+        /// bounces (returns the request) exactly when the model is at
+        /// capacity.
+        #[test]
+        fn ring_is_an_exact_bounded_fifo(
+            capacity in 1usize..12,
+            ops in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let mut ring = SpscRing::new(capacity);
+            let mut model: VecDeque<u64> = VecDeque::new();
+            let mut next = 0u64;
+            for push in ops {
+                if push {
+                    match ring.try_push(req(next)) {
+                        Ok(()) => {
+                            prop_assert!(model.len() < capacity, "accepted past capacity");
+                            model.push_back(next);
+                        }
+                        Err(bounced) => {
+                            prop_assert_eq!(model.len(), capacity, "bounced below capacity");
+                            prop_assert_eq!(bounced.seq, next, "bounce returned a different request");
+                        }
+                    }
+                    next += 1;
+                } else {
+                    let got = ring.pop().map(|r| r.seq);
+                    prop_assert_eq!(got, model.pop_front(), "FIFO order diverged");
+                }
+                prop_assert_eq!(ring.len(), model.len());
+                prop_assert_eq!(ring.peek().map(|r| r.seq), model.front().copied());
+            }
+            // Drain: everything still inside comes out in order.
+            while let Some(r) = ring.pop() {
+                prop_assert_eq!(Some(r.seq), model.pop_front());
+            }
+            prop_assert!(model.is_empty());
+        }
+    }
+}
+
+mod coalesce_props {
+    use super::*;
+    use nvdimmc::core::{coalesce, ReqKind, ShardRequest};
+    use nvdimmc::sim::SimTime;
+
+    /// A batch of shard requests with adjacency planted often enough
+    /// that merging actually happens: offsets walk forward with random
+    /// gaps (gap 0 = exactly contiguous).
+    fn arb_batch() -> impl Strategy<Value = Vec<ShardRequest>> {
+        proptest::collection::vec((any::<bool>(), 0u64..3, 1u64..5, 0u64..1000), 1..40).prop_map(
+            |specs| {
+                let mut offset = 0u64;
+                specs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (is_read, gap_pages, len_pages, ps))| {
+                        offset += gap_pages * 4096;
+                        let local_offset = offset;
+                        let len = len_pages * 4096;
+                        offset += len;
+                        let kind = if is_read {
+                            ReqKind::Read
+                        } else {
+                            ReqKind::Write
+                        };
+                        ShardRequest {
+                            seq: i as u64,
+                            thread: (i % 5) as u32,
+                            kind,
+                            local_offset,
+                            len,
+                            not_before: SimTime::ZERO + nvdimmc::sim::SimDuration::from_ps(ps),
+                            data: if is_read {
+                                Vec::new()
+                            } else {
+                                vec![i as u8; len as usize]
+                            },
+                        }
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    proptest! {
+        /// Every coalesced run covers exactly the union of its parents'
+        /// pages — the parents tile `[local_offset, local_offset+len)`
+        /// with no gap and no overlap — and the whole input multiset is
+        /// preserved across the outputs in FIFO order.
+        #[test]
+        fn coalesced_runs_tile_their_parents_exactly(
+            batch in arb_batch(),
+            cap_pages in 1u64..8,
+        ) {
+            let inputs: Vec<(u64, ReqKind, u64, u64)> = batch
+                .iter()
+                .map(|r| (r.seq, r.kind, r.local_offset, r.len))
+                .collect();
+            let runs = coalesce(batch, cap_pages * 4096);
+            let mut seen = Vec::new();
+            for run in &runs {
+                // Parents tile the merged span exactly.
+                let mut cursor = run.local_offset;
+                for p in &run.parents {
+                    prop_assert_eq!(p.local_offset, cursor, "gap or overlap inside a run");
+                    cursor += p.len;
+                    seen.push((p.seq, run.kind, p.local_offset, p.len));
+                }
+                prop_assert_eq!(cursor, run.local_offset + run.len, "run length != parent union");
+                // A multi-parent run respects the byte cap; singletons may
+                // exceed it (one oversized request still has to be served).
+                if run.parents.len() > 1 {
+                    prop_assert!(run.len <= cap_pages * 4096, "merged run exceeds the DMA cap");
+                }
+                // Write runs carry the concatenated payloads.
+                if run.kind == ReqKind::Write {
+                    prop_assert_eq!(run.data.len() as u64, run.len);
+                }
+            }
+            // Nothing lost, nothing invented, FIFO order preserved.
+            prop_assert_eq!(seen, inputs);
+        }
+    }
+}

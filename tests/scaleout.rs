@@ -1,0 +1,101 @@
+//! Scale-out executor tests at high channel counts:
+//!
+//! - a 64-channel run under the batched executor is bit-identical across
+//!   same-seed reruns — throughput, latency distribution, per-shard
+//!   utilisation and the full stats ledger;
+//! - cached 64-channel throughput exceeds 8x the 4-channel figure at the
+//!   same per-channel load (the recorded `BENCH_frontend.json`
+//!   trajectory's acceptance floor);
+//! - traces captured under the executor still pass every `nvdimmc-check`
+//!   timing/race/refresh pass, and the capture epoch is actually
+//!   populated (the executor must not swallow the recorders).
+
+use nvdimmc::check::{check_conservation, check_shards};
+use nvdimmc::core::{MultiChannelConfig, MultiChannelSystem, NvdimmCConfig, PAGE_BYTES};
+use nvdimmc::workloads::{ConcurrentFio, FioJob};
+
+/// Pages per channel kept cached — small enough for debug-profile runs.
+const PAGES_PER_CHANNEL: u64 = 64;
+
+fn cached_front(channels: u32) -> (MultiChannelSystem, u64) {
+    let mut sys = MultiChannelSystem::new(MultiChannelConfig::new(
+        NvdimmCConfig::small_for_tests(),
+        channels,
+    ))
+    .unwrap();
+    let span = PAGES_PER_CHANNEL * PAGE_BYTES * u64::from(channels);
+    for page in 0..span / PAGE_BYTES {
+        sys.prefault(page).unwrap();
+    }
+    (sys, span)
+}
+
+fn cached_run(channels: u32, ops_per_thread: u64) -> nvdimmc::workloads::ConcurrentReport {
+    let (mut sys, span) = cached_front(channels);
+    let threads = 4 * channels;
+    ConcurrentFio {
+        job: FioJob::rand_read_4k(span, u64::from(threads) * ops_per_thread),
+        threads,
+    }
+    .run_multichannel(&mut sys)
+    .unwrap()
+}
+
+#[test]
+fn sixty_four_channel_same_seed_rerun_is_bit_identical() {
+    let a = cached_run(64, 8);
+    let b = cached_run(64, 8);
+    assert_eq!(a.kiops(), b.kiops(), "throughput diverged across reruns");
+    assert_eq!(a.mean_latency(), b.mean_latency());
+    assert_eq!(a.latency_percentile(50.0), b.latency_percentile(50.0));
+    assert_eq!(a.latency_percentile(99.0), b.latency_percentile(99.0));
+    assert_eq!(
+        a.utilisation, b.utilisation,
+        "per-shard utilisation diverged"
+    );
+    assert_eq!(a.conservation, b.conservation);
+    assert_eq!(a.exec, b.exec, "executor ledger diverged");
+    assert_eq!(a.utilisation.len(), 64);
+}
+
+#[test]
+fn cached_64_channel_throughput_exceeds_8x_the_4_channel_figure() {
+    let x4 = cached_run(4, 32).kiops();
+    let x64 = cached_run(64, 32).kiops();
+    assert!(
+        x64 >= 8.0 * x4,
+        "64-channel run only reached {:.1}x the 4-channel figure ({x64:.0} vs {x4:.0} KIOPS)",
+        x64 / x4
+    );
+}
+
+#[test]
+fn executor_traces_verify_clean_at_scale() {
+    let (mut sys, span) = cached_front(8);
+    sys.set_trace_capture(true);
+    let report = ConcurrentFio {
+        job: FioJob::rand_read_4k(span, 1_024),
+        threads: 32,
+    }
+    .run_multichannel(&mut sys)
+    .unwrap();
+    let traces = sys
+        .set_trace_capture(false)
+        .expect("disabling capture returns the epoch");
+    assert_eq!(traces.len(), 8);
+    for (shard, trace) in traces.iter().enumerate() {
+        assert!(
+            !trace.is_empty(),
+            "shard {shard} captured nothing — the executor swallowed the recorder"
+        );
+    }
+    let reports = check_shards(&traces, &sys.shards()[0].config().timing);
+    for (shard, rep) in reports.iter().enumerate() {
+        assert!(rep.is_clean(), "shard {shard} trace dirty:\n{rep}");
+    }
+    assert!(
+        check_conservation(&report.conservation).is_clean(),
+        "executor leaked requests: {:?}",
+        report.conservation
+    );
+}
