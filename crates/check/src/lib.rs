@@ -57,6 +57,7 @@ pub mod config;
 pub mod diag;
 pub mod health;
 pub mod persist;
+pub mod qos;
 pub mod races;
 pub mod recovery;
 pub mod refresh;
@@ -67,6 +68,7 @@ pub use config::{assert_config_clean, lint_config};
 pub use diag::{Diagnostic, Report, Severity};
 pub use health::{check_health, check_system_health};
 pub use persist::check_persistence;
+pub use qos::check_qos;
 pub use races::detect_races;
 pub use recovery::check_recovery;
 pub use refresh::check_refresh_windows;

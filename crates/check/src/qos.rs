@@ -1,0 +1,142 @@
+//! QoS conservation auditor: proves tokens and requests are conserved
+//! per tenant.
+//!
+//! The QoS engine (see `nvdimmc_core::qos`) keeps two ledgers per
+//! tenant and this pass re-checks both from the exported snapshot — the
+//! arithmetic is redone here, not trusted from the engine:
+//!
+//! 1. **Token conservation.** For each bucket (bytes and ops), every
+//!    token ever granted is either consumed by an admitted request,
+//!    expired against the capacity cap, or still residual:
+//!    `granted = consumed + expired + residual`.
+//! 2. **Admission conservation.** Every submitted request was either
+//!    throttled or admitted: `submitted = throttled + admitted`.
+//! 3. **Completion conservation.** Every admitted request completed,
+//!    failed, was shed, or is still in flight — the in-flight residue
+//!    is non-negative by construction, so the audited inequality is
+//!    `completed + failed + shed ≤ admitted`.
+//! 4. **Ops-bucket coupling.** A metered ops bucket consumed exactly
+//!    one token per admitted request.
+
+use crate::diag::Diagnostic;
+use nvdimmc_core::qos::{BucketLedger, QosSnapshot};
+
+fn check_bucket(tenant: &str, which: &str, l: &BucketLedger, out: &mut Vec<Diagnostic>) {
+    let spent = l
+        .consumed
+        .checked_add(l.expired)
+        .and_then(|s| s.checked_add(l.residual));
+    if spent != Some(l.granted) {
+        out.push(Diagnostic::error_untimed(
+            "qos/token-conservation",
+            format!(
+                "tenant {tenant} {which} bucket: granted {} != consumed {} + expired {} + \
+                 residual {}",
+                l.granted, l.consumed, l.expired, l.residual
+            ),
+        ));
+    }
+}
+
+/// Audits one QoS snapshot: token conservation for both buckets and
+/// request conservation for every tenant.
+pub fn check_qos(snap: &QosSnapshot) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for t in &snap.tenants {
+        let name = t.id.to_string();
+        check_bucket(&name, "bytes", &t.bytes, &mut out);
+        check_bucket(&name, "ops", &t.ops, &mut out);
+        let s = t.stats;
+        if s.throttled + s.admitted != s.submitted {
+            out.push(Diagnostic::error_untimed(
+                "qos/admission-conservation",
+                format!(
+                    "tenant {name}: submitted {} != throttled {} + admitted {}",
+                    s.submitted, s.throttled, s.admitted
+                ),
+            ));
+        }
+        if s.completed + s.failed + s.shed > s.admitted {
+            out.push(Diagnostic::error_untimed(
+                "qos/completion-conservation",
+                format!(
+                    "tenant {name}: completed {} + failed {} + shed {} exceed admitted {}",
+                    s.completed, s.failed, s.shed, s.admitted
+                ),
+            ));
+        }
+        // A metered ops bucket spends exactly one token per admission.
+        if t.ops.limited && t.ops.consumed != s.admitted {
+            out.push(Diagnostic::error_untimed(
+                "qos/ops-coupling",
+                format!(
+                    "tenant {name}: ops bucket consumed {} tokens for {} admitted requests",
+                    t.ops.consumed, s.admitted
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvdimmc_core::qos::{QosEngine, TenantId, TenantSpec};
+    use nvdimmc_sim::SimTime;
+
+    #[test]
+    fn live_engine_snapshot_is_clean() {
+        let specs = [
+            TenantSpec::foreground(TenantId(1)),
+            TenantSpec::background(TenantId(2)).with_quota(8192, 2),
+        ];
+        let mut q = QosEngine::new(&specs);
+        for i in 0..8 {
+            let at = SimTime::from_us(i * 10);
+            let _ = q.admit(TenantId(1), 4096, at);
+            let _ = q.admit(TenantId(2), 4096, at);
+        }
+        q.note_completed(TenantId(1));
+        q.note_failed(TenantId(1));
+        q.note_shed(TenantId(2));
+        let diags = check_qos(&q.snapshot());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cooked_ledger_is_rejected() {
+        let specs = [TenantSpec::foreground(TenantId(1)).with_quota(8192, 4)];
+        let mut q = QosEngine::new(&specs);
+        q.admit(TenantId(1), 4096, SimTime::ZERO).unwrap();
+        let mut snap = q.snapshot();
+        snap.tenants[0].bytes.consumed += 1;
+        let diags = check_qos(&snap);
+        assert!(diags.iter().any(|d| d.rule == "qos/token-conservation"));
+    }
+
+    #[test]
+    fn lost_request_is_rejected() {
+        let specs = [TenantSpec::foreground(TenantId(1))];
+        let mut q = QosEngine::new(&specs);
+        q.admit(TenantId(1), 4096, SimTime::ZERO).unwrap();
+        let mut snap = q.snapshot();
+        snap.tenants[0].stats.submitted += 1;
+        let diags = check_qos(&snap);
+        assert!(diags.iter().any(|d| d.rule == "qos/admission-conservation"));
+    }
+
+    #[test]
+    fn over_completion_is_rejected() {
+        let specs = [TenantSpec::foreground(TenantId(1))];
+        let mut q = QosEngine::new(&specs);
+        q.admit(TenantId(1), 4096, SimTime::ZERO).unwrap();
+        q.note_completed(TenantId(1));
+        let mut snap = q.snapshot();
+        snap.tenants[0].stats.completed += 1;
+        let diags = check_qos(&snap);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "qos/completion-conservation"));
+    }
+}

@@ -55,6 +55,11 @@ struct SlotMeta {
     /// Tick at which the slot was last filled (validates LRC queue
     /// entries lazily).
     fill_tick: u64,
+    /// Tenant priority class (0 = background/default). Victim selection
+    /// is restricted to the lowest class present, so a low-priority fill
+    /// can never evict a higher-priority tenant's slot while any slot of
+    /// its own class remains.
+    prio: u8,
 }
 
 /// The slot manager: NAND page → slot mapping plus eviction policy state.
@@ -105,6 +110,7 @@ impl DramCache {
                     referenced: false,
                     last_touch: 0,
                     fill_tick: 0,
+                    prio: 0,
                 };
                 slot_count as usize
             ],
@@ -218,33 +224,70 @@ impl DramCache {
         self.free.pop_front()
     }
 
+    /// The lowest priority class among resident slots — the only class
+    /// victims may come from.
+    fn prio_floor(&self) -> u8 {
+        self.slots
+            .iter()
+            .filter(|m| m.nand_page.is_some())
+            .map(|m| m.prio)
+            .min()
+            .unwrap_or(0)
+    }
+
     /// Chooses the eviction victim per the configured policy without
     /// removing it. Returns `(slot, page, dirty)`.
+    ///
+    /// Victim selection is *priority-aware*: only slots in the lowest
+    /// priority class currently resident are candidates, so a background
+    /// tenant's fill can never displace a foreground tenant's hot slot
+    /// while any background slot remains. When every slot carries the
+    /// default priority 0 (all pre-tenancy callers), the floor is 0 and
+    /// the selection is exactly the classic policy.
     ///
     /// Returns `None` when nothing is resident.
     pub fn pick_victim(&mut self) -> Option<(u64, u64, bool)> {
         if self.map.is_empty() {
             return None;
         }
+        let floor = self.prio_floor();
         let slot = match self.policy {
-            EvictionPolicyKind::Lrc => loop {
-                // Residency ⇒ a live queue entry; an empty queue here
-                // would be index corruption, answered with `None`.
-                let &(s, t) = self.lrc_queue.front()?;
-                let meta = &self.slots[s as usize];
-                if meta.nand_page.is_some() && meta.fill_tick == t {
-                    break s;
+            EvictionPolicyKind::Lrc => {
+                // Drop stale front entries eagerly (cheap, keeps the
+                // queue bounded), then take the first *live* entry in the
+                // floor class — higher-priority entries are passed over
+                // in place, preserving their FIFO position.
+                loop {
+                    let &(s, t) = self.lrc_queue.front()?;
+                    let meta = &self.slots[s as usize];
+                    if meta.nand_page.is_some() && meta.fill_tick == t {
+                        break;
+                    }
+                    self.lrc_queue.pop_front();
                 }
-                self.lrc_queue.pop_front();
-            },
-            EvictionPolicyKind::Lru => self.lru_index.iter().next()?.1,
+                self.lrc_queue
+                    .iter()
+                    .find(|&&(s, t)| {
+                        let meta = &self.slots[s as usize];
+                        meta.nand_page.is_some() && meta.fill_tick == t && meta.prio == floor
+                    })
+                    .map(|&(s, _)| s)?
+            }
+            EvictionPolicyKind::Lru => {
+                self.lru_index
+                    .iter()
+                    .find(|&&(_, s)| self.slots[s as usize].prio == floor)?
+                    .1
+            }
             EvictionPolicyKind::Clock => {
                 let n = self.slots.len() as u64;
                 loop {
                     let s = self.clock_hand % n;
                     self.clock_hand = (self.clock_hand + 1) % n;
                     let meta = &mut self.slots[s as usize];
-                    if meta.nand_page.is_none() {
+                    if meta.nand_page.is_none() || meta.prio != floor {
+                        // Protected slots keep their reference bit — the
+                        // hand passes without aging them.
                         continue;
                     }
                     if meta.referenced {
@@ -274,6 +317,7 @@ impl DramCache {
         let last = meta.last_touch;
         meta.dirty = false;
         meta.referenced = false;
+        meta.prio = 0;
         self.map.remove(&page);
         // The LRC queue entry goes stale and is skipped lazily.
         self.lru_index.remove(&(last, slot));
@@ -318,11 +362,41 @@ impl DramCache {
         meta.referenced = true;
         meta.last_touch = self.tick;
         meta.fill_tick = self.tick;
+        meta.prio = 0;
         self.map.insert(nand_page, slot);
         self.lrc_queue.push_back((slot, self.tick));
         if self.policy == EvictionPolicyKind::Lru {
             self.lru_index.insert((self.tick, slot));
         }
+    }
+
+    /// Sets a resident slot's priority class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not resident.
+    pub fn set_priority(&mut self, slot: u64, prio: u8) {
+        let meta = &mut self.slots[slot as usize];
+        assert!(meta.nand_page.is_some(), "prioritising a free slot");
+        meta.prio = prio;
+    }
+
+    /// Raises a resident slot's priority class to at least `prio`
+    /// (never lowers it) — the hit path calls this so a slot shared by
+    /// tenants of different classes keeps the strongest protection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not resident.
+    pub fn promote(&mut self, slot: u64, prio: u8) {
+        let meta = &mut self.slots[slot as usize];
+        assert!(meta.nand_page.is_some(), "promoting a free slot");
+        meta.prio = meta.prio.max(prio);
+    }
+
+    /// A resident slot's priority class (0 for free slots).
+    pub fn priority_of(&self, slot: u64) -> u8 {
+        self.slots[slot as usize].prio
     }
 
     /// Iterates over resident `(slot, page, dirty)` entries — the
@@ -447,6 +521,60 @@ mod tests {
         let entries: Vec<_> = c.resident_entries().collect();
         assert_eq!(entries.len(), 2);
         assert!(entries.contains(&(a, 7, true)));
+    }
+
+    #[test]
+    fn priority_floor_protects_foreground_slots() {
+        for policy in [
+            EvictionPolicyKind::Lrc,
+            EvictionPolicyKind::Lru,
+            EvictionPolicyKind::Clock,
+        ] {
+            let mut c = DramCache::new(3, policy);
+            let fg = fill_next(&mut c, 10); // oldest fill, foreground
+            c.set_priority(fg, 1);
+            let bg1 = fill_next(&mut c, 11);
+            let bg2 = fill_next(&mut c, 12);
+            // Despite being oldest/least-recent, the foreground slot is
+            // never the victim while any background slot remains.
+            let (v1, _, _) = c.pick_victim().unwrap();
+            assert!(v1 == bg1 || v1 == bg2, "{policy:?} evicted foreground");
+            c.evict(v1);
+            let (v2, _, _) = c.pick_victim().unwrap();
+            assert!(v2 == bg1 || v2 == bg2, "{policy:?} evicted foreground");
+            assert_ne!(v1, v2);
+            c.evict(v2);
+            // Only the foreground slot remains: the floor drops to 1 and
+            // it becomes evictable — no deadlock.
+            let (v3, page, _) = c.pick_victim().unwrap();
+            assert_eq!((v3, page), (fg, 10));
+        }
+    }
+
+    #[test]
+    fn promote_raises_but_never_lowers() {
+        let mut c = DramCache::new(2, EvictionPolicyKind::Lrc);
+        let s = fill_next(&mut c, 1);
+        assert_eq!(c.priority_of(s), 0);
+        c.promote(s, 1);
+        c.promote(s, 0); // no-op: promote never demotes
+        assert_eq!(c.priority_of(s), 1);
+        // Eviction resets the class; a refill starts at 0 again.
+        c.evict(s);
+        c.fill(s, 2);
+        assert_eq!(c.priority_of(s), 0);
+    }
+
+    #[test]
+    fn uniform_priority_matches_classic_policies() {
+        // With every slot at the default class the floor logic must
+        // reproduce the classic victims (the bit-identity guarantee for
+        // pre-tenancy callers). Re-run the LRC scenario explicitly.
+        let mut c = DramCache::new(3, EvictionPolicyKind::Lrc);
+        let s0 = fill_next(&mut c, 10);
+        fill_next(&mut c, 11);
+        fill_next(&mut c, 12);
+        assert_eq!(c.pick_victim().unwrap().0, s0);
     }
 
     #[test]

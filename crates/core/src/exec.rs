@@ -40,6 +40,7 @@
 use crate::coalesce::{coalesce, CoalescedReq};
 use crate::error::CoreError;
 use crate::interleave::InterleaveMap;
+use crate::qos::{TenantId, WfqArbiter};
 use crate::ring::SpscRing;
 use crate::sched::{ReqKind, ShardRequest};
 use crate::shard::QueuedDevice;
@@ -118,6 +119,8 @@ pub struct Submitted {
 pub struct Completion {
     /// Sequence number from [`Submitted`].
     pub seq: u64,
+    /// Issuing tenant.
+    pub tenant: TenantId,
     /// Issuing workload thread.
     pub thread: u32,
     /// Serving shard.
@@ -178,6 +181,9 @@ struct WorkCell<'d, D> {
     shard: u32,
     device: &'d mut D,
     runs: Vec<CoalescedReq>,
+    /// Cache-fill priority per run (parallel to `runs`), from the WFQ
+    /// arbiter's tenant classes; all zeros without an arbiter.
+    prios: Vec<u8>,
     out: Vec<Completion>,
     busy: SimDuration,
 }
@@ -210,6 +216,9 @@ pub struct ShardExecutor {
     cfg: ExecutorConfig,
     stats: Vec<ExecStats>,
     next_seq: u64,
+    /// Weighted fair dequeue across tenants sharing a shard ring.
+    /// `None` (the default) keeps the pre-QoS FIFO dispatch bit-exact.
+    arbiter: Option<WfqArbiter>,
 }
 
 impl ShardExecutor {
@@ -226,7 +235,21 @@ impl ShardExecutor {
             cfg,
             stats: vec![ExecStats::default(); shards],
             next_seq: 0,
+            arbiter: None,
         }
+    }
+
+    /// Installs (or removes) the weighted-fair arbiter. With an arbiter,
+    /// each dispatch round reorders every shard's drained batch by
+    /// per-tenant virtual time and tags cache fills with the issuing
+    /// tenant's priority class; without one, dispatch is plain FIFO.
+    pub fn set_arbiter(&mut self, arbiter: Option<WfqArbiter>) {
+        self.arbiter = arbiter;
+    }
+
+    /// The installed arbiter, if any.
+    pub fn arbiter(&self) -> Option<&WfqArbiter> {
+        self.arbiter.as_ref()
     }
 
     /// Number of shards.
@@ -308,8 +331,39 @@ impl ShardExecutor {
         not_before: SimTime,
         payload: &[u8],
     ) -> Result<Vec<Submitted>, CoreError> {
+        self.submit_for(
+            map,
+            TenantId::HOST,
+            thread,
+            kind,
+            offset,
+            not_before,
+            payload,
+        )
+    }
+
+    /// [`Self::submit`] with an explicit tenant identity: the tenant
+    /// rides on every generated [`ShardRequest`], drives weighted-fair
+    /// dequeue and cache-fill priority, and comes back on each
+    /// [`Completion`] for per-tenant accounting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::submit`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_for(
+        &mut self,
+        map: &InterleaveMap,
+        tenant: TenantId,
+        thread: u32,
+        kind: ReqKind,
+        offset: u64,
+        not_before: SimTime,
+        payload: &[u8],
+    ) -> Result<Vec<Submitted>, CoreError> {
         self.submit_len(
             map,
+            tenant,
             thread,
             kind,
             offset,
@@ -361,13 +415,40 @@ impl ShardExecutor {
         len: u64,
         not_before: SimTime,
     ) -> Result<Vec<Submitted>, CoreError> {
-        self.submit_len(map, thread, ReqKind::Read, offset, len, not_before, &[])
+        self.submit_read_for(map, TenantId::HOST, thread, offset, len, not_before)
+    }
+
+    /// [`Self::submit_read`] with an explicit tenant identity.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::submit`].
+    pub fn submit_read_for(
+        &mut self,
+        map: &InterleaveMap,
+        tenant: TenantId,
+        thread: u32,
+        offset: u64,
+        len: u64,
+        not_before: SimTime,
+    ) -> Result<Vec<Submitted>, CoreError> {
+        self.submit_len(
+            map,
+            tenant,
+            thread,
+            ReqKind::Read,
+            offset,
+            len,
+            not_before,
+            &[],
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
     fn submit_len(
         &mut self,
         map: &InterleaveMap,
+        tenant: TenantId,
         thread: u32,
         kind: ReqKind,
         offset: u64,
@@ -385,9 +466,13 @@ impl ShardExecutor {
             let ring = &self.rings[shard];
             if *need > 0 && ring.len() + need > ring.capacity() {
                 self.stats[shard].rejected_ring_full += 1;
+                // Pressure-proportional hint: an empty ring retries after
+                // the base delay, a full one after twice it.
+                let base = self.cfg.retry_after;
+                let scaled = base + base.mul_f64(ring.len() as f64 / ring.capacity().max(1) as f64);
                 return Err(CoreError::Overloaded {
                     shard: shard as u32,
-                    retry_after: self.cfg.retry_after,
+                    retry_after: scaled,
                     queued: ring.len(),
                     queue_limit: ring.capacity(),
                 });
@@ -404,6 +489,7 @@ impl ShardExecutor {
             };
             let req = ShardRequest {
                 seq,
+                tenant,
                 thread,
                 kind,
                 local_offset: seg.local_offset,
@@ -441,6 +527,7 @@ impl ShardExecutor {
         // their next event (head-of-batch start), earliest first, ties by
         // shard index. Workers then claim shards in exactly that order.
         let mut calendar = ShardCalendar::new(self.rings.len());
+        let arbiter = &mut self.arbiter;
         for (shard, (ring, device)) in self.rings.iter_mut().zip(devices.iter_mut()).enumerate() {
             let mut batch = Vec::with_capacity(ring.len());
             while let Some(req) = ring.pop() {
@@ -449,7 +536,17 @@ impl ShardExecutor {
             if batch.is_empty() {
                 continue;
             }
+            // Weighted fair dequeue: reorder the drained FIFO batch by
+            // per-tenant virtual time before coalescing, so a flooding
+            // tenant's burst cannot monopolise the head of the batch.
+            if let Some(arb) = arbiter.as_mut() {
+                arb.order(shard, &mut batch);
+            }
             let runs = coalesce(batch, cap);
+            let prios: Vec<u8> = runs
+                .iter()
+                .map(|r| arbiter.as_ref().map_or(0, |a| a.fill_priority(r.tenant)))
+                .collect();
             if let Some(first) = runs.first() {
                 calendar.set(shard, first.not_before.max(device.clock()));
             }
@@ -458,6 +555,7 @@ impl ShardExecutor {
                 shard: shard as u32,
                 device,
                 runs,
+                prios,
                 out: Vec::new(),
                 busy: SimDuration::ZERO,
             }));
@@ -528,7 +626,10 @@ impl ShardExecutor {
 /// operation fails or succeeds on its own, exactly like the blocking
 /// path.
 fn serve_cell<D: QueuedDevice>(cell: &mut WorkCell<'_, D>) {
-    for run in &cell.runs {
+    for (i, run) in cell.runs.iter().enumerate() {
+        // Slots this run fills inherit the tenant's cache-priority class.
+        cell.device
+            .set_fill_priority(cell.prios.get(i).copied().unwrap_or(0));
         let start = cell.device.clock().max(run.not_before);
         let multi = run.parents.len() > 1;
         let served = match run.kind {
@@ -558,6 +659,7 @@ fn serve_cell<D: QueuedDevice>(cell: &mut WorkCell<'_, D>) {
                     cursor += p.len as usize;
                     cell.out.push(Completion {
                         seq: p.seq,
+                        tenant: p.tenant,
                         thread: p.thread,
                         shard: cell.shard,
                         kind: run.kind,
@@ -575,6 +677,7 @@ fn serve_cell<D: QueuedDevice>(cell: &mut WorkCell<'_, D>) {
                 for p in &run.parents {
                     cell.out.push(Completion {
                         seq: p.seq,
+                        tenant: p.tenant,
                         thread: p.thread,
                         shard: cell.shard,
                         kind: run.kind,

@@ -27,6 +27,7 @@ use crate::config::{NvdimmCConfig, PAGE_BYTES};
 use crate::error::CoreError;
 use crate::health::{DegradeReason, FailoverPolicy, HealthState, HealthTransition, RebuildReport};
 use crate::interleave::{InterleaveMap, Segment};
+use crate::qos::TenantId;
 use crate::sched::{ArbitrationPolicy, ReqKind, RequestScheduler, ShardRequest};
 use crate::shard::{BlockDevice, ChannelShard, PowerFailReport, SystemStats};
 use nvdimmc_ddr::TraceEntry;
@@ -460,6 +461,17 @@ impl MultiChannelSystem {
         }
     }
 
+    /// The retry-after hint for every shed site, proportional to the
+    /// shard's actual queue pressure: the policy's base delay when the
+    /// queue is empty, twice it when the queue is full. One helper for
+    /// all three shed paths (closed gate, full queue, exhausted repair
+    /// budget), so the hint semantics cannot drift between them.
+    fn shed_retry_after(&self, idx: usize) -> SimDuration {
+        let base = self.failover.retry_after;
+        let pressure = self.sched.pending(idx) as f64 / self.sched.depth().max(1) as f64;
+        base + base.mul_f64(pressure.min(1.0))
+    }
+
     /// Routes one segment through the scheduler for accounting. The queue
     /// in front of an idle shard is empty, so the request passes straight
     /// through — the scheduler still accounts it for the conservation
@@ -470,6 +482,7 @@ impl MultiChannelSystem {
     ///
     /// `Rebuilding` when the shard's admission gate is closed mid-repair,
     /// `Overloaded` when the queue is full and the policy sheds load.
+    /// Both hints scale with queue pressure ([`Self::shed_retry_after`]).
     fn enqueue_accounted(
         &mut self,
         idx: usize,
@@ -479,6 +492,7 @@ impl MultiChannelSystem {
     ) -> Result<bool, CoreError> {
         let req = ShardRequest {
             seq: 0,
+            tenant: TenantId::HOST,
             thread: 0,
             kind,
             local_offset: seg.local_offset,
@@ -493,7 +507,7 @@ impl MultiChannelSystem {
             let _ = self.sched.enqueue(idx, req);
             return Err(CoreError::Rebuilding {
                 shard: idx as u32,
-                retry_after: self.failover.retry_after,
+                retry_after: self.shed_retry_after(idx),
             });
         }
         match self.sched.enqueue(idx, req) {
@@ -503,7 +517,7 @@ impl MultiChannelSystem {
             }
             Err(_) if self.failover.shed_on_overload => Err(CoreError::Overloaded {
                 shard: idx as u32,
-                retry_after: self.failover.retry_after,
+                retry_after: self.shed_retry_after(idx),
                 queued: self.sched.pending(idx),
                 queue_limit: self.sched.depth(),
             }),
@@ -541,10 +555,8 @@ impl MultiChannelSystem {
                     }
                 }
                 Err(CoreError::DegradedShard { shard, .. }) if self.failover.auto_repair => {
-                    return Err(CoreError::Rebuilding {
-                        shard,
-                        retry_after: self.failover.retry_after,
-                    });
+                    let retry_after = self.shed_retry_after(shard as usize);
+                    return Err(CoreError::Rebuilding { shard, retry_after });
                 }
                 other => return other,
             }

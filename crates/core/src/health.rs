@@ -236,6 +236,20 @@ impl FailoverPolicy {
             ..Self::default()
         }
     }
+
+    /// Failover for a front-end whose repairs run off the request path
+    /// (the [`crate::qos::MaintenanceScheduler`]): full queues shed with
+    /// typed `Overloaded`, but degraded shards are *not* repaired inline
+    /// — they bounce with a retry hint until the next idle maintenance
+    /// slot repairs them, so repair work never blocks a foreground
+    /// request.
+    pub fn maintenance() -> Self {
+        FailoverPolicy {
+            auto_repair: false,
+            shed_on_overload: true,
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]

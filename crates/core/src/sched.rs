@@ -15,6 +15,7 @@ use nvdimmc_sim::SimTime;
 use std::collections::VecDeque;
 
 use crate::config::PAGE_BYTES;
+use crate::qos::TenantId;
 
 /// Request direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,8 @@ pub enum ReqKind {
 pub struct ShardRequest {
     /// Global issue order (ties broken by this — deterministic).
     pub seq: u64,
+    /// Issuing tenant ([`TenantId::HOST`] for pre-tenancy call sites).
+    pub tenant: TenantId,
     /// Issuing workload thread.
     pub thread: u32,
     /// Direction.
@@ -252,6 +255,7 @@ mod tests {
     fn req(thread: u32, local_offset: u64) -> ShardRequest {
         ShardRequest {
             seq: 0,
+            tenant: TenantId::HOST,
             thread,
             kind: ReqKind::Read,
             local_offset,

@@ -112,6 +112,11 @@ pub trait QueuedDevice: Send {
     fn drain_trace(&mut self) -> Vec<TraceEntry> {
         Vec::new()
     }
+    /// Sets the priority class tagged onto DRAM-cache slots filled by
+    /// subsequent requests (QoS: a foreground tenant's fills are
+    /// protected from background eviction). Devices without a priority-
+    /// aware cache ignore it — the default.
+    fn set_fill_priority(&mut self, _prio: u8) {}
 }
 
 /// Zero-time backdoor [`Memory`] view of the DRAM array, used for the
@@ -291,6 +296,13 @@ pub struct ChannelShard {
     /// An injected power failure waiting to fire at the next checkpoint.
     power_fail_pending: bool,
     drec: DriverRecovery,
+    /// Priority class tagged onto cache slots filled by the current
+    /// tenant's requests (0 = default/background; set per coalesced run
+    /// by the executor through [`QueuedDevice::set_fill_priority`]).
+    fill_prio: u8,
+    /// Round-robin position of the background CRC scrub sweep
+    /// ([`ChannelShard::scrub_step`]).
+    scrub_cursor: u64,
 }
 
 /// The single-channel system — the paper's artifact. One shard *is* the
@@ -351,6 +363,8 @@ impl ChannelShard {
             scrub: None,
             power_fail_pending: false,
             drec: DriverRecovery::default(),
+            fill_prio: 0,
+            scrub_cursor: 0,
         }
     }
 
@@ -639,6 +653,9 @@ impl ChannelShard {
     /// dirty victim).
     fn ensure_resident(&mut self, page: u64) -> Result<u64, CoreError> {
         if let Some(slot) = self.cache.lookup(page) {
+            // A hit by a higher class raises the slot's protection (and a
+            // default-class hit is a no-op — promote never demotes).
+            self.cache.promote(slot, self.fill_prio);
             return Ok(slot);
         }
         if let HealthState::Degraded { reason, .. } = self.health {
@@ -692,6 +709,9 @@ impl ChannelShard {
         self.cpu
             .invalidate_range(self.layout.slot_addr(slot), PAGE_BYTES);
         self.cache.fill(slot, page);
+        if self.fill_prio != 0 {
+            self.cache.set_priority(slot, self.fill_prio);
+        }
         self.pt.map(page, slot);
         self.tlb.insert(page, slot);
         self.scrub_note(slot);
@@ -1243,6 +1263,50 @@ impl ChannelShard {
         self.drec.scrub_dropped_clean += 1;
         Ok(())
     }
+
+    // ----- background maintenance (idle-window self-management) ---------
+
+    /// One bounded step of the background CRC scrub sweep: verifies up to
+    /// `budget` resident slots, resuming round-robin where the previous
+    /// step stopped, and returns how many were checked. Corrupt clean
+    /// slots heal in place from Z-NAND; a corrupt *dirty* slot is counted
+    /// ([`RecoveryStats::cache_corruption_surfaced`]) but left to surface
+    /// its typed error on the next foreground access — background
+    /// maintenance has no requester to report the loss to. A no-op (0)
+    /// until [`ChannelShard::enable_scrub`] arms CRC tracking, so the
+    /// non-campaign fast path stays byte-exact.
+    pub fn scrub_step(&mut self, budget: u64) -> u64 {
+        if self.scrub.is_none() {
+            return 0;
+        }
+        let total = self.cache.slot_count();
+        let mut checked = 0;
+        let mut visited = 0;
+        while checked < budget && visited < total {
+            let slot = self.scrub_cursor % total;
+            self.scrub_cursor = (self.scrub_cursor + 1) % total;
+            visited += 1;
+            let Some(page) = self.cache.page_of(slot) else {
+                continue;
+            };
+            // Errors (dirty corruption) are already ledgered inside
+            // scrub_verify; the sweep keeps going.
+            let _ = self.scrub_verify(slot, page);
+            checked += 1;
+        }
+        checked
+    }
+
+    /// One bounded FTL housekeeping step: proactive single-victim garbage
+    /// collection when the free-block pool is getting low (see
+    /// [`nvdimmc_nand::Ftl::housekeeping`]). Returns pages relocated;
+    /// media errors during background relocation are swallowed — the
+    /// block stays eligible and the next foreground access surfaces any
+    /// persistent fault through the normal typed path.
+    pub fn ftl_housekeeping(&mut self) -> u64 {
+        let at = self.clock;
+        self.nvmc.ftl_mut().housekeeping(at).unwrap_or(0)
+    }
 }
 
 impl BlockDevice for ChannelShard {
@@ -1410,6 +1474,10 @@ impl QueuedDevice for ChannelShard {
 
     fn drain_trace(&mut self) -> Vec<TraceEntry> {
         self.take_trace()
+    }
+
+    fn set_fill_priority(&mut self, prio: u8) {
+        self.fill_prio = prio;
     }
 }
 

@@ -106,6 +106,10 @@ pub struct FtlStats {
     /// Reads that exhausted the retry ladder and surfaced
     /// [`NandError::Uncorrectable`].
     pub uncorrectable_surfaced: u64,
+    /// Proactive housekeeping invocations that found work to do.
+    pub hk_runs: u64,
+    /// Pages relocated by proactive housekeeping.
+    pub hk_moved_pages: u64,
 }
 
 impl FtlStats {
@@ -478,6 +482,58 @@ impl Ftl {
         Ok(())
     }
 
+    /// Proactive housekeeping: when the free pool is merely *getting*
+    /// low (at or below twice the GC watermark), reclaim a single victim
+    /// block so foreground writes do not hit the synchronous
+    /// `Ftl::collect` cliff later. One victim per call keeps each
+    /// maintenance slot bounded; returns the number of pages relocated
+    /// (0 when the pool is comfortable or no victim qualifies).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces media errors from the relocation reads/writes; bad
+    /// blocks discovered by the erase are retired, not errors.
+    pub fn housekeeping(&mut self, at: SimTime) -> Result<u64, NandError> {
+        if self.free_blocks() > self.gc_low * 2 {
+            return Ok(0);
+        }
+        let Some(victim) = self.pick_victim() else {
+            return Ok(0);
+        };
+        let geo = *self.media.geometry();
+        let mut moved = 0u64;
+        for page in 0..self.media.write_pointer(victim) {
+            let phys = PhysPage {
+                block: victim,
+                page,
+            };
+            let flat = phys.flat_index(&geo);
+            let Some(&lpn) = self.p2l.get(&flat) else {
+                continue;
+            };
+            let (data, _, _) = self.read_decoded(phys, at)?;
+            let fresh = self.codec.encode(&data)?;
+            self.write_stored(lpn, &fresh, at, true)?;
+            moved += 1;
+        }
+        match self.media.erase(victim, at) {
+            Ok(_) => {
+                self.state[victim as usize] = BlockState::Free;
+                self.valid[victim as usize] = 0;
+                let (ch, _, _, _) = geo.split_block(victim);
+                self.free[ch as usize].push(Reverse((self.media.erase_count(victim), victim)));
+            }
+            Err(NandError::BadBlock { .. }) => {
+                self.retire(victim);
+                self.valid[victim as usize] = 0;
+            }
+            Err(e) => return Err(e),
+        }
+        self.stats.hk_runs += 1;
+        self.stats.hk_moved_pages += moved;
+        Ok(moved)
+    }
+
     /// Picks the GC victim: the closed block with the fewest valid pages;
     /// under high wear spread, the coldest (least-erased) closed block
     /// instead, so cold data gets recycled onto worn blocks.
@@ -699,6 +755,34 @@ mod tests {
         assert_eq!(s.read_retries, 3);
         assert_eq!(s.uncorrectable_surfaced, 1);
         assert_eq!(f.media().stats().uncorrectable_injected, 1);
+    }
+
+    #[test]
+    fn housekeeping_reclaims_before_the_gc_cliff() {
+        let mut f = ftl();
+        let export = f.export_pages();
+        let mut t = SimTime::ZERO;
+        let mut rng = DeterministicRng::new(4);
+        // Comfortable pool: housekeeping is a no-op.
+        assert_eq!(f.housekeeping(t).unwrap(), 0);
+        // Churn until the pool is inside the proactive band.
+        let mut i = 0u64;
+        while f.free_blocks() > f.gc_low * 2 && i < export * 4 {
+            let lpn = rng.gen_range(0..export);
+            t = f.write(lpn, &page((i % 256) as u8), t).unwrap();
+            i += 1;
+        }
+        let before = f.free_blocks();
+        f.housekeeping(t).unwrap();
+        assert!(f.stats().hk_runs >= 1, "housekeeping never engaged");
+        assert!(
+            f.free_blocks() >= before,
+            "housekeeping must not shrink the free pool"
+        );
+        // Data still intact after background relocation.
+        let t2 = f.write(0, &page(0xCD), t).unwrap();
+        let (data, _) = f.read(0, t2).unwrap();
+        assert_eq!(data, page(0xCD));
     }
 
     #[test]

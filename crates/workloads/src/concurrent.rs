@@ -39,7 +39,7 @@
 use crate::fio::{FioJob, RwMode};
 use nvdimmc_core::{
     CoreError, EmulatedPmem, ExecStats, ExecutorConfig, InterleaveMap, MultiChannelSystem,
-    QueuedDevice, ReqKind, RequestScheduler, SchedStats, ShardExecutor, ShardRequest,
+    QueuedDevice, ReqKind, RequestScheduler, SchedStats, ShardExecutor, ShardRequest, TenantId,
 };
 use nvdimmc_sim::{DeterministicRng, Histogram, RateMeter, SimDuration, SimTime, Zipf};
 
@@ -214,6 +214,7 @@ impl RoundDriver {
                         seg.shard as usize,
                         ShardRequest {
                             seq: 0,
+                            tenant: TenantId::HOST,
                             thread: t as u32,
                             kind: if is_read {
                                 ReqKind::Read

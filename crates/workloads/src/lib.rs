@@ -40,6 +40,7 @@ pub mod faultcampaign;
 pub mod filecopy;
 pub mod fio;
 pub mod mixedload;
+pub mod qostest;
 pub mod soak;
 pub mod stream;
 pub mod tpch;
@@ -49,6 +50,7 @@ pub use faultcampaign::{CampaignReport, FaultCampaign, TraceEpoch};
 pub use filecopy::{CopyReport, FileCopy};
 pub use fio::{FioJob, FioReport, RwMode};
 pub use mixedload::{MixedLoad, MixedLoadReport};
+pub use qostest::{QosReport, QosTestConfig, TenantReport};
 pub use soak::{LatencySummary, SoakConfig, SoakReport};
 pub use stream::{StreamReport, StreamValidator};
 pub use tpch::{QueryProfile, TpchReport, TpchRunner};

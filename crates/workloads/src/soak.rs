@@ -203,20 +203,15 @@ impl SoakConfig {
                     match e {
                         CoreError::CpTimeout { .. } => report.cp_timeouts += 1,
                         CoreError::DegradedShard { .. } => report.degraded_rejections += 1,
-                        CoreError::Rebuilding { .. } => report.shed_rebuilding += 1,
-                        CoreError::Overloaded {
-                            retry_after,
-                            queued,
-                            queue_limit,
-                            ..
-                        } => {
+                        CoreError::Rebuilding { retry_after, .. } => {
+                            report.shed_rebuilding += 1;
+                            // The front-end already scales the hint by ring
+                            // pressure; honor it instead of hot-looping.
+                            sys.advance(retry_after);
+                        }
+                        CoreError::Overloaded { retry_after, .. } => {
                             report.shed_overloaded += 1;
-                            // Proportional backoff: scale the hint by the
-                            // shard's congestion so a deeper queue waits
-                            // longer instead of every caller hot-looping
-                            // on the same fixed delay.
-                            let frac = queued.max(1) as f64 / queue_limit.max(1) as f64;
-                            sys.advance(retry_after.mul_f64(frac));
+                            sys.advance(retry_after);
                         }
                         other => return Err(other),
                     }

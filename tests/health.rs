@@ -18,8 +18,8 @@
 
 use nvdimmc::check::{check_recovery, check_system_health};
 use nvdimmc::core::{
-    BlockDevice, CoreError, FailoverPolicy, FaultKind, HealthState, MultiChannelConfig,
-    MultiChannelSystem, NvdimmCConfig, PAGE_BYTES,
+    BlockDevice, CoreError, CpOpcode, DegradeReason, FailoverPolicy, FaultKind, HealthState,
+    MultiChannelConfig, MultiChannelSystem, NvdimmCConfig, PAGE_BYTES,
 };
 use nvdimmc::workloads::SoakConfig;
 use proptest::prelude::*;
@@ -234,4 +234,106 @@ proptest! {
         let diags = check_system_health(&sys);
         prop_assert!(diags.is_empty(), "{:?}", diags);
     }
+}
+
+/// Writes `shard`-owned pages (4-channel, page-granular interleave)
+/// until the armed ack drops surface a `CpTimeout`, leaving the shard
+/// degraded.
+fn degrade_shard(sys: &mut MultiChannelSystem, shard: u64, drops: u32) {
+    for _ in 0..drops {
+        assert!(sys.shards_mut()[shard as usize].inject_fault(FaultKind::AckDrop));
+    }
+    for i in 0..20u64 {
+        let p = shard + 4 * i;
+        match sys.write_at(p * PAGE_BYTES, &page(0x55)) {
+            Ok(_) => {}
+            Err(CoreError::CpTimeout { .. }) => return,
+            other => panic!("expected CpTimeout, got {other:?}"),
+        }
+    }
+    panic!("mailbox never died");
+}
+
+#[test]
+fn degraded_shards_reports_through_an_in_flight_repair() {
+    let mut sys = small_system(4, FailoverPolicy::default());
+    // Eight drops: four kill the victim transaction, four starve the
+    // first repair's handshake probe mid-rebuild.
+    degrade_shard(&mut sys, 2, 8);
+
+    let before = sys.degraded_shards();
+    assert_eq!(before.len(), 1);
+    let (idx, reason, since) = before[0];
+    assert_eq!(idx, 2);
+    assert!(
+        matches!(reason, DegradeReason::CpExhausted { .. }),
+        "{reason:?}"
+    );
+
+    // The first repair attempt is interrupted in flight; the shard must
+    // still be reported out of service — with the *fresh* reason and a
+    // later timestamp, not the pre-repair entry.
+    assert!(sys.repair_shard(2).is_err());
+    let during = sys.degraded_shards();
+    assert_eq!(during.len(), 1, "shard vanished from the degraded list");
+    let (idx, reason, resince) = during[0];
+    assert_eq!(idx, 2);
+    // The fresh entry names the starved re-handshake (the Probe
+    // transaction exhausting its budget), not the original write.
+    assert!(
+        matches!(
+            reason,
+            DegradeReason::RebuildInterrupted
+                | DegradeReason::CpExhausted {
+                    opcode: CpOpcode::Probe,
+                    ..
+                }
+        ),
+        "reason not refreshed by the aborted rebuild: {reason:?}"
+    );
+    assert!(resince > since, "degradation timestamp did not advance");
+    // The interrupted attempt is on the ledger and was not re-admitted.
+    let last = sys.rebuild_reports()[2].last().cloned().unwrap();
+    assert!(!last.readmitted);
+
+    // The second attempt completes; the report empties.
+    sys.repair_shard(2).unwrap();
+    assert!(sys.degraded_shards().is_empty());
+    let diags = check_system_health(&sys);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn concurrent_rebuilds_readmit_in_index_order() {
+    let mut sys = small_system(4, FailoverPolicy::default());
+    // Degrade out of index order (3 before 1), four drops each so both
+    // repairs succeed first try.
+    degrade_shard(&mut sys, 3, 4);
+    degrade_shard(&mut sys, 1, 4);
+    let degraded: Vec<usize> = sys.degraded_shards().iter().map(|d| d.0).collect();
+    assert_eq!(degraded, vec![1, 3], "degraded list not index-ordered");
+
+    // One sweep repairs both; re-admission follows index order, not
+    // degradation order.
+    let readmitted = sys.repair_degraded().unwrap();
+    assert_eq!(readmitted, vec![1, 3]);
+    assert!(sys.health().iter().all(HealthState::is_healthy));
+
+    // Both shards earned re-admission with clean, audited ledgers.
+    for idx in [1usize, 3] {
+        let report = sys.rebuild_reports()[idx].last().cloned().unwrap();
+        assert!(report.readmitted, "shard {idx} not re-admitted");
+        report.audit().unwrap();
+    }
+    // Both serve again.
+    let mut buf = page(0);
+    for idx in [1u64, 3] {
+        sys.write_at(idx * PAGE_BYTES, &page(0x99)).unwrap();
+        sys.read_at(idx * PAGE_BYTES, &mut buf).unwrap();
+        assert_eq!(buf, page(0x99));
+    }
+    let diags = check_system_health(&sys);
+    assert!(diags.is_empty(), "{diags:?}");
+    let diags = check_recovery(&sys.recovery_stats());
+    assert!(diags.is_empty(), "{diags:?}");
 }
