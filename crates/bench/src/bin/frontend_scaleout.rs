@@ -1,4 +1,5 @@
-//! Records (or gates on) the executor's channel-scaling trajectory.
+//! Records (or gates on) the executor's channel-scaling trajectory in
+//! both refresh modes.
 //!
 //! ```text
 //! # regenerate the committed baseline (1/4/16/64/256 channels):
@@ -10,15 +11,20 @@
 //! ```
 //!
 //! The workload is the paper's cached 4 KB random read (§VI) at
-//! `4 × channels` closed-loop threads. The clock is simulated, so every
-//! number is bit-deterministic and machine-independent; `--check` fails
-//! if any re-measured channel count loses more than 10% ops/s against
-//! the committed file, or if the file does not parse against the
-//! `nvdimmc-frontend-scaleout-v1` schema.
+//! `4 × channels` closed-loop threads, swept once under rank-level
+//! refresh (the legacy trajectory) and once under per-bank windows. The
+//! clock is simulated, so every number is bit-deterministic and
+//! machine-independent; `--check` fails if any re-measured channel count
+//! in either mode loses more than 10% ops/s against the committed file,
+//! if per-bank stops beating rank-level at 16+ channels, if the per-bank
+//! legality smoke trace picks up any checker diagnostic, or if the file
+//! does not parse against the `nvdimmc-frontend-scaleout-v2` schema.
 
 use nvdimmc_bench::scaleout::{
-    check_regression, parse_points, run_point, to_json, ScaleoutPoint, CHANNEL_SWEEP,
+    check_per_bank_speedup, check_regression, parse_doc, per_bank_checker_smoke, run_point_mode,
+    to_json, ScaleoutPoint, CHANNEL_SWEEP,
 };
+use nvdimmc_ddr::RefreshMode;
 
 fn parse_channels(spec: &str) -> Result<Vec<u32>, String> {
     spec.split(',')
@@ -30,15 +36,23 @@ fn parse_channels(spec: &str) -> Result<Vec<u32>, String> {
         .collect()
 }
 
-fn measure(channels: &[u32]) -> Vec<ScaleoutPoint> {
+fn mode_tag(mode: RefreshMode) -> &'static str {
+    match mode {
+        RefreshMode::RankLevel => "rank",
+        RefreshMode::PerBank => "per-bank",
+    }
+}
+
+fn measure(channels: &[u32], mode: RefreshMode) -> Vec<ScaleoutPoint> {
     channels
         .iter()
         .map(|&c| {
             let t0 = std::time::Instant::now();
-            let p = run_point(c);
+            let p = run_point_mode(c, mode);
             eprintln!(
-                "  {c:>3} ch / {:>4} threads: {:>9.0} ops/s, p50 {:.2} us, p99 {:.2} us, \
+                "  [{}] {c:>3} ch / {:>4} threads: {:>9.0} ops/s, p50 {:.2} us, p99 {:.2} us, \
                  util {:.2} [{:.1}s]",
+                mode_tag(mode),
                 p.threads,
                 p.ops_per_sec,
                 p.p50_us,
@@ -83,27 +97,38 @@ fn main() {
     if let Some(baseline_path) = check {
         let text = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| fail(&format!("cannot read {baseline_path}: {e}")));
-        let baseline = parse_points(&text)
+        let baseline = parse_doc(&text)
             .unwrap_or_else(|e| fail(&format!("{baseline_path} failed validation: {e}")));
         println!(
-            "baseline {baseline_path}: schema ok, {} points",
-            baseline.len()
+            "baseline {baseline_path}: schema ok, {} rank + {} per-bank points",
+            baseline.rank.len(),
+            baseline.per_bank.len()
         );
         let subset = channels.unwrap_or_else(|| vec![1, 16, 64]);
-        println!("re-measuring {subset:?} channels...");
-        let fresh = measure(&subset);
-        check_regression(&baseline, &fresh, 0.10)
-            .unwrap_or_else(|e| fail(&format!("regression gate: {e}")));
-        println!("regression gate passed (>10% ops/s loss would fail).");
+        println!("re-measuring {subset:?} channels in both refresh modes...");
+        let fresh_rank = measure(&subset, RefreshMode::RankLevel);
+        let fresh_pb = measure(&subset, RefreshMode::PerBank);
+        check_regression(&baseline.rank, &fresh_rank, 0.10)
+            .unwrap_or_else(|e| fail(&format!("rank-level regression gate: {e}")));
+        check_regression(&baseline.per_bank, &fresh_pb, 0.10)
+            .unwrap_or_else(|e| fail(&format!("per-bank regression gate: {e}")));
+        check_per_bank_speedup(&fresh_rank, &fresh_pb, 16)
+            .unwrap_or_else(|e| fail(&format!("parallelism gate: {e}")));
+        per_bank_checker_smoke().unwrap_or_else(|e| fail(&format!("per-bank legality smoke: {e}")));
+        println!(
+            "regression gate passed (>10% ops/s loss in either mode, a lost per-bank \
+             speedup at 16+ channels, or a dirty per-bank trace would fail)."
+        );
         return;
     }
 
     let sweep = channels.unwrap_or_else(|| CHANNEL_SWEEP.to_vec());
-    println!("frontend scale-out sweep: {sweep:?} channels");
-    let points = measure(&sweep);
+    println!("frontend scale-out sweep: {sweep:?} channels, both refresh modes");
+    let rank_points = measure(&sweep, RefreshMode::RankLevel);
+    let pb_points = measure(&sweep, RefreshMode::PerBank);
     if let (Some(x4), Some(x64)) = (
-        points.iter().find(|p| p.channels == 4),
-        points.iter().find(|p| p.channels == 64),
+        rank_points.iter().find(|p| p.channels == 4),
+        rank_points.iter().find(|p| p.channels == 64),
     ) {
         let ratio = x64.ops_per_sec / x4.ops_per_sec;
         println!("64ch / 4ch ops/s ratio: {ratio:.1}x");
@@ -113,7 +138,18 @@ fn main() {
             ));
         }
     }
-    let json = to_json(&points);
+    check_per_bank_speedup(&rank_points, &pb_points, 16)
+        .unwrap_or_else(|e| fail(&format!("parallelism gate: {e}")));
+    for p in &pb_points {
+        if let Some(r) = rank_points.iter().find(|r| r.channels == p.channels) {
+            println!(
+                "  per-bank speedup at {:>3} ch: {:.3}x",
+                p.channels,
+                p.ops_per_sec / r.ops_per_sec
+            );
+        }
+    }
+    let json = to_json(&rank_points, &pb_points);
     match out {
         Some(path) => {
             std::fs::write(&path, &json)

@@ -16,10 +16,12 @@
 //! [`ShardExecutor`]: nvdimmc_core::ShardExecutor
 
 use nvdimmc_core::{MultiChannelConfig, MultiChannelSystem, NvdimmCConfig, PAGE_BYTES};
+use nvdimmc_ddr::RefreshMode;
 use nvdimmc_workloads::{ConcurrentFio, FioJob};
 
 /// Schema tag stamped into (and demanded from) `BENCH_frontend.json`.
-pub const SCHEMA: &str = "nvdimmc-frontend-scaleout-v1";
+/// v2 adds the per-bank refresh-mode trajectory and its delta section.
+pub const SCHEMA: &str = "nvdimmc-frontend-scaleout-v2";
 
 /// Closed-loop threads driven per channel.
 pub const THREADS_PER_CHANNEL: u32 = 4;
@@ -71,14 +73,30 @@ impl ScaleoutPoint {
 }
 
 /// Runs one point of the sweep: `channels` shards, `4 × channels`
-/// threads, cached random reads.
+/// threads, cached random reads, rank-level refresh.
 ///
 /// # Panics
 ///
 /// Panics if the simulated system rejects the configuration — a bug,
 /// not an operational error, for these fixed shapes.
 pub fn run_point(channels: u32) -> ScaleoutPoint {
-    let cfg = MultiChannelConfig::new(NvdimmCConfig::small_for_tests(), channels);
+    run_point_mode(channels, RefreshMode::RankLevel)
+}
+
+/// Runs one point of the sweep under the given refresh mode. Rank-level
+/// stalls the whole rank for tRFC each tREFI; per-bank blocks only the
+/// refreshing bank, so the same workload measures the refresh–access
+/// parallelism win directly.
+///
+/// # Panics
+///
+/// Panics if the simulated system rejects the configuration — a bug,
+/// not an operational error, for these fixed shapes.
+pub fn run_point_mode(channels: u32, mode: RefreshMode) -> ScaleoutPoint {
+    let cfg = MultiChannelConfig::new(
+        NvdimmCConfig::small_for_tests().with_refresh_mode(mode),
+        channels,
+    );
     let mut sys = MultiChannelSystem::new(cfg).expect("bench config must construct");
     let span = SPAN_PER_CHANNEL * u64::from(channels);
     for page in 0..span / PAGE_BYTES {
@@ -106,8 +124,7 @@ pub fn run_point(channels: u32) -> ScaleoutPoint {
     }
 }
 
-/// Renders the sweep as the committed `BENCH_frontend.json` document.
-pub fn to_json(points: &[ScaleoutPoint]) -> String {
+fn rows_json(points: &[ScaleoutPoint]) -> String {
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
@@ -132,17 +149,46 @@ pub fn to_json(points: &[ScaleoutPoint]) -> String {
             )
         })
         .collect();
+    rows.join(",\n")
+}
+
+/// Renders both trajectories as the committed `BENCH_frontend.json`
+/// document: `results` is the rank-level sweep (the legacy trajectory),
+/// `results_per_bank` the per-bank one, and `per_bank_delta` records the
+/// measured ops/s speedup at every channel count both sweeps share.
+pub fn to_json(rank: &[ScaleoutPoint], per_bank: &[ScaleoutPoint]) -> String {
+    let deltas: Vec<String> = per_bank
+        .iter()
+        .filter_map(|p| {
+            rank.iter().find(|r| r.channels == p.channels).map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"channels\":{},\"rank_ops_per_sec\":{:.3},",
+                        "\"per_bank_ops_per_sec\":{:.3},\"speedup\":{:.4}}}"
+                    ),
+                    p.channels,
+                    r.ops_per_sec,
+                    p.ops_per_sec,
+                    p.ops_per_sec / r.ops_per_sec
+                )
+            })
+        })
+        .collect();
     format!(
         concat!(
             "{{\n  \"schema\":\"{}\",\n  \"workload\":\"cached 4K randread\",\n",
             "  \"threads_per_channel\":{},\n  \"ops_per_thread\":{},\n",
-            "  \"span_per_channel\":{},\n  \"results\":[\n{}\n  ]\n}}\n"
+            "  \"span_per_channel\":{},\n  \"results\":[\n{}\n  ],\n",
+            "  \"results_per_bank\":[\n{}\n  ],\n",
+            "  \"per_bank_delta\":[\n{}\n  ]\n}}\n"
         ),
         SCHEMA,
         THREADS_PER_CHANNEL,
         OPS_PER_THREAD,
         SPAN_PER_CHANNEL,
-        rows.join(",\n")
+        rows_json(rank),
+        rows_json(per_bank),
+        deltas.join(",\n")
     )
 }
 
@@ -391,14 +437,23 @@ fn num_field(obj: &Json, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing or non-numeric field \"{key}\""))
 }
 
+/// Both trajectories parsed out of a `BENCH_frontend.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutDoc {
+    /// Rank-level refresh sweep (the legacy trajectory).
+    pub rank: Vec<ScaleoutPoint>,
+    /// Per-bank refresh sweep.
+    pub per_bank: Vec<ScaleoutPoint>,
+}
+
 /// Parses and schema-validates a `BENCH_frontend.json` document into
-/// its points.
+/// both trajectories.
 ///
 /// # Errors
 ///
 /// Fails on malformed JSON, a schema-tag mismatch, or any result row
 /// missing a required field.
-pub fn parse_points(text: &str) -> Result<Vec<ScaleoutPoint>, String> {
+pub fn parse_doc(text: &str) -> Result<ScaleoutDoc, String> {
     let doc = parse_json(text)?;
     let schema = doc
         .get("schema")
@@ -407,10 +462,27 @@ pub fn parse_points(text: &str) -> Result<Vec<ScaleoutPoint>, String> {
     if schema != SCHEMA {
         return Err(format!("schema mismatch: {schema:?} (want {SCHEMA:?})"));
     }
+    Ok(ScaleoutDoc {
+        rank: rows_from(&doc, "results")?,
+        per_bank: rows_from(&doc, "results_per_bank")?,
+    })
+}
+
+/// Parses the rank-level trajectory only (convenience for callers that
+/// predate the per-bank section).
+///
+/// # Errors
+///
+/// Same failure modes as [`parse_doc`].
+pub fn parse_points(text: &str) -> Result<Vec<ScaleoutPoint>, String> {
+    parse_doc(text).map(|d| d.rank)
+}
+
+fn rows_from(doc: &Json, key: &str) -> Result<Vec<ScaleoutPoint>, String> {
     let results = doc
-        .get("results")
+        .get(key)
         .and_then(Json::as_arr)
-        .ok_or_else(|| "missing \"results\" array".to_owned())?;
+        .ok_or_else(|| format!("missing \"{key}\" array"))?;
     let mut points = Vec::with_capacity(results.len());
     for row in results {
         let utilisation = row
@@ -437,9 +509,70 @@ pub fn parse_points(text: &str) -> Result<Vec<ScaleoutPoint>, String> {
         });
     }
     if points.is_empty() {
-        return Err("empty \"results\" array".into());
+        return Err(format!("empty \"{key}\" array"));
     }
     Ok(points)
+}
+
+/// Requires per-bank to beat rank-level on ops/s at every shared channel
+/// count of at least `min_channels` — the refresh–access parallelism win
+/// the mode exists for.
+///
+/// # Errors
+///
+/// Returns the first channel count where per-bank failed to win.
+pub fn check_per_bank_speedup(
+    rank: &[ScaleoutPoint],
+    per_bank: &[ScaleoutPoint],
+    min_channels: u32,
+) -> Result<(), String> {
+    for p in per_bank.iter().filter(|p| p.channels >= min_channels) {
+        let Some(r) = rank.iter().find(|r| r.channels == p.channels) else {
+            continue;
+        };
+        if p.ops_per_sec <= r.ops_per_sec {
+            return Err(format!(
+                "per-bank mode lost refresh–access parallelism at {} channels: \
+                 {:.0} ops/s vs rank-level {:.0}",
+                p.channels, p.ops_per_sec, r.ops_per_sec
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Smoke-checks per-bank window legality end to end: drives a short
+/// mixed workload through a per-bank single-channel system with trace
+/// capture on and runs every `nvdimmc-check` pass over the result.
+///
+/// # Errors
+///
+/// Returns the checker's findings if the trace is not clean, or the
+/// device error that aborted the run.
+pub fn per_bank_checker_smoke() -> Result<(), String> {
+    use nvdimmc_core::BlockDevice;
+    let cfg = NvdimmCConfig::small_for_tests().with_refresh_mode(RefreshMode::PerBank);
+    let timing = cfg.timing;
+    let mut sys = nvdimmc_core::System::new(cfg).map_err(|e| e.to_string())?;
+    sys.set_trace_capture(true);
+    let mut buf = vec![0u8; PAGE_BYTES as usize];
+    for i in 0..48u64 {
+        sys.write_at(i * PAGE_BYTES, &buf)
+            .map_err(|e| e.to_string())?;
+        sys.read_at((i / 2) * PAGE_BYTES, &mut buf)
+            .map_err(|e| e.to_string())?;
+    }
+    let trace = sys.set_trace_capture(false).unwrap_or_default();
+    let report = nvdimmc_check::check_trace(&trace, &timing);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "per-bank smoke trace has {} diagnostic(s): {:?}",
+            report.len(),
+            report.diagnostics().first()
+        ))
+    }
 }
 
 /// Compares freshly measured points against the committed baseline:
@@ -493,27 +626,59 @@ mod tests {
     #[test]
     fn json_roundtrip_preserves_every_point() {
         let pts = vec![point(1, 450_000.0), point(4, 1_700_000.0)];
-        let parsed = parse_points(&to_json(&pts)).unwrap();
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].channels, 1);
-        assert_eq!(parsed[1].threads, 16);
-        assert!((parsed[1].ops_per_sec - 1_700_000.0).abs() < 1.0);
-        assert_eq!(parsed[0].utilisation.len(), 1);
-        assert_eq!(parsed[1].utilisation.len(), 4);
+        let pb = vec![point(1, 500_000.0), point(4, 1_900_000.0)];
+        let doc = parse_doc(&to_json(&pts, &pb)).unwrap();
+        assert_eq!(doc.rank.len(), 2);
+        assert_eq!(doc.rank[0].channels, 1);
+        assert_eq!(doc.rank[1].threads, 16);
+        assert!((doc.rank[1].ops_per_sec - 1_700_000.0).abs() < 1.0);
+        assert_eq!(doc.rank[0].utilisation.len(), 1);
+        assert_eq!(doc.rank[1].utilisation.len(), 4);
+        assert_eq!(doc.per_bank.len(), 2);
+        assert!((doc.per_bank[1].ops_per_sec - 1_900_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn delta_section_records_speedups() {
+        let pts = vec![point(16, 1_000_000.0)];
+        let pb = vec![point(16, 1_200_000.0)];
+        let json = to_json(&pts, &pb);
+        assert!(json.contains("\"per_bank_delta\""), "{json}");
+        assert!(json.contains("\"speedup\":1.2000"), "{json}");
     }
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let doc = to_json(&[point(1, 1.0)]).replace(SCHEMA, "some-other-schema");
+        let doc = to_json(&[point(1, 1.0)], &[point(1, 1.0)]).replace(SCHEMA, "some-other-schema");
         let err = parse_points(&doc).unwrap_err();
         assert!(err.contains("schema mismatch"), "{err}");
     }
 
     #[test]
     fn missing_field_is_rejected() {
-        let doc = to_json(&[point(1, 1.0)]).replace("\"p99_us\"", "\"p99_renamed\"");
+        let doc = to_json(&[point(1, 1.0)], &[point(1, 1.0)]).replacen(
+            "\"p99_us\"",
+            "\"p99_renamed\"",
+            1,
+        );
         let err = parse_points(&doc).unwrap_err();
         assert!(err.contains("p99_us"), "{err}");
+    }
+
+    #[test]
+    fn per_bank_speedup_gate_trips_on_a_loss() {
+        let rank = vec![point(4, 100.0), point(16, 100.0)];
+        let win = vec![point(4, 90.0), point(16, 110.0)];
+        let lose = vec![point(16, 95.0)];
+        // Sub-threshold channel counts are not gated.
+        assert!(check_per_bank_speedup(&rank, &win, 16).is_ok());
+        let err = check_per_bank_speedup(&rank, &lose, 16).unwrap_err();
+        assert!(err.contains("16 channels"), "{err}");
+    }
+
+    #[test]
+    fn per_bank_smoke_trace_is_clean() {
+        per_bank_checker_smoke().unwrap();
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   overlap detection (paper Figure 2a, case C1);
 //! - [`check_refresh_windows`] — proves every NVMC command falls strictly
 //!   inside an extra-tRFC window `[tRFC_base, tRFC_total)` after a snooped
-//!   REF, and that the host honours its programmed tRFC;
+//!   REF — or, in per-bank mode, inside its own bank's REFpb window — that
+//!   the host honours its programmed tRFC and stays out of refreshing
+//!   banks, that no per-bank window carries more data than its span
+//!   allows, and that out-of-order window placement never starves a bank
+//!   past its tREFI budget;
 //! - [`check_persistence`] — pmemcheck-style replay of a
 //!   [`PersistEvent`](nvdimmc_host::PersistEvent) journal: every durable
 //!   claim must be flush-then-fence ordered;

@@ -5,19 +5,47 @@
 //! programmed refresh cycle over the silicon's real one. After a snooped
 //! REF at `t`, the window is `[t + tRFC_base, t + tRFC_total)` — before it
 //! the DRAM is still refreshing, after it the host believes the bus is
-//! free again. This pass proves, from the trace alone, that:
+//! free again. The per-bank extension (REFpb) scopes the same contract to
+//! a single bank: after a snooped REFpb to bank `b` at `t` with stretch
+//! `s`, the NVMC owns *bank `b`* during
+//! `[t + tRFCpb, t + tRFCpb_total + s × quantum)` while the host keeps
+//! using every other bank. This pass proves, from the trace alone, that:
 //!
 //! - `refresh/nvmc-outside-window` — every NVMC command falls strictly
-//!   inside such a window;
+//!   inside the rank window or its own target bank's window;
 //! - `refresh/nvmc-past-close` — every NVMC CA slot *and* data burst also
-//!   finishes before the window closes (a burst that straddles the close
+//!   finishes before its window closes (a burst that straddles the close
 //!   collides with the resuming host);
-//! - `refresh/host-inside-trfc` — the host issues nothing between a REF
-//!   and the end of the programmed tRFC it promised to honour.
+//! - `refresh/host-inside-trfc` — the host issues nothing rank-wide
+//!   between a REF and the end of the programmed tRFC, nothing into a
+//!   bank whose per-bank window is still open, and nothing rank-scoped
+//!   (PREA, REF, …) while *any* per-bank window is open;
+//! - `refresh/window-capacity` — the NVMC moves no more data through one
+//!   per-bank window than its span can carry at tCCD_L burst spacing;
+//! - `refresh/trefi-starved` — out-of-order window placement never
+//!   starves a bank: no bank waits more than [`STARVE_LIMIT`] intervening
+//!   REFpb slots for its own refresh (rank-mode and short traces are
+//!   exempt by construction — the counter only moves on REFpb).
 
 use crate::diag::Diagnostic;
-use nvdimmc_ddr::{BusMaster, Command, TimingParams, TraceEntry};
+use nvdimmc_ddr::{BankAddr, BusMaster, Command, TimingParams, TraceEntry};
 use nvdimmc_sim::SimTime;
+
+/// Maximum number of intervening REFpb commands between two refreshes of
+/// the same bank before `refresh/trefi-starved` fires (3 × the 16-bank
+/// round-robin period; the scheduler's own forcing limit is well below).
+pub const STARVE_LIMIT: u64 = 48;
+
+/// One open per-bank NVMC window and its running byte account.
+#[derive(Debug, Clone, Copy)]
+struct PbWindow {
+    ref_at: SimTime,
+    opens: SimTime,
+    closes: SimTime,
+    nvmc_bursts: u64,
+    capacity_bursts: u64,
+    capacity_flagged: bool,
+}
 
 /// Checks the extra-tRFC window discipline over `trace`.
 pub fn check_refresh_windows(trace: &[TraceEntry], t: &TimingParams) -> Vec<Diagnostic> {
@@ -25,9 +53,15 @@ pub fn check_refresh_windows(trace: &[TraceEntry], t: &TimingParams) -> Vec<Diag
     entries.sort_by_key(|e| e.at);
 
     let mut out = Vec::new();
-    // The most recent snooped REF, if any: (opens, closes, host_resumes).
+    // The most recent snooped rank REF, if any: (opens, closes).
     let mut window: Option<(SimTime, SimTime)> = None;
     let mut last_ref_at: Option<SimTime> = None;
+    // Per-bank windows from snooped REFpb commands.
+    let mut bank_windows: [Option<PbWindow>; BankAddr::COUNT as usize] =
+        [None; BankAddr::COUNT as usize];
+    // tREFI accounting: total REFpb count and each bank's position in it.
+    let mut seen_pb: u64 = 0;
+    let mut last_pb: [u64; BankAddr::COUNT as usize] = [0; BankAddr::COUNT as usize];
 
     for e in entries {
         if matches!(e.cmd, Command::Refresh) {
@@ -35,53 +69,105 @@ pub fn check_refresh_windows(trace: &[TraceEntry], t: &TimingParams) -> Vec<Diag
             window = Some(t.nvmc_window_bounds(e.at));
             continue;
         }
+        if let Command::RefreshBank { bank, stretch } = e.cmd {
+            let idx = usize::from(bank.index());
+            seen_pb += 1;
+            let intervening = seen_pb - 1 - last_pb[idx];
+            if intervening > STARVE_LIMIT {
+                out.push(
+                    Diagnostic::error(
+                        "refresh/trefi-starved",
+                        e.at,
+                        format!(
+                            "[{}] {bank} waited {intervening} REFpb slots for its own \
+                             refresh (limit {STARVE_LIMIT}) — tREFI accounting broken",
+                            e.master
+                        ),
+                    )
+                    .with_commands(vec![e.cmd]),
+                );
+            }
+            last_pb[idx] = seen_pb;
+            if let Some(w) = bank_windows[idx] {
+                if e.at < w.closes {
+                    out.push(
+                        Diagnostic::error(
+                            "refresh/host-inside-trfc",
+                            e.at,
+                            format!(
+                                "[{}] REFpb to {bank} at {} inside that bank's still-open \
+                                 window (REFpb at {}, ends {})",
+                                e.master, e.at, w.ref_at, w.closes
+                            ),
+                        )
+                        .with_commands(vec![e.cmd]),
+                    );
+                }
+            }
+            let (opens, closes) = t.nvmc_window_bounds_pb(e.at, stretch);
+            bank_windows[idx] = Some(PbWindow {
+                ref_at: e.at,
+                opens,
+                closes,
+                nvmc_bursts: 0,
+                capacity_bursts: closes.saturating_since(opens).div_ceil(t.tccd_l) + 1,
+                capacity_flagged: false,
+            });
+            continue;
+        }
         match e.master {
-            BusMaster::Nvmc => match window {
-                Some((opens, closes)) if e.at >= opens && e.at < closes => {
-                    if let Some((_, data_end)) = e.data.filter(|&(_, end)| end > closes) {
-                        let end = data_end;
-                        out.push(
-                            Diagnostic::error(
-                                "refresh/nvmc-past-close",
-                                e.at,
-                                format!(
-                                    "[NVMC] {:?} occupies the bus until {end}, past the \
-                                     window close at {closes}",
-                                    e.cmd
-                                ),
-                            )
-                            .with_commands(vec![e.cmd]),
-                        );
+            BusMaster::Nvmc => {
+                let rank_hit = window.filter(|&(opens, closes)| e.at >= opens && e.at < closes);
+                let bank_hit = e
+                    .cmd
+                    .bank()
+                    .map(|b| usize::from(b.index()))
+                    .and_then(|idx| bank_windows[idx].as_mut())
+                    .filter(|w| e.at >= w.opens && e.at < w.closes);
+                if let Some((_, closes)) = rank_hit {
+                    lint_past_close(e, closes, &mut out);
+                } else if let Some(w) = bank_hit {
+                    lint_past_close(e, w.closes, &mut out);
+                    if e.cmd.is_data_transfer() {
+                        w.nvmc_bursts += 1;
+                        if w.nvmc_bursts > w.capacity_bursts && !w.capacity_flagged {
+                            w.capacity_flagged = true;
+                            let (bytes, cap) = (w.nvmc_bursts * 64, w.capacity_bursts * 64);
+                            out.push(
+                                Diagnostic::error(
+                                    "refresh/window-capacity",
+                                    e.at,
+                                    format!(
+                                        "[NVMC] {bytes} bytes pushed through the per-bank \
+                                         window [{}, {}) which carries at most {cap} bytes \
+                                         at tCCD_L spacing",
+                                        w.opens, w.closes
+                                    ),
+                                )
+                                .with_commands(vec![e.cmd]),
+                            );
+                        }
                     }
-                }
-                Some((opens, closes)) => {
+                } else {
+                    let detail = match (window, e.cmd.bank()) {
+                        (Some((opens, closes)), _) => {
+                            format!("outside the extra-tRFC window [{opens}, {closes})")
+                        }
+                        (None, Some(b)) => {
+                            format!("with no rank window and no open window for {b}")
+                        }
+                        (None, None) => "before any snooped REF — no window exists".to_string(),
+                    };
                     out.push(
                         Diagnostic::error(
                             "refresh/nvmc-outside-window",
                             e.at,
-                            format!(
-                                "[NVMC] {:?} at {} outside the extra-tRFC window \
-                                 [{opens}, {closes})",
-                                e.cmd, e.at
-                            ),
+                            format!("[NVMC] {:?} at {} {detail}", e.cmd, e.at),
                         )
                         .with_commands(vec![e.cmd]),
                     );
                 }
-                None => {
-                    out.push(
-                        Diagnostic::error(
-                            "refresh/nvmc-outside-window",
-                            e.at,
-                            format!(
-                                "[NVMC] {:?} at {} before any snooped REF — no window exists",
-                                e.cmd, e.at
-                            ),
-                        )
-                        .with_commands(vec![e.cmd]),
-                    );
-                }
-            },
+            }
             BusMaster::HostImc => {
                 if let (Some(ref_at), Some((_, closes))) = (last_ref_at, window) {
                     if e.at > ref_at && e.at < closes {
@@ -99,16 +185,102 @@ pub fn check_refresh_windows(trace: &[TraceEntry], t: &TimingParams) -> Vec<Diag
                         );
                     }
                 }
+                match e.cmd.bank() {
+                    Some(b) => {
+                        let idx = usize::from(b.index());
+                        if let Some(w) = bank_windows[idx] {
+                            if e.at > w.ref_at && e.at < w.closes {
+                                out.push(
+                                    Diagnostic::error(
+                                        "refresh/host-inside-trfc",
+                                        e.at,
+                                        format!(
+                                            "[host iMC] {:?} at {} inside {b}'s per-bank \
+                                             window (REFpb at {}, ends {})",
+                                            e.cmd, e.at, w.ref_at, w.closes
+                                        ),
+                                    )
+                                    .with_commands(vec![e.cmd]),
+                                );
+                            } else if e.at >= w.closes {
+                                bank_windows[idx] = None;
+                            }
+                        }
+                    }
+                    None if !matches!(e.cmd, Command::Deselect) => {
+                        // Rank-scoped host commands need every bank quiet.
+                        if let Some(w) = bank_windows
+                            .iter()
+                            .flatten()
+                            .filter(|w| e.at > w.ref_at && e.at < w.closes)
+                            .max_by_key(|w| w.closes)
+                        {
+                            out.push(
+                                Diagnostic::error(
+                                    "refresh/host-inside-trfc",
+                                    e.at,
+                                    format!(
+                                        "[host iMC] rank-scoped {:?} at {} while a per-bank \
+                                         window is open (REFpb at {}, ends {})",
+                                        e.cmd, e.at, w.ref_at, w.closes
+                                    ),
+                                )
+                                .with_commands(vec![e.cmd]),
+                            );
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+    // End-of-trace starvation sweep: a bank the scheduler silently dropped
+    // never reaches the mid-trace check above.
+    if let Some(at) = trace.iter().map(|e| e.at).max() {
+        for (idx, &last) in last_pb.iter().enumerate() {
+            let waited = seen_pb - last;
+            if waited > STARVE_LIMIT {
+                out.push(Diagnostic::error(
+                    "refresh/trefi-starved",
+                    at,
+                    format!(
+                        "{} still waiting after {waited} REFpb slots at end of trace \
+                         (limit {STARVE_LIMIT})",
+                        BankAddr::from_index(idx as u8)
+                    ),
+                ));
             }
         }
     }
     out
 }
 
+/// Flags an NVMC entry whose data burst runs past `closes`.
+fn lint_past_close(e: &TraceEntry, closes: SimTime, out: &mut Vec<Diagnostic>) {
+    if let Some(end) = e
+        .data
+        .map(|(_, data_end)| data_end)
+        .filter(|&end| end > closes)
+    {
+        out.push(
+            Diagnostic::error(
+                "refresh/nvmc-past-close",
+                e.at,
+                format!(
+                    "[NVMC] {:?} occupies the bus until {end}, past the \
+                     window close at {closes}",
+                    e.cmd
+                ),
+            )
+            .with_commands(vec![e.cmd]),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvdimmc_ddr::{BankAddr, SpeedBin};
+    use nvdimmc_ddr::SpeedBin;
     use nvdimmc_sim::SimDuration;
 
     fn t() -> TimingParams {
@@ -120,12 +292,29 @@ mod tests {
     }
 
     fn act(master: BusMaster, at: SimTime) -> TraceEntry {
+        act_bank(master, at, BankAddr::new(0, 0))
+    }
+
+    fn act_bank(master: BusMaster, at: SimTime, bank: BankAddr) -> TraceEntry {
+        entry(master, at, Command::Activate { bank, row: 1 })
+    }
+
+    fn refpb(at: SimTime, bank: BankAddr, stretch: u8) -> TraceEntry {
+        entry(
+            BusMaster::HostImc,
+            at,
+            Command::RefreshBank { bank, stretch },
+        )
+    }
+
+    fn rd_bank(master: BusMaster, at: SimTime, bank: BankAddr) -> TraceEntry {
         entry(
             master,
             at,
-            Command::Activate {
-                bank: BankAddr::new(0, 0),
-                row: 1,
+            Command::Read {
+                bank,
+                col: 0,
+                auto_precharge: false,
             },
         )
     }
@@ -172,7 +361,11 @@ mod tests {
         let diags = check_refresh_windows(&[act(BusMaster::Nvmc, SimTime::from_ns(50))], &t());
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "refresh/nvmc-outside-window");
-        assert!(diags[0].message.contains("no window"));
+        assert!(
+            diags[0].message.contains("no rank window"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]
@@ -184,15 +377,7 @@ mod tests {
         let rd_at = closes - SimDuration::from_ns(1);
         let trace = vec![
             entry(BusMaster::HostImc, ref_at, Command::Refresh),
-            entry(
-                BusMaster::Nvmc,
-                rd_at,
-                Command::Read {
-                    bank: BankAddr::new(0, 0),
-                    col: 0,
-                    auto_precharge: false,
-                },
-            ),
+            rd_bank(BusMaster::Nvmc, rd_at, BankAddr::new(0, 0)),
         ];
         let diags = check_refresh_windows(&trace, &p);
         assert_eq!(diags.len(), 1, "{diags:?}");
@@ -225,5 +410,154 @@ mod tests {
             act(BusMaster::HostImc, ref_at + p.trfc_total),
         ];
         assert!(check_refresh_windows(&trace, &p).is_empty());
+    }
+
+    #[test]
+    fn per_bank_host_parallelism_is_clean() {
+        let p = t();
+        let target = BankAddr::new(1, 0);
+        let other = BankAddr::new(2, 3);
+        let ref_at = SimTime::from_us(10);
+        let (opens, closes) = p.nvmc_window_bounds_pb(ref_at, 2);
+        let trace = vec![
+            refpb(ref_at, target, 2),
+            // NVMC works the refreshing bank...
+            act_bank(BusMaster::Nvmc, opens, target),
+            // ...while the host keeps hitting a different bank mid-window.
+            act_bank(BusMaster::HostImc, opens + p.trrd_s, other),
+            entry(
+                BusMaster::Nvmc,
+                opens + p.tras,
+                Command::Precharge { bank: target },
+            ),
+            // Host resumes in the refreshed bank after the close.
+            act_bank(BusMaster::HostImc, closes, target),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn nvmc_in_wrong_bank_during_pb_window_is_flagged() {
+        let p = t();
+        let target = BankAddr::new(1, 0);
+        let ref_at = SimTime::from_us(10);
+        let (opens, _) = p.nvmc_window_bounds_pb(ref_at, 0);
+        let trace = vec![
+            refpb(ref_at, target, 0),
+            // The window belongs to BG1BA0; the NVMC strays into BG0BA0.
+            act_bank(BusMaster::Nvmc, opens, BankAddr::new(0, 0)),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "refresh/nvmc-outside-window");
+    }
+
+    #[test]
+    fn host_in_refreshing_bank_mid_window_is_flagged() {
+        let p = t();
+        let target = BankAddr::new(3, 1);
+        let ref_at = SimTime::from_us(10);
+        let (opens, _) = p.nvmc_window_bounds_pb(ref_at, 1);
+        let trace = vec![
+            refpb(ref_at, target, 1),
+            act_bank(BusMaster::HostImc, opens, target),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "refresh/host-inside-trfc");
+    }
+
+    #[test]
+    fn rank_scoped_host_command_during_pb_window_is_flagged() {
+        let p = t();
+        let target = BankAddr::new(0, 2);
+        let ref_at = SimTime::from_us(10);
+        let (opens, _) = p.nvmc_window_bounds_pb(ref_at, 0);
+        let trace = vec![
+            refpb(ref_at, target, 0),
+            entry(BusMaster::HostImc, opens, Command::PrechargeAll),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "refresh/host-inside-trfc");
+        assert!(diags[0].message.contains("rank-scoped"));
+    }
+
+    #[test]
+    fn nvmc_past_pb_close_is_flagged() {
+        let p = t();
+        let target = BankAddr::new(2, 2);
+        let ref_at = SimTime::from_us(10);
+        let (_, closes) = p.nvmc_window_bounds_pb(ref_at, 0);
+        let trace = vec![
+            refpb(ref_at, target, 0),
+            rd_bank(BusMaster::Nvmc, closes - SimDuration::from_ns(1), target),
+        ];
+        let diags = check_refresh_windows(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "refresh/nvmc-past-close");
+    }
+
+    #[test]
+    fn overstuffed_pb_window_fires_capacity_once() {
+        let p = t();
+        let target = BankAddr::new(0, 0);
+        let ref_at = SimTime::from_us(10);
+        let (opens, closes) = p.nvmc_window_bounds_pb(ref_at, 0);
+        let cap = closes.saturating_since(opens).div_ceil(p.tccd_l) + 1;
+        let mut trace = vec![refpb(ref_at, target, 0)];
+        // Physically impossible back-to-back bursts (far below tCCD_L
+        // spacing) so the count overruns the window's carrying capacity.
+        // The timing linter would flag the spacing; this pass only accounts
+        // for bytes and must fire exactly once.
+        let step = SimDuration::from_ps(100);
+        for i in 0..(cap + 8) {
+            let mut e = rd_bank(BusMaster::Nvmc, opens + step * i, target);
+            // Pretend the DQ burst fits the window so only capacity trips.
+            e.data = Some((e.at, e.at + step));
+            trace.push(e);
+        }
+        let diags = check_refresh_windows(&trace, &p);
+        let capacity: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "refresh/window-capacity")
+            .collect();
+        assert_eq!(capacity.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn starved_bank_is_flagged_at_end_of_trace() {
+        let p = t();
+        let lucky = BankAddr::new(0, 0);
+        let mut trace = Vec::new();
+        let spacing = p.trefi_pb();
+        // One bank hogs every REFpb slot; after STARVE_LIMIT + 1 slots the
+        // other fifteen banks are each overdue.
+        for i in 0..(STARVE_LIMIT + 1) {
+            trace.push(refpb(SimTime::from_us(10) + spacing * i, lucky, 0));
+        }
+        let diags = check_refresh_windows(&trace, &p);
+        let starved: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "refresh/trefi-starved")
+            .collect();
+        assert_eq!(starved.len(), 15, "{diags:?}");
+    }
+
+    #[test]
+    fn fair_round_robin_never_starves() {
+        let p = t();
+        let mut trace = Vec::new();
+        let spacing = p.trefi_pb();
+        for i in 0..(STARVE_LIMIT * 4) {
+            trace.push(refpb(
+                SimTime::from_us(10) + spacing * i,
+                BankAddr::from_index((i % 16) as u8),
+                0,
+            ));
+        }
+        let diags = check_refresh_windows(&trace, &p);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 }

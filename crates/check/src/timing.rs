@@ -126,6 +126,7 @@ pub fn lint_timing(trace: &[TraceEntry], t: &TimingParams) -> Vec<Diagnostic> {
                 }
             }
             Command::Refresh => lint_refresh(e, t, &mut rank, &mut out),
+            Command::RefreshBank { bank, .. } => lint_refresh_bank(e, bank, t, &mut rank, &mut out),
             Command::SelfRefreshEnter
             | Command::SelfRefreshExit
             | Command::ModeRegisterSet { .. }
@@ -328,6 +329,35 @@ fn lint_refresh(e: &TraceEntry, t: &TimingParams, rank: &mut RankLint, out: &mut
     }
 }
 
+/// Per-bank refresh (REFpb): only the target bank must be precharged and
+/// past tRP, and only it is blocked — for `tRFCpb`, not the rank tRFC.
+fn lint_refresh_bank(
+    e: &TraceEntry,
+    bank: BankAddr,
+    t: &TimingParams,
+    rank: &mut RankLint,
+    out: &mut Vec<Diagnostic>,
+) {
+    let b = &mut rank.banks[usize::from(bank.index())];
+    if b.open {
+        out.push(
+            Diagnostic::error(
+                "timing/bank-state",
+                e.at,
+                format!(
+                    "[{}] per-bank REFRESH to {bank} with a row open (PRE required first)",
+                    e.master
+                ),
+            )
+            .with_commands(vec![e.cmd]),
+        );
+    } else if e.at < b.earliest_act {
+        out.push(violation(e, "timing/tRP", b.earliest_act));
+    }
+    b.open = false;
+    b.earliest_act = b.earliest_act.max(t.refresh_silicon_ready_pb(e.at));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +536,50 @@ mod tests {
         ];
         let diags = lint_timing(&trace, &p);
         assert!(diags.iter().any(|d| d.rule == "timing/tRFC"), "{diags:?}");
+    }
+
+    #[test]
+    fn per_bank_refresh_blocks_only_its_bank() {
+        let p = t();
+        let target = BankAddr::new(1, 2);
+        let other = BankAddr::new(0, 0);
+        let t0 = SimTime::from_ns(100);
+        let trace = vec![
+            entry(
+                t0,
+                Command::RefreshBank {
+                    bank: target,
+                    stretch: 0,
+                },
+            ),
+            // Other banks stay usable during tRFCpb.
+            act(t0 + p.trrd_s, other),
+            // The refreshing bank itself must wait out tRFCpb.
+            act(t0 + SimDuration::from_ns(10), target),
+        ];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/tRP");
+    }
+
+    #[test]
+    fn per_bank_refresh_to_open_bank_is_bank_state() {
+        let p = t();
+        let b = BankAddr::new(2, 1);
+        let t0 = SimTime::from_ns(100);
+        let trace = vec![
+            act(t0, b),
+            entry(
+                t0 + p.tras,
+                Command::RefreshBank {
+                    bank: b,
+                    stretch: 3,
+                },
+            ),
+        ];
+        let diags = lint_timing(&trace, &p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "timing/bank-state");
     }
 
     #[test]

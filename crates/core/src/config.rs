@@ -2,7 +2,7 @@
 
 use crate::faults::RecoveryParams;
 use crate::perf::PerfParams;
-use nvdimmc_ddr::{SpeedBin, TimingParams};
+use nvdimmc_ddr::{RefreshMode, SpeedBin, TimingParams};
 use nvdimmc_nand::NvmcConfig;
 use nvdimmc_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -72,6 +72,12 @@ pub struct NvdimmCConfig {
     /// Driver-side fault-recovery parameters (CP timeout, retransmit
     /// budget, backoff).
     pub recovery: RecoveryParams,
+    /// Refresh scheduling mode: rank-level all-bank REF (the paper's
+    /// mechanism, the default — legacy runs stay bit-identical) or
+    /// per-bank windows with refresh–access parallelism. Defaults on
+    /// deserialize so existing serialized configs load unchanged.
+    #[serde(default)]
+    pub refresh_mode: RefreshMode,
 }
 
 /// One 4 KB page.
@@ -98,6 +104,7 @@ impl NvdimmCConfig {
             tlb_entries: 256,
             seed: 42,
             recovery: RecoveryParams::default(),
+            refresh_mode: RefreshMode::RankLevel,
         }
     }
 
@@ -132,6 +139,7 @@ impl NvdimmCConfig {
             tlb_entries: 1536,
             seed: 42,
             recovery: RecoveryParams::default(),
+            refresh_mode: RefreshMode::RankLevel,
         }
     }
 
@@ -150,6 +158,12 @@ impl NvdimmCConfig {
     /// Switches to the hypothetical-backend mode with miss delay `td`.
     pub fn with_hypothetical(mut self, td: SimDuration) -> Self {
         self.backend = Backend::Hypothetical { td };
+        self
+    }
+
+    /// Replaces the refresh scheduling mode.
+    pub fn with_refresh_mode(mut self, mode: RefreshMode) -> Self {
+        self.refresh_mode = mode;
         self
     }
 
@@ -177,6 +191,11 @@ impl NvdimmCConfig {
         }
         if self.timing.extra_window() == SimDuration::ZERO {
             return Err("programmed tRFC leaves no extra window for the NVMC".into());
+        }
+        if self.refresh_mode == RefreshMode::PerBank
+            && self.timing.extra_window_pb() == SimDuration::ZERO
+        {
+            return Err("per-bank refresh mode needs a per-bank NVMC window (tRFCpb)".into());
         }
         if self.recovery.cp_timeout_windows == 0 {
             return Err("recovery.cp_timeout_windows must be at least 1".into());
@@ -226,6 +245,34 @@ mod tests {
         let mut c = NvdimmCConfig::small_for_tests();
         c.timing = TimingParams::jedec(SpeedBin::Ddr4_1600);
         assert!(c.validate().is_err(), "no window, no NVDIMM-C");
+    }
+
+    #[test]
+    fn per_bank_mode_requires_a_pb_window() {
+        let mut c = NvdimmCConfig::small_for_tests().with_refresh_mode(RefreshMode::PerBank);
+        c.validate().unwrap();
+        // A timing set with valid rank windows but a collapsed per-bank
+        // window cannot run per-bank mode.
+        c.timing.trfc_pb_total = c.timing.trfc_pb;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("per-bank"), "{err}");
+        // Rank mode does not care about the per-bank fields.
+        assert!(c
+            .clone()
+            .with_refresh_mode(RefreshMode::RankLevel)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn refresh_mode_defaults_to_rank_level() {
+        // `#[serde(default)]` on the field resolves through this impl, so
+        // serialized configs predating the field load as rank-level.
+        assert_eq!(RefreshMode::default(), RefreshMode::RankLevel);
+        assert_eq!(
+            NvdimmCConfig::small_for_tests().refresh_mode,
+            RefreshMode::RankLevel
+        );
     }
 
     #[test]

@@ -630,6 +630,9 @@ fn serve_cell<D: QueuedDevice>(cell: &mut WorkCell<'_, D>) {
         // Slots this run fills inherit the tenant's cache-priority class.
         cell.device
             .set_fill_priority(cell.prios.get(i).copied().unwrap_or(0));
+        // Per-shard backlog behind this run: the per-bank refresh planner
+        // stretches NVMC windows when idle and shrinks them under load.
+        cell.device.note_queue_depth(cell.runs.len() - 1 - i);
         let start = cell.device.clock().max(run.not_before);
         let multi = run.parents.len() > 1;
         let served = match run.kind {

@@ -26,7 +26,7 @@ use crate::cp::{
 use crate::error::CoreError;
 use crate::layout::{Layout, SLOT_BYTES};
 use crate::proto::{FpgaProto, PollVerdict};
-use nvdimmc_ddr::{BusMaster, Command, SharedBus};
+use nvdimmc_ddr::{BankAddr, BusMaster, BusViolation, Command, SharedBus};
 use nvdimmc_nand::{NandError, Nvmc};
 use nvdimmc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -40,6 +40,9 @@ pub struct FpgaStats {
     pub windows_used: u64,
     /// Windows skipped because the FSM was still processing.
     pub windows_skipped_busy: u64,
+    /// Per-bank windows offered for a bank the FSM's next action does not
+    /// target (demand-mismatched placement by the refresh planner).
+    pub windows_wrong_bank: u64,
     /// Cachefill commands completed.
     pub cachefills: u64,
     /// Writeback commands completed.
@@ -76,6 +79,7 @@ impl FpgaStats {
         self.windows_seen += other.windows_seen;
         self.windows_used += other.windows_used;
         self.windows_skipped_busy += other.windows_skipped_busy;
+        self.windows_wrong_bank += other.windows_wrong_bank;
         self.cachefills += other.cachefills;
         self.writebacks += other.writebacks;
         self.merged_ops += other.merged_ops;
@@ -256,11 +260,81 @@ impl Fpga {
         nvmc: &mut Nvmc,
         layout: &Layout,
     ) -> Result<(), CoreError> {
+        let (opens, closes) = {
+            let t = bus.device().timing();
+            (ref_at + t.trfc_base, ref_at + t.trfc_total)
+        };
+        self.service_window(opens, closes, None, bus, nvmc, layout)
+    }
+
+    /// Services one detected *per-bank* refresh window (a snooped REFpb to
+    /// `bank` with the given stretch code).
+    ///
+    /// Unlike rank windows, per-bank windows are serviced while the host
+    /// keeps running in the other banks, so the engine only acts when the
+    /// window's bank matches what its FSM needs next (see
+    /// [`Fpga::wanted_bank`]) and plans from the instant the shared CA slot
+    /// actually frees up — the host may already have claimed slots past
+    /// `opens` by the time the detector event is processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus violations and NAND errors, like [`Fpga::on_refresh`].
+    pub fn on_refresh_banked(
+        &mut self,
+        ref_at: SimTime,
+        bank: BankAddr,
+        stretch: u8,
+        bus: &mut SharedBus,
+        nvmc: &mut Nvmc,
+        layout: &Layout,
+    ) -> Result<(), CoreError> {
+        let (opens, closes) = bus.device().timing().nvmc_window_bounds_pb(ref_at, stretch);
+        let opens = bus.ca_free_at(opens);
+        if opens >= closes {
+            // The bus rolled past the close before the NVMC could act: a
+            // dead window.
+            self.stats.windows_seen += 1;
+            self.stats.windows_skipped_busy += 1;
+            return Ok(());
+        }
+        self.service_window(opens, closes, Some(bank), bus, nvmc, layout)
+    }
+
+    /// The DRAM bank the FSM's next window action targets: the CP mailbox
+    /// bank when polling or acking, the command's slot bank mid-transfer.
+    /// The per-bank refresh planner uses this to place windows where the
+    /// NVMC actually needs them.
+    pub fn wanted_bank(&self, bus: &SharedBus, layout: &Layout) -> Option<BankAddr> {
+        let addr = match &self.state {
+            FpgaState::Idle => layout.cp_command(),
+            FpgaState::Ack { .. } => layout.cp_ack(),
+            FpgaState::WbRead { cmd, got } => {
+                layout.slot_addr(cmd.dram_slot) + (got.len() as u64 / 64) * 64
+            }
+            FpgaState::CfDmaWrite { cmd, written, .. }
+            | FpgaState::MergedDmaWrite { cmd, written, .. } => {
+                layout.slot_addr(cmd.dram_slot) + written * 64
+            }
+        };
+        bus.device().mapping().decode(addr).ok().map(|d| d.bank)
+    }
+
+    /// Window-service loop shared by the rank and per-bank paths.
+    fn service_window(
+        &mut self,
+        opens: SimTime,
+        closes: SimTime,
+        allowed_bank: Option<BankAddr>,
+        bus: &mut SharedBus,
+        nvmc: &mut Nvmc,
+        layout: &Layout,
+    ) -> Result<(), CoreError> {
         self.stats.windows_seen += 1;
         let mut budget = self.window_xfer_bytes;
         let mut used = false;
         loop {
-            let consumed = self.step(ref_at, bus, nvmc, layout)?;
+            let consumed = self.step(opens, closes, allowed_bank, bus, nvmc, layout)?;
             if consumed == 0 {
                 break;
             }
@@ -282,15 +356,19 @@ impl Fpga {
     /// (0 = nothing could run).
     fn step(
         &mut self,
-        ref_at: SimTime,
+        opens: SimTime,
+        closes: SimTime,
+        allowed_bank: Option<BankAddr>,
         bus: &mut SharedBus,
         nvmc: &mut Nvmc,
         layout: &Layout,
     ) -> Result<u64, CoreError> {
-        let (opens, closes) = {
-            let t = bus.device().timing();
-            (ref_at + t.trfc_base, ref_at + t.trfc_total)
-        };
+        if let Some(allowed) = allowed_bank {
+            if self.wanted_bank(bus, layout) != Some(allowed) {
+                self.stats.windows_wrong_bank += 1;
+                return Ok(0);
+            }
+        }
         let start = self.ready_at.max(opens);
         let poll_needs = Self::poll_duration(bus);
         let budget_for = |need: SimDuration| start + need <= closes;
@@ -403,9 +481,14 @@ impl Fpga {
             FpgaState::WbRead { cmd, mut got } => {
                 let total = SLOT_BYTES / 64;
                 let done = (got.len() / 64) as u64;
-                let Some((xfer_at, lines)) =
-                    self.plan_chunk(bus, start, closes, total - done, done > 0)
-                else {
+                let Some((xfer_at, lines)) = self.plan_chunk(
+                    bus,
+                    start,
+                    closes,
+                    total - done,
+                    done > 0,
+                    allowed_bank.is_some(),
+                ) else {
                     self.state = FpgaState::WbRead { cmd, got };
                     return Ok(0);
                 };
@@ -478,9 +561,14 @@ impl Fpga {
                     }
                 };
                 let total = (data.len() / 64) as u64;
-                let Some((xfer_at, lines)) =
-                    self.plan_chunk(bus, start, closes, total - written, written > 0)
-                else {
+                let Some((xfer_at, lines)) = self.plan_chunk(
+                    bus,
+                    start,
+                    closes,
+                    total - written,
+                    written > 0,
+                    allowed_bank.is_some(),
+                ) else {
                     self.state = restore(cmd, data, written);
                     return Ok(0);
                 };
@@ -582,11 +670,12 @@ impl Fpga {
     /// Plans the next chunk of an NVMC data burst: `Some((start, lines))`
     /// to transfer now, `None` to defer the window entirely.
     ///
-    /// The no-fault path is exactly the historical behaviour: a burst only
-    /// starts when it fully fits inside the window. Once a burst is in
-    /// progress — or an injected stall pushes its start late — the engine
-    /// moves as many cachelines as still fit (ACT + RD/WRs + PRE all
-    /// inside the window), aborts at the edge, and resumes next window.
+    /// The no-fault rank path is exactly the historical behaviour: a burst
+    /// only starts when it fully fits inside the window. Once a burst is in
+    /// progress — or an injected stall pushes its start late, or the window
+    /// is a short per-bank one (`allow_partial`) — the engine moves as many
+    /// cachelines as still fit (ACT + RD/WRs + PRE all inside the window),
+    /// aborts at the edge, and resumes next window.
     fn plan_chunk(
         &mut self,
         bus: &SharedBus,
@@ -594,6 +683,7 @@ impl Fpga {
         closes: SimTime,
         remaining: u64,
         in_progress: bool,
+        allow_partial: bool,
     ) -> Option<(SimTime, u64)> {
         let mut start = start;
         let full = Self::burst_duration(bus, remaining);
@@ -608,7 +698,7 @@ impl Fpga {
             if closes > start + half {
                 start = (closes - half).max(start);
             }
-        } else if !in_progress {
+        } else if !in_progress && !allow_partial {
             return fits_full.then_some((start, remaining));
         }
         if start + full <= closes {
@@ -656,6 +746,28 @@ impl Fpga {
         t.trcd + t.tccd_l * 2 + t.tcl + t.burst_time() + t.trtp + t.trp
     }
 
+    /// Issues one NVMC command, absorbing retryable [`BusViolation::Timing`]
+    /// bumps (cross-master tRRD/tWTR/CA-slot residue from host traffic that
+    /// ran right up to a per-bank window). Returns the actual issue instant
+    /// and the bus's completion result. In rank mode the window is
+    /// exclusive, no bump ever fires, and the schedule is unchanged.
+    fn nvmc_issue(
+        bus: &mut SharedBus,
+        mut at: SimTime,
+        cmd: Command,
+    ) -> Result<(SimTime, SimTime), CoreError> {
+        for _ in 0..64 {
+            match bus.issue(BusMaster::Nvmc, at, cmd) {
+                Ok(done) => return Ok((at, done)),
+                Err(BusViolation::Timing { legal_at, .. }) if legal_at > at => at = legal_at,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(CoreError::Protocol(format!(
+            "NVMC retry budget exhausted at {at} for {cmd:?}"
+        )))
+    }
+
     /// DMA-reads `len` bytes at `addr` with real DDR4 commands: ACT,
     /// pipelined RDs, PRE. Returns the data and the completion instant.
     fn dma_read(
@@ -676,8 +788,8 @@ impl Fpga {
             .decode(addr)
             .map_err(|e| CoreError::Protocol(e.to_string()))?;
         let t = *bus.device().timing();
-        let rw_at = bus.issue(
-            BusMaster::Nvmc,
+        let (act_at, rw_at) = Self::nvmc_issue(
+            bus,
             start,
             Command::Activate {
                 bank: dec.bank,
@@ -686,32 +798,29 @@ impl Fpga {
         )?;
         let lines = len / 64;
         let mut out = Vec::with_capacity(len as usize);
+        let mut next_at = rw_at;
         let mut last_issue = rw_at;
         let mut last_end = rw_at;
         for i in 0..lines {
-            let at = rw_at + t.tccd_l * i;
-            last_end = bus.issue(
-                BusMaster::Nvmc,
-                at,
+            let (at, end) = Self::nvmc_issue(
+                bus,
+                next_at,
                 Command::Read {
                     bank: dec.bank,
                     col: dec.col + i as u16,
                     auto_precharge: false,
                 },
             )?;
+            last_end = end;
             last_issue = at;
+            next_at = at + t.tccd_l;
             out.extend_from_slice(&bus.device_mut().burst_read(dec.bank, dec.col + i as u16));
         }
         // Leave the bank precharged before the window closes (the bus
         // enforces this invariant when the host resumes); tRAS and tRTP
         // both gate the precharge.
-        let act_at = rw_at - t.trcd;
         let pre_at = (act_at + t.tras).max(last_issue + t.trtp.max(t.tccd_l));
-        bus.issue(
-            BusMaster::Nvmc,
-            pre_at,
-            Command::Precharge { bank: dec.bank },
-        )?;
+        let (pre_at, _) = Self::nvmc_issue(bus, pre_at, Command::Precharge { bank: dec.bank })?;
         self.stats.dma_bytes += len;
         Ok((out, last_end.max(pre_at + t.trp)))
     }
@@ -736,8 +845,8 @@ impl Fpga {
             .decode(addr)
             .map_err(|e| CoreError::Protocol(e.to_string()))?;
         let t = *bus.device().timing();
-        let rw_at = bus.issue(
-            BusMaster::Nvmc,
+        let (act_at, rw_at) = Self::nvmc_issue(
+            bus,
             start,
             Command::Activate {
                 bank: dec.bank,
@@ -745,35 +854,29 @@ impl Fpga {
             },
         )?;
         let lines = (data.len() / 64) as u64;
-        let mut last_end = rw_at;
+        let mut next_at = rw_at;
         let mut last_burst_end = rw_at;
         for i in 0..lines {
-            let at = rw_at + t.tccd_l * i;
-            last_burst_end = bus.issue(
-                BusMaster::Nvmc,
-                at,
+            let (at, end) = Self::nvmc_issue(
+                bus,
+                next_at,
                 Command::Write {
                     bank: dec.bank,
                     col: dec.col + i as u16,
                     auto_precharge: false,
                 },
             )?;
+            last_burst_end = end;
+            next_at = at + t.tccd_l;
             let line: [u8; 64] = data[(i as usize) * 64..(i as usize + 1) * 64]
                 .try_into()
                 .map_err(|_| CoreError::Protocol("DMA write chunk not line-sized".into()))?;
             bus.device_mut()
                 .burst_write(dec.bank, dec.col + i as u16, &line);
-            last_end = at;
         }
         // Write recovery (and tRAS) before precharge.
-        let act_at = rw_at - t.trcd;
         let pre_at = (act_at + t.tras).max(last_burst_end + t.twr);
-        bus.issue(
-            BusMaster::Nvmc,
-            pre_at,
-            Command::Precharge { bank: dec.bank },
-        )?;
-        let _ = last_end;
+        let (pre_at, _) = Self::nvmc_issue(bus, pre_at, Command::Precharge { bank: dec.bank })?;
         self.stats.dma_bytes += data.len() as u64;
         Ok(pre_at + t.trp)
     }
@@ -783,7 +886,7 @@ impl Fpga {
 mod tests {
     use super::*;
     use crate::cp::CpAck;
-    use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, SpeedBin, TimingParams};
+    use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, RefreshMode, SpeedBin, TimingParams};
     use nvdimmc_nand::NvmcConfig;
     use nvdimmc_sim::SimTime;
 
@@ -1156,6 +1259,93 @@ mod tests {
         assert_eq!(slot, data, "split burst landed the full page");
         assert_eq!(r.bus.stats().violations_rejected, 0);
         assert!(r.bus.device().all_banks_idle(), "FPGA left a bank open");
+    }
+
+    #[test]
+    fn per_bank_windows_complete_a_cachefill() {
+        let mut r = rig(0.2, 4096);
+        r.bus.set_refresh_mode(RefreshMode::PerBank);
+        r.imc.set_refresh_mode(RefreshMode::PerBank);
+        r.bus.attach_recorder();
+        let data = vec![0xC3u8; 4096];
+        r.nvmc
+            .write_page(9, &data, SimTime::ZERO)
+            .expect("nand write");
+        r.publish(&CpCommand {
+            phase: 1,
+            seq: 0,
+            opcode: CpOpcode::Cachefill,
+            dram_slot: 3,
+            nand_page: 9,
+            wb_nand_page: None,
+        });
+        // The shard's planner loop in miniature: steer each REFpb toward
+        // the bank the FPGA needs, then service every snooped per-bank
+        // window from the recorded trace (what the detector would emit).
+        let mut acked = false;
+        for _ in 0..512 {
+            let due = r.imc.next_refresh_due();
+            let t = r.clock.max(due);
+            let want = r.fpga.wanted_bank(&r.bus, &r.layout);
+            r.imc
+                .set_refresh_pref(want.map(|b| (b, TimingParams::MAX_STRETCH)));
+            r.clock = r.imc.pump_refresh(&mut r.bus, t).expect("pump");
+            for e in r.bus.take_trace() {
+                if let Command::RefreshBank { bank, stretch } = e.cmd {
+                    r.fpga
+                        .on_refresh_banked(e.at, bank, stretch, &mut r.bus, &mut r.nvmc, &r.layout)
+                        .expect("banked window service");
+                }
+            }
+            if r.ack().is_some_and(|a| a.phase == 1) {
+                acked = true;
+                break;
+            }
+        }
+        assert!(acked, "cachefill never acked under per-bank windows");
+        let mut slot = vec![0u8; 4096];
+        r.bus
+            .device()
+            .peek(r.layout.slot_addr(3), &mut slot)
+            .expect("peek");
+        assert_eq!(slot, data, "slot contents after per-bank cachefill");
+        let s = r.fpga.stats();
+        assert_eq!(s.cachefills, 1);
+        assert!(s.windows_used >= 3, "poll + data + ack each took a window");
+        assert_eq!(r.bus.stats().violations_rejected, 0);
+        assert!(r.bus.device().all_banks_idle(), "FPGA left a bank open");
+    }
+
+    #[test]
+    fn wrong_bank_windows_are_skipped_not_used() {
+        let mut r = rig(0.2, 4096);
+        r.bus.set_refresh_mode(RefreshMode::PerBank);
+        r.imc.set_refresh_mode(RefreshMode::PerBank);
+        r.nvmc
+            .write_page(2, &vec![7u8; 4096], SimTime::ZERO)
+            .expect("nand write");
+        r.publish(&CpCommand {
+            phase: 1,
+            seq: 0,
+            opcode: CpOpcode::Cachefill,
+            dram_slot: 0,
+            nand_page: 2,
+            wb_nand_page: None,
+        });
+        let want = r.fpga.wanted_bank(&r.bus, &r.layout).expect("poll bank");
+        let wrong = BankAddr::from_index((want.index() + 1) % BankAddr::COUNT);
+        // Open a window over a bank the FSM does not target: no action.
+        r.imc.set_refresh_pref(Some((wrong, 4)));
+        let due = r.imc.next_refresh_due();
+        r.clock = r.imc.pump_refresh(&mut r.bus, due).expect("pump");
+        let w = r.bus.bank_window(wrong).expect("window open");
+        r.fpga
+            .on_refresh_banked(w.ref_at, wrong, 4, &mut r.bus, &mut r.nvmc, &r.layout)
+            .expect("service");
+        let s = r.fpga.stats();
+        assert_eq!(s.windows_wrong_bank, 1);
+        assert_eq!(s.windows_used, 0);
+        assert_eq!(s.dma_bytes, 0, "no poll happened in the wrong bank");
     }
 
     #[test]

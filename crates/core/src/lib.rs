@@ -104,5 +104,7 @@ pub use qos::{
 };
 pub use refresh::{DetectorPipeline, RefreshDetector};
 pub use ring::SpscRing;
-pub use sched::{ArbitrationPolicy, ReqKind, RequestScheduler, SchedStats, ShardRequest};
+pub use sched::{
+    ArbitrationPolicy, RefreshPlanner, ReqKind, RequestScheduler, SchedStats, ShardRequest,
+};
 pub use shard::{BlockDevice, ChannelShard, PowerFailReport, QueuedDevice, System, SystemStats};

@@ -7,8 +7,15 @@
 //! shows the REFRESH state — CKE, ACT_n, WE_n high with CS_n, RAS_n,
 //! CAS_n low — and asserts `is_refresh`. Self-refresh entry/exit must not
 //! trigger it (SRE carries CKE low).
+//!
+//! The per-bank extension detects REFpb too: the same six pins in the
+//! (formerly reserved) state with CAS_n *high* instead of low. The bank
+//! and stretch level ride on BG/BA and the address pins, which the
+//! detector state machine does not monitor — the [`DetectorPipeline`]
+//! recovers them from the full captured CA word, as the production FPGA
+//! would from additionally-tapped pins.
 
-use nvdimmc_ddr::CaPins;
+use nvdimmc_ddr::{BankAddr, CaPins, Command};
 use nvdimmc_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -74,8 +81,10 @@ impl Deserializer {
 pub struct DetectorStats {
     /// Parallel words examined.
     pub words: u64,
-    /// REFRESH detections asserted.
+    /// Refresh detections asserted (rank REF and per-bank REFpb).
     pub detections: u64,
+    /// Of [`Self::detections`], how many were per-bank REFpb states.
+    pub pb_detections: u64,
     /// Samples matching refresh-family encodings rejected for CKE
     /// transitions (SRE).
     pub sre_rejected: u64,
@@ -131,11 +140,16 @@ impl RefreshDetector {
         self.stats.words += 1;
         let [cke, cs_n, act_n, ras_n, cas_n, we_n] = words;
         let mut hit = false;
+        let mut pb_hit = false;
         for bit in (0..DESER_RATIO).rev() {
             let m = 1u8 << bit;
             let lv = |w: u8| w & m != 0;
             let is_ref_state =
                 lv(cke) && lv(act_n) && lv(we_n) && !lv(cs_n) && !lv(ras_n) && !lv(cas_n);
+            // Per-bank REFpb: the same state with CAS_n high (the formerly
+            // reserved RAS_n-low CAS_n-high WE_n-high decode slot).
+            let is_refpb_state =
+                lv(cke) && lv(act_n) && lv(we_n) && !lv(cs_n) && !lv(ras_n) && lv(cas_n);
             // SRE shows the REF pin pattern *with CKE dropping*: the
             // refresh state requires CKE high at the command edge and at
             // the previous sample.
@@ -147,12 +161,18 @@ impl RefreshDetector {
             if is_ref_state && self.prev_cke_bit {
                 hit = true;
             }
+            if is_refpb_state && self.prev_cke_bit {
+                pb_hit = true;
+            }
             self.prev_cke_bit = lv(cke);
         }
-        if hit {
+        if hit || pb_hit {
             self.stats.detections += 1;
         }
-        hit
+        if pb_hit {
+            self.stats.pb_detections += 1;
+        }
+        hit || pb_hit
     }
 
     /// Convenience: feeds the eight serial samples a held command edge
@@ -172,8 +192,25 @@ impl RefreshDetector {
 /// scheduler consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefreshEvent {
-    /// When the REFRESH command was captured.
+    /// When the REFRESH / REFpb command was captured.
     pub at: SimTime,
+    /// `Some(bank)` for a per-bank REFpb (the window covers only that
+    /// bank), `None` for a rank-level REF.
+    pub bank: Option<BankAddr>,
+    /// Window stretch level recovered from the address pins (REFpb only;
+    /// zero for rank REF).
+    pub stretch: u8,
+}
+
+impl RefreshEvent {
+    /// A rank-level refresh event at `at`.
+    pub fn rank(at: SimTime) -> Self {
+        RefreshEvent {
+            at,
+            bank: None,
+            stretch: 0,
+        }
+    }
 }
 
 /// Runs CA-bus captures through the detector and emits timed refresh
@@ -195,12 +232,21 @@ impl DetectorPipeline {
     }
 
     /// Processes a drained CA log, returning one event per detected
-    /// REFRESH.
+    /// REFRESH or REFpb. For REFpb the bank and stretch are recovered
+    /// from the captured BG/BA/address pins.
     pub fn process(&mut self, log: &[(SimTime, CaPins)]) -> Vec<RefreshEvent> {
         let mut out = Vec::new();
         for (at, pins) in log {
             if self.detector.feed_command(pins) > 0 {
-                out.push(RefreshEvent { at: *at });
+                let (bank, stretch) = match CaPins::decode(pins) {
+                    Some(Command::RefreshBank { bank, stretch }) => (Some(bank), stretch),
+                    _ => (None, 0),
+                };
+                out.push(RefreshEvent {
+                    at: *at,
+                    bank,
+                    stretch,
+                });
             }
         }
         out
@@ -328,15 +374,58 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                RefreshEvent {
-                    at: SimTime::from_ns(120)
-                },
-                RefreshEvent {
-                    at: SimTime::from_us(8)
-                },
+                RefreshEvent::rank(SimTime::from_ns(120)),
+                RefreshEvent::rank(SimTime::from_us(8)),
             ]
         );
         assert_eq!(p.detector().stats().detections, 2);
+    }
+
+    #[test]
+    fn per_bank_refresh_detected_with_bank_and_stretch() {
+        let mut p = DetectorPipeline::new();
+        let b = BankAddr::new(2, 3);
+        let log = vec![
+            (
+                SimTime::from_ns(100),
+                CaPins::encode(&Command::Precharge { bank: b }),
+            ),
+            (
+                SimTime::from_ns(120),
+                CaPins::encode(&Command::RefreshBank {
+                    bank: b,
+                    stretch: 9,
+                }),
+            ),
+            (SimTime::from_ns(140), CaPins::encode(&Command::Refresh)),
+        ];
+        let events = p.process(&log);
+        assert_eq!(
+            events,
+            vec![
+                RefreshEvent {
+                    at: SimTime::from_ns(120),
+                    bank: Some(b),
+                    stretch: 9,
+                },
+                RefreshEvent::rank(SimTime::from_ns(140)),
+            ]
+        );
+        let s = p.detector().stats();
+        assert_eq!(s.detections, 2);
+        assert_eq!(s.pb_detections, 1);
+    }
+
+    #[test]
+    fn refpb_after_sre_requires_cke_high_history() {
+        let mut det = RefreshDetector::new();
+        det.feed_command(&CaPins::encode(&Command::SelfRefreshEnter));
+        let hits = det.feed_command(&CaPins::encode(&Command::RefreshBank {
+            bank: BankAddr::new(0, 1),
+            stretch: 0,
+        }));
+        assert_eq!(hits, 1);
+        assert_eq!(det.stats().pb_detections, 1);
     }
 
     #[test]

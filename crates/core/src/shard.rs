@@ -26,7 +26,8 @@ use crate::health::{DegradeReason, HealthState, HealthTransition, RebuildReport}
 use crate::layout::Layout;
 use crate::proto::{AckOutcome, DriverTxn, RetryOutcome};
 use crate::refresh::DetectorPipeline;
-use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, SharedBus, TraceEntry};
+use crate::sched::RefreshPlanner;
+use nvdimmc_ddr::{DramDevice, Imc, ImcConfig, RefreshMode, SharedBus, TraceEntry};
 use nvdimmc_host::{CpuCache, Memory, PageTable, Tlb};
 use nvdimmc_nand::Nvmc;
 use nvdimmc_sim::{DeterministicRng, Histogram, SimDuration, SimTime};
@@ -117,6 +118,11 @@ pub trait QueuedDevice: Send {
     /// protected from background eviction). Devices without a priority-
     /// aware cache ignore it — the default.
     fn set_fill_priority(&mut self, _prio: u8) {}
+    /// Informs the device how many requests are queued behind the one
+    /// about to be served, so per-bank refresh placement can size NVMC
+    /// windows down under load. Devices without a refresh planner ignore
+    /// it — the default.
+    fn note_queue_depth(&mut self, _depth: usize) {}
 }
 
 /// Zero-time backdoor [`Memory`] view of the DRAM array, used for the
@@ -265,6 +271,9 @@ pub struct ChannelShard {
     fpga: Fpga,
     cache: DramCache,
     pipeline: DetectorPipeline,
+    /// Per-bank refresh placement (demand steering + deadline backstop);
+    /// consulted only in [`RefreshMode::PerBank`].
+    planner: RefreshPlanner,
     clock: SimTime,
     phase: u8,
     /// Per-transaction CP sequence number (stable across retransmits).
@@ -333,7 +342,9 @@ impl ChannelShard {
         let device = DramDevice::new(cfg.timing, dram_bytes);
         let mut bus = SharedBus::new(device);
         bus.set_ca_capture(true);
-        let imc = Imc::new(ImcConfig::from_timing(&cfg.timing));
+        bus.set_refresh_mode(cfg.refresh_mode);
+        let mut imc = Imc::new(ImcConfig::from_timing(&cfg.timing));
+        imc.set_refresh_mode(cfg.refresh_mode);
         let fpga = Fpga::new(cfg.perf.fsm_step_delay, cfg.window_xfer_bytes);
         let cache = DramCache::new(cfg.cache_slots, cfg.eviction);
         let cpu = CpuCache::new(cfg.cpu_cache_bytes, 8);
@@ -349,6 +360,7 @@ impl ChannelShard {
             fpga,
             cache,
             pipeline: DetectorPipeline::new(),
+            planner: RefreshPlanner::new(cfg.timing.trefi),
             clock: SimTime::ZERO,
             phase: 0,
             seq: 0,
@@ -413,6 +425,12 @@ impl ChannelShard {
         self.imc.stats()
     }
 
+    /// Per-bank refresh-placement counters: `(demand_placed,
+    /// deadline_forced)`. Both zero in rank-level mode.
+    pub fn refresh_planner_counts(&self) -> (u64, u64) {
+        self.planner.placement_counts()
+    }
+
     /// The DRAM cache manager (hit rates, residency).
     pub fn cache(&self) -> &DramCache {
         &self.cache
@@ -459,19 +477,58 @@ impl ChannelShard {
 
     /// Consumes pending CA captures while the FPGA is idle (refreshes that
     /// elapsed during plain host activity; polls would observe nothing).
+    /// Per-bank refreshes still feed the planner's deadline calendar so a
+    /// bank refreshed during idle traffic is not immediately re-picked.
     fn drain_detector_idle(&mut self) {
         let log = self.bus.drain_ca_log();
-        let _ = self.pipeline.process(&log);
+        for ev in self.pipeline.process(&log) {
+            if let Some(bank) = ev.bank {
+                self.planner.note_refreshed(bank, ev.at);
+            }
+        }
     }
 
     /// Advances to (and services) the next refresh window.
     fn advance_one_window(&mut self) -> Result<(), CoreError> {
         let due = self.imc.next_refresh_due();
         let t = self.clock.max(due);
+        if self.imc.refresh_mode() == RefreshMode::PerBank {
+            // Steer the next REFpb toward the bank the FPGA's FSM needs,
+            // stretched per current queue pressure; the planner overrides
+            // the demand pick whenever a bank's tREFI deadline has lapsed.
+            let wanted = self.fpga.wanted_bank(&self.bus, &self.layout);
+            let pick = self.planner.choose(t, wanted);
+            self.imc.set_refresh_pref(Some(pick));
+        }
         let resumed = self.imc.pump_refresh(&mut self.bus, t)?;
         self.clock = self.clock.max(resumed);
         let log = self.bus.drain_ca_log();
         let events = self.pipeline.process(&log);
+        if self.imc.refresh_mode() == RefreshMode::PerBank {
+            // Per-bank windows are bank-scoped: each event's window stays
+            // usable regardless of traffic to *other* banks, so service
+            // every snooped refresh, not just the latest.
+            for ev in &events {
+                match ev.bank {
+                    Some(bank) => {
+                        self.planner.note_refreshed(bank, ev.at);
+                        self.fpga.on_refresh_banked(
+                            ev.at,
+                            bank,
+                            ev.stretch,
+                            &mut self.bus,
+                            &mut self.nvmc,
+                            &self.layout,
+                        )?;
+                    }
+                    None => {
+                        self.fpga
+                            .on_refresh(ev.at, &mut self.bus, &mut self.nvmc, &self.layout)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
         // If a refresh backlog was issued back-to-back (the host clock
         // jumped), earlier windows have already been driven over by later
         // commands — the FPGA can only use the most recent one, exactly
@@ -1479,6 +1536,10 @@ impl QueuedDevice for ChannelShard {
     fn set_fill_priority(&mut self, prio: u8) {
         self.fill_prio = prio;
     }
+
+    fn note_queue_depth(&mut self, depth: usize) {
+        self.planner.note_queue_depth(depth);
+    }
 }
 
 impl ChannelShard {
@@ -1861,6 +1922,53 @@ mod tests {
         // window discipline held under real traffic.
         assert_eq!(s.bus_stats().violations_rejected, 0);
         assert!(s.detector_stats().detections > 0, "detector exercised");
+    }
+
+    #[test]
+    fn per_bank_mode_no_violations_under_random_traffic() {
+        let cfg = NvdimmCConfig::small_for_tests().with_refresh_mode(RefreshMode::PerBank);
+        let mut s = System::new(cfg).unwrap();
+        let mut rng = DeterministicRng::new(7);
+        let span = 64 * PAGE_BYTES;
+        for _ in 0..300 {
+            let off = rng.gen_range(0..span - 4096);
+            if rng.gen_bool(0.5) {
+                s.write_at(off, &[rng.gen_u64() as u8; 128]).unwrap();
+            } else {
+                let mut b = [0u8; 128];
+                s.read_at(off, &mut b).unwrap();
+            }
+        }
+        assert_eq!(s.bus_stats().violations_rejected, 0);
+        assert!(s.detector_stats().pb_detections > 0, "REFpb pins snooped");
+    }
+
+    #[test]
+    fn per_bank_mode_serves_the_full_miss_path() {
+        // The same dirty-cache workload that exercises writeback+cachefill
+        // in rank mode must complete — with identical data — when every
+        // NVMC transfer rides short per-bank windows instead.
+        let slots = 8;
+        let mut rank_cfg = NvdimmCConfig::small_for_tests();
+        rank_cfg.cache_slots = slots;
+        let pb_cfg = rank_cfg.clone().with_refresh_mode(RefreshMode::PerBank);
+        let mut rank = System::new(rank_cfg).unwrap();
+        let mut pb = System::new(pb_cfg).unwrap();
+        dirty_cache_with_nand_backed(&mut rank, slots);
+        dirty_cache_with_nand_backed(&mut pb, slots);
+        let mut a = page(0);
+        let mut b = page(0);
+        for i in 0..slots {
+            rank.read_at(i * PAGE_BYTES, &mut a).unwrap();
+            pb.read_at(i * PAGE_BYTES, &mut b).unwrap();
+            assert_eq!(a, b, "page {i} diverged between refresh modes");
+        }
+        assert!(pb.stats().cachefills >= slots, "misses served per-bank");
+        assert_eq!(pb.bus_stats().violations_rejected, 0);
+        let f = pb.fpga_stats();
+        assert!(f.windows_used > 0, "per-bank windows carried NVMC data");
+        let (demand, forced) = pb.refresh_planner_counts();
+        assert!(demand + forced > 0, "planner placed refreshes");
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! window closes.
 
 use crate::ca::CaPins;
-use crate::command::Command;
+use crate::command::{BankAddr, Command};
 use crate::device::DramDevice;
 use crate::error::BusViolation;
+use crate::timing::RefreshMode;
 use crate::trace::{TraceEntry, TraceRecorder};
 use nvdimmc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -122,6 +123,12 @@ pub struct SharedBus {
     ca_busy_until: SimTime,
     last_cmd: Option<(BusMaster, Command)>,
     window: Option<RefreshWindow>,
+    /// Per-bank NVMC windows (refresh-access parallelism mode): each entry
+    /// is the window opened by the most recent REFpb to that bank. The
+    /// host is blocked only in the refreshing bank.
+    bank_windows: [Option<RefreshWindow>; BankAddr::COUNT as usize],
+    /// Refresh scheduling mode; governs CA arbitration between masters.
+    mode: RefreshMode,
     /// Host must stay silent until here (programmed tRFC after REF).
     host_blocked_until: SimTime,
     stats: BusStats,
@@ -139,6 +146,8 @@ impl SharedBus {
             ca_busy_until: SimTime::ZERO,
             last_cmd: None,
             window: None,
+            bank_windows: [None; BankAddr::COUNT as usize],
+            mode: RefreshMode::RankLevel,
             host_blocked_until: SimTime::ZERO,
             stats: BusStats::default(),
             capture_ca: false,
@@ -205,6 +214,29 @@ impl SharedBus {
         self.window
     }
 
+    /// Selects the refresh mode. Per-bank mode turns same-slot cross-master
+    /// CA pressure into retryable arbitration (the two masters legitimately
+    /// run concurrently), while rank mode keeps it a hard electrical
+    /// conflict.
+    pub fn set_refresh_mode(&mut self, mode: RefreshMode) {
+        self.mode = mode;
+    }
+
+    /// The active refresh mode.
+    pub fn refresh_mode(&self) -> RefreshMode {
+        self.mode
+    }
+
+    /// The per-bank window opened by the most recent REFpb to `bank`.
+    pub fn bank_window(&self, bank: BankAddr) -> Option<RefreshWindow> {
+        self.bank_windows[usize::from(bank.index())]
+    }
+
+    /// Earliest instant at or after `at` when the CA bus slot is free.
+    pub fn ca_free_at(&self, at: SimTime) -> SimTime {
+        at.max(self.ca_busy_until)
+    }
+
     /// Earliest instant at or after `at` when the host may issue commands
     /// (i.e. past any programmed-tRFC block).
     pub fn host_ready_at(&self, at: SimTime) -> SimTime {
@@ -246,7 +278,10 @@ impl SharedBus {
         // --- CA electrical conflict (paper Figure 2a, case C1) ---
         if at < self.ca_busy_until {
             if let Some((last_master, last_cmd)) = self.last_cmd {
-                if last_master != master {
+                // In per-bank mode both masters legitimately interleave on
+                // the CA bus; slot pressure is arbitration (the loser
+                // retries at the next free slot), not an electrical hazard.
+                if last_master != master && self.mode == RefreshMode::RankLevel {
                     return Err(BusViolation::CaConflict {
                         at,
                         existing: last_cmd,
@@ -293,15 +328,70 @@ impl SharedBus {
                         self.window = None;
                     }
                 }
+                // Per-bank discipline: the host is blocked only in a bank
+                // whose REFpb window is still running; bank-scoped traffic
+                // to the other fifteen proceeds. Rank-scoped commands
+                // (PREA, REF, SRE…) need every bank window closed.
+                match cmd.bank() {
+                    Some(b) => {
+                        let idx = usize::from(b.index());
+                        if let Some(w) = self.bank_windows[idx] {
+                            if at < w.closes {
+                                return Err(BusViolation::CommandDuringRefresh {
+                                    at,
+                                    busy_until: w.closes,
+                                    command: cmd,
+                                    master: Some(master),
+                                });
+                            }
+                            // Window over: the NVMC must have left the
+                            // refreshing bank precharged.
+                            if !self.device.bank(b).is_idle() {
+                                return Err(BusViolation::BankState {
+                                    at,
+                                    command: cmd,
+                                    reason: format!("NVMC left {b} open past its per-bank window"),
+                                    master: Some(master),
+                                });
+                            }
+                            self.bank_windows[idx] = None;
+                        }
+                    }
+                    None if !matches!(cmd, Command::Deselect) => {
+                        if let Some(busy) = self
+                            .bank_windows
+                            .iter()
+                            .flatten()
+                            .filter(|w| at < w.closes)
+                            .map(|w| w.closes)
+                            .max()
+                        {
+                            return Err(BusViolation::CommandDuringRefresh {
+                                at,
+                                busy_until: busy,
+                                command: cmd,
+                                master: Some(master),
+                            });
+                        }
+                    }
+                    None => {}
+                }
             }
             BusMaster::Nvmc => {
                 // The NVMC never refreshes or self-refreshes the DRAM.
                 if cmd.is_refresh_family() {
                     return Err(BusViolation::NvmcOutsideWindow { at, command: cmd });
                 }
+                // Legal inside the rank-wide window, or — in per-bank mode
+                // — inside the window of the bank the command targets.
                 let w = self
                     .window
                     .filter(|w| w.contains(at))
+                    .or_else(|| {
+                        cmd.bank().and_then(|b| {
+                            self.bank_windows[usize::from(b.index())].filter(|w| w.contains(at))
+                        })
+                    })
                     .ok_or(BusViolation::NvmcOutsideWindow { at, command: cmd })?;
                 // A data burst must also *complete* before the window
                 // closes, or its beats would collide with host commands.
@@ -356,6 +446,15 @@ impl SharedBus {
                 closes,
             });
             self.host_blocked_until = closes;
+            self.stats.refreshes += 1;
+        }
+        if let Command::RefreshBank { bank, stretch } = cmd {
+            let (opens, closes) = self.device.timing().nvmc_window_bounds_pb(at, stretch);
+            self.bank_windows[usize::from(bank.index())] = Some(RefreshWindow {
+                ref_at: at,
+                opens,
+                closes,
+            });
             self.stats.refreshes += 1;
         }
         Ok(end)
@@ -561,6 +660,208 @@ mod tests {
         assert_eq!(b.device().stats(), before);
         assert_eq!(b.stats().violations_rejected, 1);
         assert_eq!(b.stats().retries_rejected, 0);
+    }
+
+    #[test]
+    fn per_bank_window_blocks_host_only_in_refreshing_bank() {
+        let mut b = bus();
+        b.set_refresh_mode(RefreshMode::PerBank);
+        let target = BankAddr::new(1, 1);
+        let t0 = SimTime::from_us(1);
+        b.issue(
+            BusMaster::HostImc,
+            t0,
+            Command::RefreshBank {
+                bank: target,
+                stretch: 2,
+            },
+        )
+        .unwrap();
+        let w = b.bank_window(target).unwrap();
+        let t = *b.device().timing();
+        assert_eq!(w.opens, t0 + t.trfc_pb);
+        assert_eq!(w.closes, t0 + t.trfc_pb_total + t.stretch_quantum * 2);
+        // Host into the refreshing bank: blocked until the window closes.
+        let err = b.issue(
+            BusMaster::HostImc,
+            w.opens,
+            Command::Activate {
+                bank: target,
+                row: 0,
+            },
+        );
+        assert!(
+            matches!(err, Err(BusViolation::CommandDuringRefresh { busy_until, .. }) if busy_until == w.closes),
+            "{err:?}"
+        );
+        // Host into a different bank inside the window span: proceeds.
+        b.issue(
+            BusMaster::HostImc,
+            w.opens,
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 0,
+            },
+        )
+        .unwrap();
+        // Rank-scoped host command needs every bank window closed.
+        let err = b.issue(
+            BusMaster::HostImc,
+            w.opens + t.speed.tck(),
+            Command::PrechargeAll,
+        );
+        assert!(
+            matches!(err, Err(BusViolation::CommandDuringRefresh { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn nvmc_confined_to_the_refreshing_bank() {
+        let mut b = bus();
+        b.set_refresh_mode(RefreshMode::PerBank);
+        let target = BankAddr::new(2, 0);
+        let t0 = SimTime::from_us(1);
+        b.issue(
+            BusMaster::HostImc,
+            t0,
+            Command::RefreshBank {
+                bank: target,
+                stretch: 0,
+            },
+        )
+        .unwrap();
+        let w = b.bank_window(target).unwrap();
+        // NVMC in the refreshing bank: legal.
+        b.issue(
+            BusMaster::Nvmc,
+            w.opens,
+            Command::Activate {
+                bank: target,
+                row: 4,
+            },
+        )
+        .unwrap();
+        // NVMC in any other bank: outside its window.
+        let err = b.issue(
+            BusMaster::Nvmc,
+            w.opens + b.device().timing().speed.tck(),
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 4,
+            },
+        );
+        assert!(
+            matches!(err, Err(BusViolation::NvmcOutsideWindow { .. })),
+            "{err:?}"
+        );
+        // Close the bank before the window ends; the host then resumes in
+        // that bank cleanly after the close.
+        let t = *b.device().timing();
+        let pre_at = w.opens + t.tras;
+        assert!(pre_at < w.closes, "test premise: window fits tRAS");
+        b.issue(BusMaster::Nvmc, pre_at, Command::Precharge { bank: target })
+            .unwrap();
+        b.issue(
+            BusMaster::HostImc,
+            w.closes.max(pre_at + t.trp),
+            Command::Activate {
+                bank: target,
+                row: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(b.bank_window(target), None, "window cleared on resume");
+    }
+
+    #[test]
+    fn nvmc_left_bank_open_past_per_bank_window_is_caught() {
+        let mut b = bus();
+        b.set_refresh_mode(RefreshMode::PerBank);
+        let target = BankAddr::new(0, 3);
+        let t0 = SimTime::from_us(1);
+        b.issue(
+            BusMaster::HostImc,
+            t0,
+            Command::RefreshBank {
+                bank: target,
+                stretch: 15,
+            },
+        )
+        .unwrap();
+        let w = b.bank_window(target).unwrap();
+        b.issue(
+            BusMaster::Nvmc,
+            w.opens,
+            Command::Activate {
+                bank: target,
+                row: 9,
+            },
+        )
+        .unwrap();
+        // NVMC "forgets" to precharge; the host trips the invariant when it
+        // next touches that bank after the close.
+        let err = b.issue(
+            BusMaster::HostImc,
+            w.closes,
+            Command::Read {
+                bank: target,
+                col: 0,
+                auto_precharge: false,
+            },
+        );
+        assert!(
+            matches!(err, Err(BusViolation::BankState { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn per_bank_mode_cross_master_slot_pressure_is_retryable() {
+        let mut b = bus();
+        b.set_refresh_mode(RefreshMode::PerBank);
+        let target = BankAddr::new(1, 0);
+        let t0 = SimTime::from_us(1);
+        b.issue(
+            BusMaster::HostImc,
+            t0,
+            Command::RefreshBank {
+                bank: target,
+                stretch: 0,
+            },
+        )
+        .unwrap();
+        let w = b.bank_window(target).unwrap();
+        b.issue(
+            BusMaster::Nvmc,
+            w.opens,
+            Command::Activate {
+                bank: target,
+                row: 0,
+            },
+        )
+        .unwrap();
+        // Host wants the same CA slot: arbitration, not a memory error.
+        let err = b.issue(
+            BusMaster::HostImc,
+            w.opens,
+            Command::Activate {
+                bank: BankAddr::new(3, 3),
+                row: 0,
+            },
+        );
+        assert!(
+            matches!(
+                err,
+                Err(BusViolation::Timing {
+                    parameter: "tCK",
+                    ..
+                })
+            ),
+            "{err:?}"
+        );
+        assert_eq!(b.stats().retries_rejected, 1);
+        assert_eq!(b.stats().violations_rejected, 0);
     }
 
     #[test]

@@ -103,6 +103,18 @@ impl CaPins {
                 p.cas_n = false;
                 p.we_n = true;
             }
+            Command::RefreshBank { bank, stretch } => {
+                // The DDR4-reserved (RAS_n L, CAS_n H, WE_n H) slot; the
+                // bank rides on BG/BA and the stretch level on the address
+                // pins so a CA snooper recovers the full window geometry.
+                p.cs_n = false;
+                p.ras_n = false;
+                p.cas_n = true;
+                p.we_n = true;
+                p.bg = bank.group;
+                p.ba = bank.bank;
+                p.addr = u32::from(stretch);
+            }
             Command::SelfRefreshEnter => {
                 // REF encoding with CKE falling.
                 p.cs_n = false;
@@ -172,8 +184,9 @@ impl CaPins {
         p
     }
 
-    /// Decodes pin levels back into a command. Returns `None` for reserved
-    /// encodings.
+    /// Decodes pin levels back into a command. Every DDR4 slot is now
+    /// occupied (the formerly reserved encoding carries per-bank refresh),
+    /// so this returns `Some` for all well-formed pin states.
     pub fn decode(p: &CaPins) -> Option<Command> {
         // Self-refresh exit: deselect with CKE rising edge.
         if !p.cke_prev && p.cke && p.cs_n {
@@ -219,7 +232,11 @@ impl CaPins {
             }),
             (true, true, false) => Some(Command::ZqCalibration),
             (true, true, true) => Some(Command::Deselect), // NOP
-            (false, true, true) => None,                   // reserved
+            // The DDR4-reserved slot, repurposed for per-bank refresh.
+            (false, true, true) => Some(Command::RefreshBank {
+                bank: BankAddr::new(p.bg & 0b11, p.ba & 0b11),
+                stretch: (p.addr & 0xF) as u8,
+            }),
         }
     }
 
@@ -235,6 +252,12 @@ impl CaPins {
     /// CKE, ACT_n, WE_n high and CS_n, RAS_n, CAS_n low (paper §IV-A).
     pub fn is_refresh_state(&self) -> bool {
         self.cke && self.act_n && self.we_n && !self.cs_n && !self.ras_n && !self.cas_n
+    }
+
+    /// Whether these pins show the *per-bank* refresh state: identical to
+    /// the REF state except CAS_n is high (the repurposed reserved slot).
+    pub fn is_refresh_bank_state(&self) -> bool {
+        self.cke && self.act_n && self.we_n && !self.cs_n && !self.ras_n && self.cas_n
     }
 }
 
@@ -274,6 +297,14 @@ mod tests {
             Command::Precharge { bank: b },
             Command::PrechargeAll,
             Command::Refresh,
+            Command::RefreshBank {
+                bank: b,
+                stretch: 0,
+            },
+            Command::RefreshBank {
+                bank: b,
+                stretch: 9,
+            },
             Command::SelfRefreshEnter,
             Command::SelfRefreshExit,
             Command::ModeRegisterSet {
@@ -341,13 +372,43 @@ mod tests {
     }
 
     #[test]
-    fn reserved_encoding_decodes_none() {
+    fn reserved_encoding_now_carries_per_bank_refresh() {
+        // The formerly-reserved (RAS_n L, CAS_n H, WE_n H) slot decodes to
+        // REFpb, bank on BG/BA, stretch on the low address bits.
         let mut pins = CaPins::idle();
         pins.cs_n = false;
         pins.ras_n = false;
         pins.cas_n = true;
         pins.we_n = true;
-        assert_eq!(CaPins::decode(&pins), None);
+        pins.bg = 2;
+        pins.ba = 3;
+        pins.addr = 11;
+        assert_eq!(
+            CaPins::decode(&pins),
+            Some(Command::RefreshBank {
+                bank: BankAddr::new(2, 3),
+                stretch: 11,
+            })
+        );
+    }
+
+    #[test]
+    fn per_bank_refresh_state_is_distinct_from_ref() {
+        let pb = CaPins::encode(&Command::RefreshBank {
+            bank: BankAddr::new(1, 2),
+            stretch: 4,
+        });
+        assert!(pb.is_refresh_bank_state());
+        assert!(!pb.is_refresh_state(), "REFpb must not alias all-bank REF");
+        let r = CaPins::encode(&Command::Refresh);
+        assert!(!r.is_refresh_bank_state());
+        // No other command matches the per-bank detector state.
+        for cmd in all_commands() {
+            let pins = CaPins::encode(&cmd);
+            if pins.is_refresh_bank_state() {
+                assert!(matches!(cmd, Command::RefreshBank { .. }), "{cmd:?}");
+            }
+        }
     }
 
     #[test]

@@ -95,11 +95,24 @@ pub enum Command {
         /// Target bank.
         bank: BankAddr,
     },
-    /// Close all open rows (PREA; A10 high). Required before REFRESH since
-    /// DDR4 has no per-bank refresh (paper §III-B).
+    /// Close all open rows (PREA; A10 high). Required before an all-bank
+    /// REFRESH (paper §III-B); per-bank refresh only needs its own bank
+    /// precharged.
     PrechargeAll,
     /// All-bank refresh (REF). The command the NVDIMM-C detector snoops.
     Refresh,
+    /// Single-bank refresh (REFpb) — the per-bank-window extension. DDR4
+    /// proper has no such command; this model assigns it the reserved
+    /// `(RAS_n L, CAS_n H, WE_n H)` CA encoding, carrying the target bank
+    /// on BG/BA and the window stretch level on the address pins, so the
+    /// snooping detector can recover both from the trace.
+    RefreshBank {
+        /// The one bank being refreshed; only it is blocked for the host.
+        bank: BankAddr,
+        /// Window stretch level (`closes = ref_at + tRFCpb_total +
+        /// stretch × quantum`), clamped to [`crate::TimingParams::MAX_STRETCH`].
+        stretch: u8,
+    },
     /// Self-refresh entry (REF encoding with CKE falling).
     SelfRefreshEnter,
     /// Self-refresh exit (DES/NOP with CKE rising).
@@ -124,7 +137,8 @@ impl Command {
             Command::Activate { bank, .. }
             | Command::Read { bank, .. }
             | Command::Write { bank, .. }
-            | Command::Precharge { bank } => Some(bank),
+            | Command::Precharge { bank }
+            | Command::RefreshBank { bank, .. } => Some(bank),
             _ => None,
         }
     }
@@ -138,7 +152,10 @@ impl Command {
     pub fn is_refresh_family(&self) -> bool {
         matches!(
             self,
-            Command::Refresh | Command::SelfRefreshEnter | Command::SelfRefreshExit
+            Command::Refresh
+                | Command::RefreshBank { .. }
+                | Command::SelfRefreshEnter
+                | Command::SelfRefreshExit
         )
     }
 }
@@ -189,9 +206,27 @@ mod tests {
     #[test]
     fn refresh_family_classification() {
         assert!(Command::Refresh.is_refresh_family());
+        assert!(Command::RefreshBank {
+            bank: BankAddr::new(0, 0),
+            stretch: 0
+        }
+        .is_refresh_family());
         assert!(Command::SelfRefreshEnter.is_refresh_family());
         assert!(Command::SelfRefreshExit.is_refresh_family());
         assert!(!Command::PrechargeAll.is_refresh_family());
+    }
+
+    #[test]
+    fn refresh_bank_is_bank_scoped() {
+        let b = BankAddr::new(3, 1);
+        assert_eq!(
+            Command::RefreshBank {
+                bank: b,
+                stretch: 7
+            }
+            .bank(),
+            Some(b)
+        );
     }
 
     #[test]

@@ -475,6 +475,38 @@ impl DramDevice {
                 self.stats.refreshes += 1;
                 Ok(self.refresh_busy_until)
             }
+            Command::RefreshBank { bank, .. } => {
+                self.check_not_refreshing(at, &cmd)?;
+                let b = &self.banks[usize::from(bank.index())];
+                if !b.is_idle() {
+                    return Err(BusViolation::BankState {
+                        master: None,
+                        at,
+                        command: cmd,
+                        reason: format!(
+                            "per-bank REFRESH to {bank} with row {:?} open (PRE required first)",
+                            b.open_row()
+                        ),
+                    });
+                }
+                if at < b.earliest_activate() {
+                    return Err(BusViolation::Timing {
+                        master: None,
+                        at,
+                        command: cmd,
+                        parameter: "tRP",
+                        legal_at: b.earliest_activate(),
+                    });
+                }
+                // Only the target bank is busy (tRFCpb); the other fifteen
+                // keep serving — the whole point of refresh-access
+                // parallelism. The rank-wide refresh_busy_until is
+                // untouched.
+                let ready = self.timing.refresh_silicon_ready_pb(at);
+                self.banks[usize::from(bank.index())].block_until(ready);
+                self.stats.refreshes += 1;
+                Ok(ready)
+            }
             Command::SelfRefreshEnter => {
                 self.check_not_refreshing(at, &cmd)?;
                 if !self.all_banks_idle() {
@@ -725,6 +757,78 @@ mod tests {
             },
         )
         .unwrap();
+    }
+
+    #[test]
+    fn per_bank_refresh_blocks_only_its_bank() {
+        let mut d = dev();
+        let t0 = SimTime::from_us(10);
+        let target = BankAddr::new(1, 2);
+        let other = BankAddr::new(0, 0);
+        let done = d
+            .issue(
+                t0,
+                Command::RefreshBank {
+                    bank: target,
+                    stretch: 3,
+                },
+            )
+            .unwrap();
+        assert_eq!(done, t0 + d.timing().trfc_pb);
+        // The refreshing bank rejects an ACT before tRFCpb elapses...
+        let err = d.issue(
+            t0 + SimDuration::from_ns(10),
+            Command::Activate {
+                bank: target,
+                row: 0,
+            },
+        );
+        assert!(
+            matches!(
+                err,
+                Err(BusViolation::Timing {
+                    parameter: "tRP",
+                    ..
+                })
+            ),
+            "{err:?}"
+        );
+        // ...while every other bank keeps serving immediately.
+        d.issue(
+            t0 + SimDuration::from_ns(10),
+            Command::Activate {
+                bank: other,
+                row: 0,
+            },
+        )
+        .unwrap();
+        // Rank-wide refresh busy is untouched.
+        assert!(d.refresh_busy_until() < t0);
+    }
+
+    #[test]
+    fn per_bank_refresh_requires_its_bank_precharged() {
+        let mut d = dev();
+        let b = BankAddr::new(2, 2);
+        d.issue(SimTime::ZERO, Command::Activate { bank: b, row: 1 })
+            .unwrap();
+        let err = d.issue(
+            SimTime::from_us(1),
+            Command::RefreshBank {
+                bank: b,
+                stretch: 0,
+            },
+        );
+        assert!(matches!(err, Err(BusViolation::BankState { .. })));
+        // A different bank being open does not gate it.
+        let err2 = d.issue(
+            SimTime::from_us(1),
+            Command::RefreshBank {
+                bank: BankAddr::new(0, 1),
+                stretch: 0,
+            },
+        );
+        assert!(err2.is_ok(), "{err2:?}");
     }
 
     #[test]

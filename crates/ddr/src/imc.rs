@@ -2,21 +2,30 @@
 //!
 //! Models exactly what the paper relies on from the Skylake iMC:
 //!
-//! - periodic REFRESH at tREFI, preceded by PRECHARGE-ALL (DDR4 has no
-//!   per-bank refresh, §III-B), with the programmed — possibly stretched —
-//!   tRFC honoured before any further command;
+//! - periodic REFRESH at tREFI, preceded by PRECHARGE-ALL (stock DDR4 has
+//!   no per-bank refresh, §III-B), with the programmed — possibly
+//!   stretched — tRFC honoured before any further command;
 //! - open-page row-buffer policy with per-bank open-row tracking;
 //! - pipelined column accesses at tCCD spacing for streaming transfers.
 //!
 //! The iMC *postpones* refresh while a command sequence is in flight and
 //! catches up at the next pump point, as real controllers do (JEDEC allows
 //! up to 8 postponed refreshes).
+//!
+//! In [`RefreshMode::PerBank`] the controller instead issues one REFpb
+//! every tREFI/16 — same total refresh duty, one bank at a time — and
+//! never blocks rank-wide: only commands into the refreshing bank stall.
+//! The bank order is steered by an external preference (the shard's
+//! refresh planner asks for the bank the NVMC most wants, with a stretch
+//! level sized from queue depth) but a deferral counter forces any bank
+//! that has waited [`Imc::PB_FORCE_LIMIT`] ticks, so out-of-order
+//! placement can never starve a bank past its tREFI budget.
 
 use crate::bus::{BusMaster, SharedBus};
-use crate::command::Command;
+use crate::command::{BankAddr, Command};
 use crate::device::DecodedAddr;
 use crate::error::BusViolation;
-use crate::timing::TimingParams;
+use crate::timing::{RefreshMode, TimingParams};
 use nvdimmc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -37,14 +46,17 @@ pub struct ImcConfig {
     /// Upper bound on retry iterations when a command must be delayed to a
     /// later legal instant.
     pub max_retries: u32,
+    /// Rank-level REF (stock DDR4) or per-bank REFpb windows.
+    pub mode: RefreshMode,
 }
 
 impl ImcConfig {
-    /// Configuration matching `timing`.
+    /// Configuration matching `timing`, in rank-level mode.
     pub fn from_timing(timing: &TimingParams) -> Self {
         ImcConfig {
             trefi: timing.trefi,
             max_retries: 16,
+            mode: RefreshMode::RankLevel,
         }
     }
 }
@@ -89,18 +101,33 @@ pub struct Imc {
     cfg: ImcConfig,
     next_refresh: SimTime,
     open_rows: Vec<Option<u32>>,
+    /// Per-bank mode: the bank (and stretch) the refresh planner would
+    /// like refreshed next, set by [`Imc::set_refresh_pref`].
+    pb_pref: Option<(BankAddr, u8)>,
+    /// Per-bank mode: ticks each bank has waited since its own REFpb.
+    pb_deferral: [u32; BankAddr::COUNT as usize],
     stats: ImcStats,
 }
 
 impl Imc {
-    /// Creates an iMC with the first refresh due one tREFI in.
+    /// Per-bank mode: a bank that has waited this many REFpb ticks is
+    /// refreshed next regardless of the planner's preference (1.5 × the
+    /// 16-bank round-robin period — well inside the checker's starvation
+    /// budget).
+    pub const PB_FORCE_LIMIT: u32 = 24;
+
+    /// Creates an iMC with the first refresh due one tick in.
     pub fn new(cfg: ImcConfig) -> Self {
-        Imc {
-            next_refresh: SimTime::ZERO + cfg.trefi,
+        let mut imc = Imc {
+            next_refresh: SimTime::ZERO,
             cfg,
             open_rows: vec![None; 16],
+            pb_pref: None,
+            pb_deferral: [0; BankAddr::COUNT as usize],
             stats: ImcStats::default(),
-        }
+        };
+        imc.next_refresh = SimTime::ZERO + imc.tick();
+        imc
     }
 
     /// Counters.
@@ -113,6 +140,15 @@ impl Imc {
         self.cfg.trefi
     }
 
+    /// The refresh pump cadence: tREFI between rank REFs, tREFI/16
+    /// between per-bank REFpbs (same total duty).
+    fn tick(&self) -> SimDuration {
+        match self.cfg.mode {
+            RefreshMode::RankLevel => self.cfg.trefi,
+            RefreshMode::PerBank => self.cfg.trefi / u64::from(BankAddr::COUNT),
+        }
+    }
+
     /// Changes the refresh interval (the paper's tREFI2/tREFI4 studies).
     ///
     /// # Panics
@@ -121,6 +157,25 @@ impl Imc {
     pub fn set_trefi(&mut self, trefi: SimDuration) {
         assert!(trefi > SimDuration::ZERO, "tREFI must be positive");
         self.cfg.trefi = trefi;
+    }
+
+    /// The active refresh mode.
+    pub fn refresh_mode(&self) -> RefreshMode {
+        self.cfg.mode
+    }
+
+    /// Switches refresh mode, re-anchoring the first due tick. Intended
+    /// for assembly time, before any traffic.
+    pub fn set_refresh_mode(&mut self, mode: RefreshMode) {
+        self.cfg.mode = mode;
+        self.next_refresh = SimTime::ZERO + self.tick();
+    }
+
+    /// Per-bank mode: tells the controller which bank the refresh planner
+    /// wants refreshed next, and how far to stretch its window. `None`
+    /// falls back to least-recently-refreshed order.
+    pub fn set_refresh_pref(&mut self, pref: Option<(BankAddr, u8)>) {
+        self.pb_pref = pref;
     }
 
     /// When the next refresh is due.
@@ -174,12 +229,16 @@ impl Imc {
         // further than that during bus-idle CPU work, the missed refreshes
         // are deemed to have completed in that interval (they would have —
         // the bus was idle); only the allowed backlog is issued live.
+        let tick = self.tick();
         let cap = self.cfg.trefi * 8;
         let horizon = now.saturating_since(self.next_refresh);
         if horizon > cap {
-            let missed = (horizon - cap).div_ceil(self.cfg.trefi);
+            let missed = (horizon - cap).div_ceil(tick);
             self.stats.refreshes_elided += missed;
-            self.next_refresh += self.cfg.trefi * missed;
+            self.next_refresh += tick * missed;
+        }
+        if self.cfg.mode == RefreshMode::PerBank {
+            return self.pump_refresh_pb(bus, now);
         }
         while self.next_refresh <= now {
             let due = self.next_refresh;
@@ -201,6 +260,53 @@ impl Imc {
             }
         }
         Ok(now)
+    }
+
+    /// Per-bank refresh pump: one REFpb per tREFI/16 tick. The host is
+    /// never blocked rank-wide — an access into the refreshing bank stalls
+    /// via the ordinary retry path, every other bank keeps flowing.
+    fn pump_refresh_pb(
+        &mut self,
+        bus: &mut SharedBus,
+        now: SimTime,
+    ) -> Result<SimTime, BusViolation> {
+        let tick = self.tick();
+        while self.next_refresh <= now {
+            let due = self.next_refresh;
+            let (bank, stretch) = self.choose_pb_bank();
+            let idx = usize::from(bank.index());
+            // Only the target bank needs precharging (the point of REFpb).
+            let mut at = due;
+            if self.open_rows[idx].is_some() {
+                let (pre_at, _) = self.issue_retry(bus, at, Command::Precharge { bank })?;
+                at = pre_at + bus.device().timing().trp;
+            }
+            self.issue_retry(bus, at, Command::RefreshBank { bank, stretch })?;
+            self.open_rows[idx] = None;
+            for d in &mut self.pb_deferral {
+                *d += 1;
+            }
+            self.pb_deferral[idx] = 0;
+            self.stats.refreshes += 1;
+            self.next_refresh = due + tick;
+        }
+        Ok(now)
+    }
+
+    /// Picks the bank for the next REFpb: any bank past the forcing limit
+    /// wins (most-starved first), otherwise the planner's preference,
+    /// otherwise least-recently-refreshed.
+    fn choose_pb_bank(&self) -> (BankAddr, u8) {
+        let most_starved = (0..BankAddr::COUNT)
+            .max_by_key(|&i| self.pb_deferral[usize::from(i)])
+            .unwrap_or(0);
+        if self.pb_deferral[usize::from(most_starved)] >= Self::PB_FORCE_LIMIT {
+            return (BankAddr::from_index(most_starved), 0);
+        }
+        if let Some((bank, stretch)) = self.pb_pref {
+            return (bank, stretch);
+        }
+        (BankAddr::from_index(most_starved), 0)
     }
 
     /// Performs one 64-byte access at `addr`, including any row
@@ -572,6 +678,108 @@ mod tests {
             fast > slow * 1.02,
             "tREFI4 runtime {fast:.1}us not slower than tREFI {slow:.1}us"
         );
+    }
+
+    #[test]
+    fn per_bank_pump_keeps_total_refresh_duty() {
+        let (mut imc, mut bus) = setup();
+        imc.set_refresh_mode(RefreshMode::PerBank);
+        bus.set_refresh_mode(RefreshMode::PerBank);
+        let t = SimTime::ZERO + imc.trefi() * 4 + SimDuration::from_us(1.0);
+        imc.pump_refresh(&mut bus, t).unwrap();
+        let s = imc.stats();
+        // Four tREFIs of duty at one REFpb per tREFI/16: 64 bank
+        // refreshes (give or take the pump crossing one more tick).
+        assert!(
+            (64..=66).contains(&s.refreshes),
+            "live REFpb = {}",
+            s.refreshes
+        );
+        assert_eq!(bus.stats().refreshes, s.refreshes);
+    }
+
+    #[test]
+    fn per_bank_pump_never_blocks_the_rank() {
+        let (mut imc, mut bus) = setup();
+        imc.set_refresh_mode(RefreshMode::PerBank);
+        bus.set_refresh_mode(RefreshMode::PerBank);
+        // Drive one tick's refresh, then access a *different* bank inside
+        // what would have been the rank-wide block.
+        let tick = imc.trefi() / 16;
+        let due = SimTime::ZERO + tick;
+        imc.pump_refresh(&mut bus, due).unwrap();
+        let refreshed = bus
+            .device()
+            .timing()
+            .refresh_silicon_ready_pb(due)
+            .since(due);
+        assert!(refreshed > SimDuration::ZERO, "test premise");
+        // Mid-tRFCpb: the whole rank is NOT blocked.
+        assert_eq!(
+            bus.host_ready_at(due + bus.device().timing().speed.tck()),
+            due + bus.device().timing().speed.tck()
+        );
+    }
+
+    #[test]
+    fn per_bank_access_stalls_only_in_refreshing_bank() {
+        let (mut imc, mut bus) = setup();
+        imc.set_refresh_mode(RefreshMode::PerBank);
+        bus.set_refresh_mode(RefreshMode::PerBank);
+        imc.set_refresh_pref(Some((BankAddr::new(0, 0), 0)));
+        let tick = imc.trefi() / 16;
+        let due = SimTime::ZERO + tick;
+        imc.pump_refresh(&mut bus, due).unwrap();
+        let tck = bus.device().timing().speed.tck();
+        // Bank (0,0) is refreshing: an access there must wait and record
+        // stall; bank (1,0) is reachable immediately.
+        let mapping = *bus.device().mapping();
+        let other_addr = mapping.encode(BankAddr::new(1, 0), 0, 0);
+        let hot_addr = mapping.encode(BankAddr::new(0, 0), 0, 0);
+        let free = imc
+            .access(&mut bus, due + tck, other_addr, AccessKind::Read)
+            .unwrap();
+        assert_eq!(free.issued_at, due + tck + bus.device().timing().trcd);
+        let before = imc.stats().refresh_stall;
+        let stalled = imc
+            .access(&mut bus, due + tck, hot_addr, AccessKind::Read)
+            .unwrap();
+        assert!(stalled.issued_at > free.issued_at);
+        assert!(imc.stats().refresh_stall > before);
+    }
+
+    #[test]
+    fn deferral_forcing_reaches_every_bank_despite_sticky_pref() {
+        let (mut imc, mut bus) = setup();
+        imc.set_refresh_mode(RefreshMode::PerBank);
+        bus.set_refresh_mode(RefreshMode::PerBank);
+        bus.attach_recorder();
+        // A planner that never changes its mind.
+        imc.set_refresh_pref(Some((BankAddr::new(0, 0), 2)));
+        let mut t = SimTime::ZERO;
+        let tick = imc.trefi() / 16;
+        for _ in 0..(u64::from(Imc::PB_FORCE_LIMIT) * 16 * 2) {
+            t += tick;
+            imc.pump_refresh(&mut bus, t).unwrap();
+        }
+        let trace = bus.take_trace();
+        let mut seen = [0u64; 16];
+        let mut last_seen_gap = [0u64; 16];
+        let mut total = 0u64;
+        for e in &trace {
+            if let Command::RefreshBank { bank, .. } = e.cmd {
+                total += 1;
+                seen[usize::from(bank.index())] += 1;
+                last_seen_gap[usize::from(bank.index())] = total;
+            }
+        }
+        for i in 0..16 {
+            assert!(seen[i] > 0, "bank {i} never refreshed: {seen:?}");
+            assert!(
+                total - last_seen_gap[i] <= u64::from(Imc::PB_FORCE_LIMIT) + 16,
+                "bank {i} starved at end of run"
+            );
+        }
     }
 
     #[test]

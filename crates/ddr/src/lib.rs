@@ -59,5 +59,5 @@ pub use command::{BankAddr, Command};
 pub use device::{AddressMapping, DecodedAddr, DramDevice};
 pub use error::{BusViolation, DdrError};
 pub use imc::{AccessKind, Imc, ImcConfig};
-pub use timing::{SpeedBin, TimingParams};
+pub use timing::{RefreshMode, SpeedBin, TimingParams};
 pub use trace::{TraceEntry, TraceRecorder};

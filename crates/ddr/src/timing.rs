@@ -63,6 +63,24 @@ impl SpeedBin {
     }
 }
 
+/// How the iMC schedules refresh and how the NVMC earns its bus windows.
+///
+/// `RankLevel` is the paper's mechanism: one all-bank REF per tREFI with a
+/// stretched tRFC, the whole rank silent while the NVMC moves data.
+/// `PerBank` is the DARP/SARP-style extension (Chang et al.): one
+/// single-bank refresh every tREFI/16, the NVMC confined to the refreshing
+/// bank while the host keeps hitting the other fifteen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefreshMode {
+    /// All-bank REF with a rank-wide extra-tRFC window (paper §III-B).
+    /// The default: legacy runs stay bit-identical.
+    #[default]
+    RankLevel,
+    /// Per-bank refresh windows: the iMC serves idle banks while the NVMC
+    /// uses the window of the bank currently refreshing.
+    PerBank,
+}
+
 /// DDR4 timing parameters, all as durations (converted from cycle counts at
 /// the chosen [`SpeedBin`]).
 ///
@@ -117,6 +135,18 @@ pub struct TimingParams {
     pub trfc_total: SimDuration,
     /// Average refresh interval.
     pub trefi: SimDuration,
+    /// Silicon refresh time for a *single* bank (per-bank refresh mode).
+    /// LPDDR4-class devices quote ~140 ns for an 8 Gb die.
+    pub trfc_pb: SimDuration,
+    /// Programmed per-bank refresh cycle: the surplus over [`Self::trfc_pb`]
+    /// is the NVMC's base window in that bank. Zero surplus (JEDEC) means
+    /// per-bank mode has no window at all.
+    pub trfc_pb_total: SimDuration,
+    /// Dynamic window-stretch quantum: the scheduler may lengthen one
+    /// per-bank window by `stretch × quantum` (stretch ≤
+    /// [`Self::MAX_STRETCH`]), trading host availability in that bank for
+    /// NVMC throughput.
+    pub stretch_quantum: SimDuration,
     /// Exit-self-refresh to first valid command.
     pub txs: SimDuration,
     /// Burst length in transfers (BL8 for DDR4).
@@ -156,6 +186,9 @@ impl TimingParams {
             trfc_base: SimDuration::from_ns(350),
             trfc_total: SimDuration::from_ns(350),
             trefi: SimDuration::from_us(7.8),
+            trfc_pb: SimDuration::from_ns(140),
+            trfc_pb_total: SimDuration::from_ns(140),
+            stretch_quantum: SimDuration::ZERO,
             txs: SimDuration::from_ns(360),
             burst_len: 8,
         }
@@ -167,6 +200,11 @@ impl TimingParams {
     pub fn nvdimmc_poc(speed: SpeedBin) -> Self {
         let mut t = Self::jedec(speed);
         t.trfc_total = SimDuration::from_ps(1000 * speed.tck_ps());
+        // Per-bank counterpart: programme the single-bank refresh cycle to
+        // 350 ns (210 ns surplus over the 140 ns silicon time), stretchable
+        // in 60 ns quanta up to the rank-mode close (350 + 15×60 = 1250 ns).
+        t.trfc_pb_total = SimDuration::from_ns(350);
+        t.stretch_quantum = SimDuration::from_ns(60);
         t
     }
 
@@ -302,6 +340,41 @@ impl TimingParams {
     pub fn nvmc_window_bounds(&self, ref_at: SimTime) -> (SimTime, SimTime) {
         (ref_at + self.trfc_base, ref_at + self.trfc_total)
     }
+
+    // --- Per-bank refresh rulebook ---------------------------------------
+
+    /// Largest legal window stretch level (fits the CA encoding's address
+    /// bits and caps a stretched per-bank close at the rank-mode close).
+    pub const MAX_STRETCH: u8 = 15;
+
+    /// Per-bank refresh cadence: one single-bank refresh every
+    /// tREFI / 16 keeps every bank at the JEDEC average interval.
+    pub fn trefi_pb(&self) -> SimDuration {
+        self.trefi / u64::from(crate::command::BankAddr::COUNT)
+    }
+
+    /// Base (unstretched) NVMC window per single-bank refresh.
+    pub fn extra_window_pb(&self) -> SimDuration {
+        self.trfc_pb_total.saturating_sub(self.trfc_pb)
+    }
+
+    /// When the silicon finishes refreshing one bank after a per-bank
+    /// refresh issued at `ref_at`.
+    pub fn refresh_silicon_ready_pb(&self, ref_at: SimTime) -> SimTime {
+        ref_at + self.trfc_pb
+    }
+
+    /// The NVMC's window `[opens, closes)` in the refreshing bank for a
+    /// per-bank refresh issued at `ref_at` with the given stretch level:
+    /// `closes = ref_at + tRFCpb_total + stretch × quantum`. The host is
+    /// blocked **only in that bank** until `closes`.
+    pub fn nvmc_window_bounds_pb(&self, ref_at: SimTime, stretch: u8) -> (SimTime, SimTime) {
+        let stretch = stretch.min(Self::MAX_STRETCH);
+        (
+            ref_at + self.trfc_pb,
+            ref_at + self.trfc_pb_total + self.stretch_quantum * u64::from(stretch),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +480,29 @@ mod tests {
             (act + t.tras).max(wr_end + t.twr)
         );
         assert_eq!(t.read_after_write(wr_end), wr_end + t.twtr);
+    }
+
+    #[test]
+    fn per_bank_rulebook_geometry() {
+        let t = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        assert_eq!(t.extra_window_pb(), SimDuration::from_ns(210));
+        assert_eq!(t.trefi_pb() * 16, t.trefi);
+        let ref_at = SimTime::from_us(3);
+        let (opens, closes) = t.nvmc_window_bounds_pb(ref_at, 0);
+        assert_eq!(opens, t.refresh_silicon_ready_pb(ref_at));
+        assert_eq!(closes.since(opens), t.extra_window_pb());
+        // Maximum stretch lands exactly on the rank-mode close.
+        let (_, max_close) = t.nvmc_window_bounds_pb(ref_at, TimingParams::MAX_STRETCH);
+        assert_eq!(max_close, ref_at + t.trfc_total);
+        // Stretch is clamped to the encodable maximum.
+        let (_, clamped) = t.nvmc_window_bounds_pb(ref_at, 200);
+        assert_eq!(clamped, max_close);
+    }
+
+    #[test]
+    fn jedec_has_no_per_bank_window() {
+        let t = TimingParams::jedec(SpeedBin::Ddr4_1600);
+        assert_eq!(t.extra_window_pb(), SimDuration::ZERO);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! inline bus/device checks cannot silently vouch for itself.
 
 use crate::bus::BusMaster;
-use crate::command::Command;
+use crate::command::{BankAddr, Command};
 use crate::timing::TimingParams;
 use nvdimmc_sim::SimTime;
 
@@ -46,6 +46,159 @@ impl TraceEntry {
             cmd,
             data,
         }
+    }
+
+    /// Serializes the entry as one whitespace-delimited text line, for
+    /// golden-trace corpus files replayed by regression tests:
+    /// `<at_ps> <ca_end_ps> <host|nvmc> <MNEMONIC> [operands…] [dq <start_ps> <end_ps>]`.
+    pub fn to_line(&self) -> String {
+        let master = match self.master {
+            BusMaster::HostImc => "host",
+            BusMaster::Nvmc => "nvmc",
+        };
+        let cmd = match self.cmd {
+            Command::Activate { bank, row } => {
+                format!("ACT {} {} {row}", bank.group, bank.bank)
+            }
+            Command::Read {
+                bank,
+                col,
+                auto_precharge,
+            } => format!(
+                "{} {} {} {col}",
+                if auto_precharge { "RDA" } else { "RD" },
+                bank.group,
+                bank.bank
+            ),
+            Command::Write {
+                bank,
+                col,
+                auto_precharge,
+            } => format!(
+                "{} {} {} {col}",
+                if auto_precharge { "WRA" } else { "WR" },
+                bank.group,
+                bank.bank
+            ),
+            Command::Precharge { bank } => format!("PRE {} {}", bank.group, bank.bank),
+            Command::PrechargeAll => "PREA".to_string(),
+            Command::Refresh => "REF".to_string(),
+            Command::RefreshBank { bank, stretch } => {
+                format!("REFPB {} {} {stretch}", bank.group, bank.bank)
+            }
+            Command::SelfRefreshEnter => "SRE".to_string(),
+            Command::SelfRefreshExit => "SRX".to_string(),
+            Command::ModeRegisterSet { register, value } => format!("MRS {register} {value}"),
+            Command::ZqCalibration => "ZQ".to_string(),
+            Command::Deselect => "DES".to_string(),
+        };
+        let mut line = format!("{} {} {master} {cmd}", self.at.as_ps(), self.ca_end.as_ps());
+        if let Some((start, end)) = self.data {
+            line.push_str(&format!(" dq {} {}", start.as_ps(), end.as_ps()));
+        }
+        line
+    }
+
+    /// Parses one [`Self::to_line`] line back into an entry. Blank lines
+    /// and `#` comments are the caller's problem; this expects one entry.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        fn next<'a>(
+            f: &mut impl Iterator<Item = &'a str>,
+            what: &str,
+            line: &str,
+        ) -> Result<&'a str, String> {
+            f.next().ok_or_else(|| format!("missing {what}: {line:?}"))
+        }
+        fn int(what: &str, tok: &str, line: &str) -> Result<u64, String> {
+            tok.parse::<u64>()
+                .map_err(|_| format!("bad {what} {tok:?}: {line:?}"))
+        }
+        fn bank<'a>(f: &mut impl Iterator<Item = &'a str>, line: &str) -> Result<BankAddr, String> {
+            let g = int("group", next(f, "group", line)?, line)?;
+            let b = int("bank", next(f, "bank", line)?, line)?;
+            if g >= u64::from(BankAddr::GROUPS) || b >= u64::from(BankAddr::BANKS_PER_GROUP) {
+                return Err(format!("bank address out of range: {line:?}"));
+            }
+            Ok(BankAddr::new(g as u8, b as u8))
+        }
+
+        let mut f = line.split_whitespace();
+        let at = SimTime::from_ps(int("at", next(&mut f, "at", line)?, line)?);
+        let ca_end = SimTime::from_ps(int("ca_end", next(&mut f, "ca_end", line)?, line)?);
+        let master = match next(&mut f, "master", line)? {
+            "host" => BusMaster::HostImc,
+            "nvmc" => BusMaster::Nvmc,
+            other => return Err(format!("unknown master {other:?}: {line:?}")),
+        };
+        let mnemonic = next(&mut f, "mnemonic", line)?;
+        let cmd = match mnemonic {
+            "ACT" => {
+                let b = bank(&mut f, line)?;
+                Command::Activate {
+                    bank: b,
+                    row: int("row", next(&mut f, "row", line)?, line)? as u32,
+                }
+            }
+            "RD" | "RDA" | "WR" | "WRA" => {
+                let b = bank(&mut f, line)?;
+                let col = int("col", next(&mut f, "col", line)?, line)? as u16;
+                let auto_precharge = mnemonic.ends_with('A');
+                if mnemonic.starts_with("RD") {
+                    Command::Read {
+                        bank: b,
+                        col,
+                        auto_precharge,
+                    }
+                } else {
+                    Command::Write {
+                        bank: b,
+                        col,
+                        auto_precharge,
+                    }
+                }
+            }
+            "PRE" => Command::Precharge {
+                bank: bank(&mut f, line)?,
+            },
+            "PREA" => Command::PrechargeAll,
+            "REF" => Command::Refresh,
+            "REFPB" => {
+                let b = bank(&mut f, line)?;
+                Command::RefreshBank {
+                    bank: b,
+                    stretch: int("stretch", next(&mut f, "stretch", line)?, line)? as u8,
+                }
+            }
+            "SRE" => Command::SelfRefreshEnter,
+            "SRX" => Command::SelfRefreshExit,
+            "MRS" => Command::ModeRegisterSet {
+                register: int("register", next(&mut f, "register", line)?, line)? as u8,
+                value: int("value", next(&mut f, "value", line)?, line)? as u16,
+            },
+            "ZQ" => Command::ZqCalibration,
+            "DES" => Command::Deselect,
+            other => return Err(format!("unknown mnemonic {other:?}: {line:?}")),
+        };
+        let data = match f.next() {
+            None => None,
+            Some("dq") => {
+                let start =
+                    SimTime::from_ps(int("dq start", next(&mut f, "dq start", line)?, line)?);
+                let end = SimTime::from_ps(int("dq end", next(&mut f, "dq end", line)?, line)?);
+                Some((start, end))
+            }
+            Some(other) => return Err(format!("trailing token {other:?}: {line:?}")),
+        };
+        if f.next().is_some() {
+            return Err(format!("trailing tokens: {line:?}"));
+        }
+        Ok(TraceEntry {
+            at,
+            ca_end,
+            master,
+            cmd,
+            data,
+        })
     }
 }
 
@@ -125,6 +278,73 @@ mod tests {
             &t,
         );
         assert_eq!(e.data, None);
+    }
+
+    #[test]
+    fn trace_lines_roundtrip_every_command() {
+        let t = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        let b = BankAddr::new(2, 1);
+        let cmds = [
+            (BusMaster::HostImc, Command::Activate { bank: b, row: 4093 }),
+            (
+                BusMaster::Nvmc,
+                Command::Read {
+                    bank: b,
+                    col: 127,
+                    auto_precharge: true,
+                },
+            ),
+            (
+                BusMaster::HostImc,
+                Command::Write {
+                    bank: b,
+                    col: 3,
+                    auto_precharge: false,
+                },
+            ),
+            (BusMaster::Nvmc, Command::Precharge { bank: b }),
+            (BusMaster::HostImc, Command::PrechargeAll),
+            (BusMaster::HostImc, Command::Refresh),
+            (
+                BusMaster::HostImc,
+                Command::RefreshBank {
+                    bank: b,
+                    stretch: 13,
+                },
+            ),
+            (BusMaster::HostImc, Command::SelfRefreshEnter),
+            (BusMaster::HostImc, Command::SelfRefreshExit),
+            (
+                BusMaster::HostImc,
+                Command::ModeRegisterSet {
+                    register: 6,
+                    value: 0x155,
+                },
+            ),
+            (BusMaster::HostImc, Command::ZqCalibration),
+            (BusMaster::HostImc, Command::Deselect),
+        ];
+        for (i, (master, cmd)) in cmds.into_iter().enumerate() {
+            let e = TraceEntry::observe(master, SimTime::from_ns(100 * (i as u64 + 1)), cmd, &t);
+            let back = TraceEntry::from_line(&e.to_line()).expect("roundtrip");
+            assert_eq!(back, e, "line was {:?}", e.to_line());
+        }
+    }
+
+    #[test]
+    fn malformed_trace_lines_are_rejected() {
+        for bad in [
+            "",
+            "100",
+            "100 101 host",
+            "100 101 alien REF",
+            "100 101 host FROB",
+            "100 101 host ACT 9 0 5",
+            "100 101 host REF extra",
+            "100 101 nvmc RD 0 0 0 dq 5",
+        ] {
+            assert!(TraceEntry::from_line(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub struct ConcurrentReport {
     /// Per-shard device-busy fraction of the elapsed window (empty for
     /// lockstep runs).
     pub utilisation: Vec<f64>,
+    /// Order-independent digest of every read payload served: each
+    /// completion hashes `(shard, offset, len, bytes)` with FNV-1a and
+    /// the records fold with a wrapping sum, so engine batching cannot
+    /// perturb it. Two runs of the same job are host-visibly identical
+    /// iff their digests match (reads observe earlier writes, so a
+    /// mixed workload covers the write path too).
+    pub data_digest: u64,
 }
 
 impl ConcurrentReport {
@@ -284,10 +291,27 @@ impl RoundDriver {
                 conservation: Vec::new(),
                 exec: ExecStats::default(),
                 utilisation: Vec::new(),
+                data_digest: 0,
             },
             elapsed,
         )
     }
+}
+
+/// FNV-1a over one read completion's identity and payload.
+fn digest_record(shard: u32, offset: u64, data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in shard
+        .to_le_bytes()
+        .into_iter()
+        .chain(offset.to_le_bytes())
+        .chain((data.len() as u64).to_le_bytes())
+        .chain(data.iter().copied())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 fn check_shapes<D: QueuedDevice>(
@@ -376,6 +400,7 @@ impl ConcurrentFio {
             .unwrap_or_default();
         let mut driver = RoundDriver::new(self.job, self.threads, start);
         let mut op_done: Vec<SimTime> = vec![SimTime::ZERO; driver.workers.len()];
+        let mut digest = 0u64;
         while driver.live() {
             let round = driver.next_round(&devices[0], map);
             op_done.iter_mut().for_each(|t| *t = SimTime::ZERO);
@@ -388,16 +413,17 @@ impl ConcurrentFio {
                             Err(bounced) => {
                                 // Ring full: serve what's queued, retry.
                                 req = bounced;
-                                drain_completions(&mut exec, devices, &mut op_done)?;
+                                drain_completions(&mut exec, devices, &mut op_done, &mut digest)?;
                             }
                         }
                     }
                 }
             }
-            drain_completions(&mut exec, devices, &mut op_done)?;
+            drain_completions(&mut exec, devices, &mut op_done, &mut digest)?;
             driver.fold_round(&round, &op_done);
         }
         let (mut report, elapsed) = driver.finish(self.threads);
+        report.data_digest = digest;
         report.conservation = exec.conservation();
         report.utilisation = (0..exec.shards())
             .map(|s| {
@@ -442,6 +468,7 @@ impl ConcurrentFio {
             .unwrap_or_default();
         let mut driver = RoundDriver::new(self.job, self.threads, start);
         let mut op_done: Vec<SimTime> = vec![SimTime::ZERO; driver.workers.len()];
+        let mut digest = 0u64;
         while driver.live() {
             let round = driver.next_round(&devices[0], map);
             // Enqueue; a bounced request (bounded queue) is carried in an
@@ -472,7 +499,13 @@ impl ConcurrentFio {
                     let end = match r.kind {
                         ReqKind::Read => {
                             scratch.resize(r.len as usize, 0);
-                            dev.serve_read(r.not_before, r.local_offset, &mut scratch)?
+                            let end = dev.serve_read(r.not_before, r.local_offset, &mut scratch)?;
+                            digest = digest.wrapping_add(digest_record(
+                                shard as u32,
+                                r.local_offset,
+                                &scratch,
+                            ));
+                            end
                         }
                         ReqKind::Write => dev.serve_write(r.not_before, r.local_offset, &r.data)?,
                     };
@@ -486,6 +519,7 @@ impl ConcurrentFio {
             driver.fold_round(&round, &op_done);
         }
         let (mut report, _) = driver.finish(self.threads);
+        report.data_digest = digest;
         report.sched = sched.total_stats();
         report.conservation = sched.conservation();
         Ok(report)
@@ -499,12 +533,16 @@ fn drain_completions<D: QueuedDevice>(
     exec: &mut ShardExecutor,
     devices: &mut [D],
     op_done: &mut [SimTime],
+    digest: &mut u64,
 ) -> Result<(), CoreError> {
     let mut first_err = None;
     for c in exec.dispatch(devices) {
         if let Some(e) = c.error {
             first_err.get_or_insert(e);
             continue;
+        }
+        if c.kind == ReqKind::Read {
+            *digest = digest.wrapping_add(digest_record(c.shard, c.local_offset, &c.data));
         }
         let t = c.thread as usize;
         op_done[t] = op_done[t].max(c.end);

@@ -1,0 +1,380 @@
+//! Refresh–access parallelism: the per-bank NVMC window mode against the
+//! rank-level legacy mode, differentially.
+//!
+//! - **Differential runs** — the same seed and workload under both
+//!   refresh modes return bit-identical host-visible data (an
+//!   order-independent digest over every read payload), produce traces
+//!   that pass every `nvdimmc-check` pass, and the per-bank mode is
+//!   strictly faster at 4+ channels (the whole point: the iMC keeps
+//!   serving idle banks while the NVMC works the refreshing one).
+//! - **Checker properties** — generated per-bank window schedules
+//!   round-trip clean through `check_refresh_windows`; an injected
+//!   out-of-window NVMC beat or same-bank host/NVMC overlap is flagged
+//!   with exactly one diagnostic.
+//! - **Golden corpus** — two small captured traces (one legal per-bank
+//!   interleaving, one known violation) under `tests/refresh_corpus/`
+//!   replay bit-identically on every run.
+
+use nvdimmc::check::{check_refresh_windows, check_shards};
+use nvdimmc::core::{
+    BlockDevice, MultiChannelConfig, MultiChannelSystem, NvdimmCConfig, PAGE_BYTES,
+};
+use nvdimmc::ddr::{BankAddr, BusMaster, Command, RefreshMode, SpeedBin, TimingParams, TraceEntry};
+use nvdimmc::sim::{SimDuration, SimTime};
+use nvdimmc::workloads::{ConcurrentFio, ConcurrentReport, FioJob};
+use proptest::prelude::*;
+
+const CHANNELS: u32 = 4;
+const PAGES_PER_CHANNEL: u64 = 48;
+
+/// Builds a front in the given mode, writes a distinct pattern to every
+/// page single-threadedly (so concurrent reads observe deterministic
+/// data with no cross-thread write races), then drives the same-seeded
+/// concurrent random-read job over it with trace capture on.
+fn run_mode(mode: RefreshMode) -> (ConcurrentReport, Vec<Vec<TraceEntry>>, TimingParams) {
+    let cfg = NvdimmCConfig::small_for_tests().with_refresh_mode(mode);
+    let timing = cfg.timing;
+    let mut sys = MultiChannelSystem::new(MultiChannelConfig::new(cfg, CHANNELS)).unwrap();
+    let span = PAGES_PER_CHANNEL * PAGE_BYTES * u64::from(CHANNELS);
+    let mut page = vec![0u8; PAGE_BYTES as usize];
+    for p in 0..span / PAGE_BYTES {
+        page.fill((p % 251) as u8);
+        sys.write_at(p * PAGE_BYTES, &page).unwrap();
+    }
+    sys.set_trace_capture(true);
+    let threads = 4 * CHANNELS;
+    let report = ConcurrentFio {
+        job: FioJob::rand_read_4k(span, u64::from(threads) * 16),
+        threads,
+    }
+    .run_multichannel(&mut sys)
+    .unwrap();
+    let traces = sys
+        .set_trace_capture(false)
+        .expect("disabling capture returns the epoch");
+    (report, traces, timing)
+}
+
+#[test]
+fn same_seed_workload_is_host_visibly_identical_and_per_bank_is_faster() {
+    let (rank, rank_traces, timing) = run_mode(RefreshMode::RankLevel);
+    let (pb, pb_traces, _) = run_mode(RefreshMode::PerBank);
+
+    // Host-visible equality: every read returned the same bytes from the
+    // same offsets, whichever refresh mode carried the refreshes.
+    assert_ne!(rank.data_digest, 0, "digest never folded a read payload");
+    assert_eq!(
+        rank.data_digest, pb.data_digest,
+        "refresh mode changed host-visible data"
+    );
+
+    // Both modes' traces pass every checker pass — including the
+    // per-bank legality rules on the per-bank trace.
+    for (label, traces) in [("rank", &rank_traces), ("per-bank", &pb_traces)] {
+        assert_eq!(traces.len(), CHANNELS as usize);
+        for (shard, rep) in check_shards(traces, &timing).iter().enumerate() {
+            assert!(rep.is_clean(), "{label} shard {shard} trace dirty:\n{rep}");
+        }
+    }
+    // The per-bank trace really used per-bank refreshes.
+    assert!(
+        pb_traces
+            .iter()
+            .flatten()
+            .any(|e| matches!(e.cmd, Command::RefreshBank { .. })),
+        "per-bank run shows no REFpb on the bus"
+    );
+
+    // Refresh–access parallelism: strictly more ops/s at 4 channels.
+    assert!(
+        pb.kiops() > rank.kiops(),
+        "per-bank mode not faster: {:.0} vs {:.0} KIOPS",
+        pb.kiops(),
+        rank.kiops()
+    );
+}
+
+#[test]
+fn same_seed_reruns_are_bit_identical_in_both_modes() {
+    for mode in [RefreshMode::RankLevel, RefreshMode::PerBank] {
+        let (a, _, _) = run_mode(mode);
+        let (b, _, _) = run_mode(mode);
+        assert_eq!(a.data_digest, b.data_digest, "{mode:?} digest diverged");
+        assert_eq!(a.kiops(), b.kiops(), "{mode:?} throughput diverged");
+        assert_eq!(a.mean_latency(), b.mean_latency(), "{mode:?}");
+        assert_eq!(a.utilisation, b.utilisation, "{mode:?}");
+        assert_eq!(a.exec, b.exec, "{mode:?} executor ledger diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checker properties over synthetic per-bank schedules.
+// ---------------------------------------------------------------------
+
+fn timing() -> TimingParams {
+    TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600)
+}
+
+fn entry(master: BusMaster, at: SimTime, cmd: Command) -> TraceEntry {
+    TraceEntry::observe(master, at, cmd, &timing())
+}
+
+/// One slot of a generated per-bank schedule.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    stretch: u8,
+    nvmc_uses_window: bool,
+    host_hits_other_bank: bool,
+}
+
+/// A legal per-bank schedule: REFpb slots at the per-bank cadence in
+/// bank round-robin order (so no bank ever starves and no window is
+/// reopened while live), with optional NVMC work inside each window and
+/// optional host work in a far-away bank mid-window.
+fn legal_schedule(slots: &[Slot]) -> Vec<TraceEntry> {
+    let t = timing();
+    let base = SimTime::from_us(10);
+    // Wide enough that a bank's previous (fully stretched) window has
+    // always closed before any traffic targets it again.
+    let spacing = t.trefi_pb().max(SimDuration::from_ns(500));
+    let mut trace = Vec::new();
+    for (i, slot) in slots.iter().enumerate() {
+        let bank = BankAddr::from_index((i % 16) as u8);
+        let ref_at = base + spacing * i as u64;
+        trace.push(entry(
+            BusMaster::HostImc,
+            ref_at,
+            Command::RefreshBank {
+                bank,
+                stretch: slot.stretch,
+            },
+        ));
+        let (opens, _closes) = t.nvmc_window_bounds_pb(ref_at, slot.stretch);
+        if slot.nvmc_uses_window {
+            trace.push(entry(
+                BusMaster::Nvmc,
+                opens,
+                Command::Activate { bank, row: 1 },
+            ));
+            trace.push(entry(
+                BusMaster::Nvmc,
+                opens + t.tras,
+                Command::Precharge { bank },
+            ));
+        }
+        if slot.host_hits_other_bank {
+            // Eight slots away in the round-robin: that bank's own window
+            // closed microseconds ago. Close the row afterwards so the
+            // bank is idle when its next REFpb comes round.
+            let other = BankAddr::from_index(((i + 8) % 16) as u8);
+            trace.push(entry(
+                BusMaster::HostImc,
+                opens + t.trrd_s,
+                Command::Activate {
+                    bank: other,
+                    row: 2,
+                },
+            ));
+            trace.push(entry(
+                BusMaster::HostImc,
+                opens + t.trrd_s + t.tras,
+                Command::Precharge { bank: other },
+            ));
+        }
+    }
+    trace
+}
+
+fn arb_slots() -> impl Strategy<Value = Vec<Slot>> {
+    prop::collection::vec(
+        (0u8..=15, any::<bool>(), any::<bool>()).prop_map(|(stretch, nvmc, host)| Slot {
+            stretch,
+            nvmc_uses_window: nvmc,
+            host_hits_other_bank: host,
+        }),
+        1..48,
+    )
+}
+
+proptest! {
+    /// Any generated bank/window schedule round-trips clean: windows at
+    /// the per-bank cadence with in-window NVMC work and other-bank host
+    /// work carry no diagnostics.
+    #[test]
+    fn generated_pb_schedules_check_clean(slots in arb_slots()) {
+        let trace = legal_schedule(&slots);
+        let diags = check_refresh_windows(&trace, &timing());
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// The schedule also survives the text round-trip: serialising every
+    /// entry and parsing it back reproduces the same clean verdict on
+    /// identical entries.
+    #[test]
+    fn schedules_survive_the_trace_text_roundtrip(slots in arb_slots()) {
+        let trace = legal_schedule(&slots);
+        let back: Vec<TraceEntry> = trace
+            .iter()
+            .map(|e| TraceEntry::from_line(&e.to_line()).expect("roundtrip"))
+            .collect();
+        prop_assert_eq!(&back, &trace);
+        prop_assert!(check_refresh_windows(&back, &timing()).is_empty());
+    }
+
+    /// An NVMC beat injected before its bank's window opens is flagged
+    /// with exactly one diagnostic.
+    #[test]
+    fn injected_early_nvmc_beat_is_flagged_exactly_once(
+        slots in arb_slots(),
+        pick in 0usize..4096,
+    ) {
+        let t = timing();
+        let mut trace = legal_schedule(&slots);
+        let refpbs: Vec<(SimTime, BankAddr)> = trace
+            .iter()
+            .filter_map(|e| match e.cmd {
+                Command::RefreshBank { bank, .. } => Some((e.at, bank)),
+                _ => None,
+            })
+            .collect();
+        let (ref_at, bank) = refpbs[pick % refpbs.len()];
+        // One nanosecond before tRFCpb elapses: the bank silicon is
+        // still refreshing, so the NVMC may not touch it.
+        trace.push(entry(
+            BusMaster::Nvmc,
+            ref_at + (t.trfc_pb - SimDuration::from_ns(1)),
+            Command::Activate { bank, row: 7 },
+        ));
+        let diags = check_refresh_windows(&trace, &t);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "refresh/nvmc-outside-window");
+    }
+
+    /// A host beat injected into the refreshing bank mid-window is
+    /// flagged with exactly one diagnostic.
+    #[test]
+    fn injected_same_bank_host_overlap_is_flagged_exactly_once(
+        slots in arb_slots(),
+        pick in 0usize..4096,
+    ) {
+        let t = timing();
+        let mut trace = legal_schedule(&slots);
+        let refpbs: Vec<(SimTime, BankAddr, u8)> = trace
+            .iter()
+            .filter_map(|e| match e.cmd {
+                Command::RefreshBank { bank, stretch } => Some((e.at, bank, stretch)),
+                _ => None,
+            })
+            .collect();
+        let (ref_at, bank, stretch) = refpbs[pick % refpbs.len()];
+        let (opens, _) = t.nvmc_window_bounds_pb(ref_at, stretch);
+        trace.push(entry(
+            BusMaster::HostImc,
+            opens,
+            Command::Activate { bank, row: 9 },
+        ));
+        let diags = check_refresh_windows(&trace, &t);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].rule, "refresh/host-inside-trfc");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden-trace corpus replays.
+// ---------------------------------------------------------------------
+
+const CORPUS_LEGAL: &str = include_str!("refresh_corpus/pb_parallel_legal.trace");
+const CORPUS_VIOLATION: &str = include_str!("refresh_corpus/pb_host_overlap_violation.trace");
+
+fn parse_corpus(text: &str) -> Vec<TraceEntry> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|l| TraceEntry::from_line(l).expect("corpus line parses"))
+        .collect()
+}
+
+/// The committed legal interleaving — NVMC inside per-bank windows,
+/// host in other banks mid-window, banks refreshed round-robin — stays
+/// clean under the full checker.
+#[test]
+fn corpus_legal_per_bank_interleaving_replays_clean() {
+    let trace = parse_corpus(CORPUS_LEGAL);
+    assert!(trace.len() > 16, "corpus artifact truncated");
+    let report = nvdimmc::check::check_trace(&trace, &timing());
+    assert!(report.is_clean(), "{report}");
+}
+
+/// The committed violation — a host ACT into the refreshing bank
+/// mid-window — keeps firing exactly the recorded diagnostic.
+#[test]
+fn corpus_host_overlap_violation_still_fires() {
+    let trace = parse_corpus(CORPUS_VIOLATION);
+    let diags = check_refresh_windows(&trace, &timing());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "refresh/host-inside-trfc");
+    assert!(
+        diags[0].message.contains("per-bank window"),
+        "{}",
+        diags[0].message
+    );
+}
+
+/// Regenerates the committed corpus artifacts. Run explicitly after a
+/// deliberate trace-format or timing change:
+/// `cargo test --test refresh_parallelism regenerate -- --ignored`
+#[test]
+#[ignore = "writes tests/refresh_corpus/; run on deliberate format changes only"]
+fn regenerate_refresh_corpus() {
+    let slots: Vec<Slot> = (0..24)
+        .map(|i| Slot {
+            stretch: (i % 7) as u8 * 2,
+            nvmc_uses_window: i % 2 == 0,
+            host_hits_other_bank: i % 3 != 0,
+        })
+        .collect();
+    let legal = legal_schedule(&slots);
+    assert!(check_refresh_windows(&legal, &timing()).is_empty());
+
+    let t = timing();
+    let mut violation = legal_schedule(&slots[..4]);
+    let (ref_at, bank, stretch) = violation
+        .iter()
+        .filter_map(|e| match e.cmd {
+            Command::RefreshBank { bank, stretch } => Some((e.at, bank, stretch)),
+            _ => None,
+        })
+        .nth(1)
+        .unwrap();
+    let (opens, _) = t.nvmc_window_bounds_pb(ref_at, stretch);
+    violation.push(entry(
+        BusMaster::HostImc,
+        opens,
+        Command::Activate { bank, row: 9 },
+    ));
+
+    let render = |header: &str, trace: &[TraceEntry]| {
+        let mut lines: Vec<String> = header.lines().map(|l| format!("# {l}")).collect();
+        lines.extend(trace.iter().map(TraceEntry::to_line));
+        lines.join("\n") + "\n"
+    };
+    std::fs::write(
+        "tests/refresh_corpus/pb_parallel_legal.trace",
+        render(
+            "Legal per-bank interleaving: REFpb round-robin at the per-bank\n\
+             cadence, NVMC ACT/PRE inside each window, host ACTs to a bank\n\
+             eight slots away mid-window. Must stay check-clean.",
+            &legal,
+        ),
+    )
+    .unwrap();
+    std::fs::write(
+        "tests/refresh_corpus/pb_host_overlap_violation.trace",
+        render(
+            "Known violation: the final host ACT lands in the refreshing\n\
+             bank inside its still-open per-bank window. Must keep firing\n\
+             exactly one refresh/host-inside-trfc diagnostic.",
+            &violation,
+        ),
+    )
+    .unwrap();
+}

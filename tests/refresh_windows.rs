@@ -1,134 +1,173 @@
 //! The paper's core safety claim (§III-B, §VII-A), tested at full-stack
 //! scope: the tRFC-based serialisation lets two masters share one DDR4
 //! bus without a single protocol violation, and breaking its assumptions
-//! is *detected* rather than silently corrupting.
+//! is *detected* rather than silently corrupting. Every full-stack test
+//! runs under both refresh modes — rank-level all-bank REF (the paper's
+//! mechanism) and per-bank windows — since the legality contract must
+//! hold identically in each.
 
 use nvdimmc::core::{BlockDevice, NvdimmCConfig, System, PAGE_BYTES};
 use nvdimmc::ddr::{
-    BankAddr, BusMaster, BusViolation, Command, DramDevice, SharedBus, SpeedBin, TimingParams,
+    BankAddr, BusMaster, BusViolation, Command, DramDevice, RefreshMode, SharedBus, SpeedBin,
+    TimingParams,
 };
 use nvdimmc::sim::{DeterministicRng, SimTime};
+
+const BOTH_MODES: [RefreshMode; 2] = [RefreshMode::RankLevel, RefreshMode::PerBank];
 
 /// Replays the recorded trace through every nvdimmc-check pass — the
 /// independent verifier must agree with the inline bus enforcement that
 /// the run was violation-free.
-fn assert_trace_clean(sys: &mut System) {
+fn assert_trace_clean(sys: &mut System, mode: RefreshMode) {
     let trace = sys.take_trace();
-    assert!(!trace.is_empty(), "recorder captured no bus traffic");
+    assert!(
+        !trace.is_empty(),
+        "recorder captured no bus traffic ({mode:?})"
+    );
     let report = nvdimmc::check::check_trace(&trace, &sys.config().timing);
-    assert!(report.is_clean(), "{report}");
+    assert!(report.is_clean(), "{mode:?}: {report}");
+}
+
+/// Asserts the mode's refresh flavour actually reached the detector:
+/// per-bank runs must have snooped REFpb states, rank runs none.
+fn assert_flavour_detected(sys: &System, mode: RefreshMode) {
+    let d = sys.detector_stats();
+    match mode {
+        RefreshMode::PerBank => assert!(d.pb_detections > 0, "no REFpb snooped"),
+        RefreshMode::RankLevel => assert_eq!(d.pb_detections, 0, "REFpb in rank mode"),
+    }
 }
 
 #[test]
 fn no_violations_across_heavy_mixed_traffic() {
-    let mut cfg = NvdimmCConfig::small_for_tests();
-    cfg.cache_slots = 32;
-    let mut sys = System::new(cfg).unwrap();
-    sys.set_trace_capture(true);
-    let mut rng = DeterministicRng::new(41);
-    let span = 128 * PAGE_BYTES;
-    let mut buf = vec![0u8; 8192];
-    for i in 0..500u64 {
-        let off = rng.gen_range(0..span - 8192);
-        let len = [64usize, 512, 4096, 8192][(i % 4) as usize];
-        if rng.gen_bool(0.5) {
-            sys.read_at(off, &mut buf[..len]).unwrap();
-        } else {
-            sys.write_at(off, &buf[..len]).unwrap();
+    for mode in BOTH_MODES {
+        let mut cfg = NvdimmCConfig::small_for_tests().with_refresh_mode(mode);
+        cfg.cache_slots = 32;
+        let mut sys = System::new(cfg).unwrap();
+        sys.set_trace_capture(true);
+        let mut rng = DeterministicRng::new(41);
+        let span = 128 * PAGE_BYTES;
+        let mut buf = vec![0u8; 8192];
+        for i in 0..500u64 {
+            let off = rng.gen_range(0..span - 8192);
+            let len = [64usize, 512, 4096, 8192][(i % 4) as usize];
+            if rng.gen_bool(0.5) {
+                sys.read_at(off, &mut buf[..len]).unwrap();
+            } else {
+                sys.write_at(off, &buf[..len]).unwrap();
+            }
         }
+        let bus = sys.bus_stats();
+        assert_eq!(
+            bus.violations_rejected, 0,
+            "window discipline broke ({mode:?})"
+        );
+        assert!(bus.nvmc_commands > 0, "the NVMC really used the bus");
+        assert!(bus.refreshes > 0);
+        // The detector saw every refresh the bus carried.
+        assert_eq!(sys.detector_stats().detections, bus.refreshes, "{mode:?}");
+        assert_flavour_detected(&sys, mode);
+        // And the offline verifier agrees with the online enforcement.
+        assert_trace_clean(&mut sys, mode);
     }
-    let bus = sys.bus_stats();
-    assert_eq!(bus.violations_rejected, 0, "window discipline broke");
-    assert!(bus.nvmc_commands > 0, "the NVMC really used the bus");
-    assert!(bus.refreshes > 0);
-    // The detector saw every refresh the bus carried.
-    assert_eq!(sys.detector_stats().detections, bus.refreshes);
-    // And the offline verifier agrees with the online enforcement.
-    assert_trace_clean(&mut sys);
 }
 
 #[test]
 fn every_fpga_byte_moved_inside_a_window() {
-    let mut cfg = NvdimmCConfig::small_for_tests();
-    cfg.cache_slots = 8;
-    let mut sys = System::new(cfg).unwrap();
-    sys.set_trace_capture(true);
-    let page = vec![9u8; PAGE_BYTES as usize];
-    for i in 0..32u64 {
-        sys.write_at(i * PAGE_BYTES, &page).unwrap();
+    for mode in BOTH_MODES {
+        let mut cfg = NvdimmCConfig::small_for_tests().with_refresh_mode(mode);
+        cfg.cache_slots = 8;
+        let mut sys = System::new(cfg).unwrap();
+        sys.set_trace_capture(true);
+        let page = vec![9u8; PAGE_BYTES as usize];
+        for i in 0..32u64 {
+            sys.write_at(i * PAGE_BYTES, &page).unwrap();
+        }
+        let mut buf = vec![0u8; PAGE_BYTES as usize];
+        for i in 0..16u64 {
+            sys.read_at(i * PAGE_BYTES, &mut buf).unwrap();
+        }
+        // If any NVMC access had fallen outside a window, the bus would
+        // have rejected it and the driver would have surfaced the error;
+        // reaching here with traffic on both masters is the proof.
+        let bus = sys.bus_stats();
+        assert!(bus.nvmc_bytes >= 16 * PAGE_BYTES, "NVMC moved real data");
+        assert_eq!(bus.violations_rejected, 0, "{mode:?}");
+        // Independent confirmation: every NVMC command in the trace sits
+        // strictly inside a window of the mode's flavour.
+        let trace = sys.take_trace();
+        assert!(
+            trace
+                .iter()
+                .any(|e| e.master == BusMaster::Nvmc && e.data.is_some()),
+            "trace shows no NVMC data bursts ({mode:?})"
+        );
+        let report = nvdimmc::check::check_trace(&trace, &sys.config().timing);
+        assert!(report.is_clean(), "{mode:?}: {report}");
     }
-    let mut buf = vec![0u8; PAGE_BYTES as usize];
-    for i in 0..16u64 {
-        sys.read_at(i * PAGE_BYTES, &mut buf).unwrap();
-    }
-    // If any NVMC access had fallen outside a window, the bus would have
-    // rejected it and the driver would have surfaced the error; reaching
-    // here with traffic on both masters is the proof.
-    let bus = sys.bus_stats();
-    assert!(bus.nvmc_bytes >= 16 * PAGE_BYTES, "NVMC moved real data");
-    assert_eq!(bus.violations_rejected, 0);
-    // Independent confirmation: every NVMC command in the trace sits
-    // strictly inside an extra-tRFC window.
-    let trace = sys.take_trace();
-    assert!(
-        trace
-            .iter()
-            .any(|e| e.master == BusMaster::Nvmc && e.data.is_some()),
-        "trace shows no NVMC data bursts"
-    );
-    let report = nvdimmc::check::check_trace(&trace, &sys.config().timing);
-    assert!(report.is_clean(), "{report}");
 }
 
 #[test]
 fn rogue_nvmc_outside_window_is_caught() {
-    // Directly drive the bus the way a buggy/absent detector would.
-    let timing = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
-    let mut bus = SharedBus::new(DramDevice::new(timing, 1 << 24));
-    let err = bus.issue(
-        BusMaster::Nvmc,
-        SimTime::from_us(5),
-        Command::Activate {
-            bank: BankAddr::new(0, 0),
-            row: 3,
-        },
-    );
-    assert!(matches!(err, Err(BusViolation::NvmcOutsideWindow { .. })));
+    for mode in BOTH_MODES {
+        // Directly drive the bus the way a buggy/absent detector would.
+        let timing = TimingParams::nvdimmc_poc(SpeedBin::Ddr4_1600);
+        let mut bus = SharedBus::new(DramDevice::new(timing, 1 << 24));
+        bus.set_refresh_mode(mode);
+        let err = bus.issue(
+            BusMaster::Nvmc,
+            SimTime::from_us(5),
+            Command::Activate {
+                bank: BankAddr::new(0, 0),
+                row: 3,
+            },
+        );
+        assert!(
+            matches!(err, Err(BusViolation::NvmcOutsideWindow { .. })),
+            "{mode:?}: {err:?}"
+        );
+    }
 }
 
 #[test]
 fn jedec_trfc_gives_nvmc_no_window_at_all() {
-    // Without the BIOS tRFC stretch there is no NVDIMM-C: config rejects.
-    let mut cfg = NvdimmCConfig::small_for_tests();
-    cfg.timing = TimingParams::jedec(SpeedBin::Ddr4_1600);
-    assert!(System::new(cfg).is_err());
+    for mode in BOTH_MODES {
+        // Without the BIOS tRFC stretch there is no NVDIMM-C: config
+        // rejects in both modes (JEDEC timing also collapses tRFCpb).
+        let mut cfg = NvdimmCConfig::small_for_tests().with_refresh_mode(mode);
+        cfg.timing = TimingParams::jedec(SpeedBin::Ddr4_1600);
+        assert!(System::new(cfg).is_err(), "{mode:?}");
+    }
 }
 
 #[test]
 fn detection_accuracy_no_false_positives_over_long_run() {
-    // §VII-A inverted: across a long mixed run, the number of detections
-    // must exactly equal the number of REFRESH commands — no command
-    // pattern ever aliases into a refresh (which would let the FPGA drive
-    // the bus concurrently with the host).
-    let mut cfg = NvdimmCConfig::small_for_tests();
-    cfg.cache_slots = 16;
-    let mut sys = System::new(cfg).unwrap();
-    sys.set_trace_capture(true);
-    let mut rng = DeterministicRng::new(97);
-    let mut buf = vec![0u8; 4096];
-    for _ in 0..400 {
-        let off = rng.gen_range(0..48) * PAGE_BYTES;
-        if rng.gen_bool(0.5) {
-            sys.read_at(off, &mut buf).unwrap();
-        } else {
-            sys.write_at(off, &buf).unwrap();
+    for mode in BOTH_MODES {
+        // §VII-A inverted: across a long mixed run, the number of
+        // detections must exactly equal the number of REFRESH commands —
+        // no command pattern ever aliases into a refresh (which would let
+        // the FPGA drive the bus concurrently with the host).
+        let mut cfg = NvdimmCConfig::small_for_tests().with_refresh_mode(mode);
+        cfg.cache_slots = 16;
+        let mut sys = System::new(cfg).unwrap();
+        sys.set_trace_capture(true);
+        let mut rng = DeterministicRng::new(97);
+        let mut buf = vec![0u8; 4096];
+        for _ in 0..400 {
+            let off = rng.gen_range(0..48) * PAGE_BYTES;
+            if rng.gen_bool(0.5) {
+                sys.read_at(off, &mut buf).unwrap();
+            } else {
+                sys.write_at(off, &buf).unwrap();
+            }
         }
+        assert_eq!(
+            sys.detector_stats().detections,
+            sys.bus_stats().refreshes,
+            "false positives or misses in the refresh detector ({mode:?})"
+        );
+        assert_flavour_detected(&sys, mode);
+        assert_eq!(sys.detector_stats().sre_rejected, 0);
+        assert_trace_clean(&mut sys, mode);
     }
-    assert_eq!(
-        sys.detector_stats().detections,
-        sys.bus_stats().refreshes,
-        "false positives or misses in the refresh detector"
-    );
-    assert_eq!(sys.detector_stats().sre_rejected, 0);
-    assert_trace_clean(&mut sys);
 }
