@@ -12,7 +12,16 @@
 //!   tRFC consumes so much of tREFI that the host's share of the bus drops
 //!   below 10% (error) or 25% (warning) — the paper's Figure 13 territory;
 //! - `config/cache-exceeds-media` — more DRAM cache slots than exported
-//!   Z-NAND pages, so part of the cache can never be used.
+//!   Z-NAND pages, so part of the cache can never be used;
+//! - `config/recovery-out-of-range` — a [`RecoveryParams`] knob outside
+//!   its sane operating band (retry ladder 0 or absurdly deep, backoff
+//!   that overflows the timeout, CP timeout below the worst legitimate
+//!   GC stall);
+//! - `config/dump-budget-short` — the battery-backed dump budget cannot
+//!   cover a fully dirty cache, so an unlucky power cut silently drops
+//!   acked-persisted pages.
+//!
+//! [`RecoveryParams`]: nvdimmc_core::RecoveryParams
 
 use crate::diag::{Diagnostic, Report};
 use nvdimmc_core::{NvdimmCConfig, PAGE_BYTES};
@@ -64,6 +73,70 @@ pub fn lint_config(cfg: &NvdimmCConfig) -> Report {
                 t.trfc_total,
                 t.trefi,
                 host_share * 100.0
+            ),
+        ));
+    }
+
+    // Recovery knobs: each has a sane operating band; outside it the
+    // machinery still runs but the recovery story degenerates.
+    let r = &cfg.recovery;
+    if r.nand_read_retries == 0 {
+        out.push(Diagnostic::error_untimed(
+            "config/recovery-out-of-range",
+            "recovery.nand_read_retries is 0: transient Z-NAND read noise \
+             surfaces as uncorrectable instead of being retried"
+                .to_string(),
+        ));
+    } else if r.nand_read_retries > 16 {
+        out.push(Diagnostic::warning(
+            "config/recovery-out-of-range",
+            format!(
+                "recovery.nand_read_retries = {} is deeper than any real \
+                 read-retry table; uncorrectable reads stall ~{} extra media \
+                 reads before surfacing",
+                r.nand_read_retries, r.nand_read_retries
+            ),
+        ));
+    }
+    if r.cp_backoff > 8 {
+        out.push(Diagnostic::warning(
+            "config/recovery-out-of-range",
+            format!(
+                "recovery.cp_backoff = {} grows the attempt timeout {}^4-fold \
+                 over the retransmit ladder; a dead FPGA takes minutes to degrade",
+                r.cp_backoff, r.cp_backoff
+            ),
+        ));
+    }
+    if r.cp_timeout_windows < 256 && r.cp_timeout_windows > 0 {
+        out.push(Diagnostic::warning(
+            "config/recovery-out-of-range",
+            format!(
+                "recovery.cp_timeout_windows = {} is below the worst \
+                 legitimate NVMC stall (~256 windows behind a GC erase); \
+                 expect spurious attempt timeouts",
+                r.cp_timeout_windows
+            ),
+        ));
+    }
+    if r.cp_max_retransmits > 16 {
+        out.push(Diagnostic::warning(
+            "config/recovery-out-of-range",
+            format!(
+                "recovery.cp_max_retransmits = {} keeps a dead mailbox in \
+                 the retry ladder far past any plausible recovery",
+                r.cp_max_retransmits
+            ),
+        ));
+    }
+    if r.dump_slot_budget > 0 && r.dump_slot_budget < cfg.cache_slots {
+        out.push(Diagnostic::error_untimed(
+            "config/dump-budget-short",
+            format!(
+                "recovery.dump_slot_budget = {} cannot cover the {} cache \
+                 slots; a power cut with a fully dirty cache drops \
+                 acked-persisted pages",
+                r.dump_slot_budget, cfg.cache_slots
             ),
         ));
     }
@@ -182,6 +255,46 @@ mod tests {
         cfg.cache_slots = (128 << 20) / PAGE_BYTES; // media exports 24 MB
         let r = lint_config(&cfg);
         assert!(r.by_rule("config/cache-exceeds-media").count() == 1, "{r}");
+    }
+
+    #[test]
+    fn zero_retry_ladder_is_an_error() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        cfg.recovery.nand_read_retries = 0;
+        let r = lint_config(&cfg);
+        assert!(
+            r.by_rule("config/recovery-out-of-range").count() >= 1,
+            "{r}"
+        );
+        assert!(r.errors().count() >= 1, "{r}");
+    }
+
+    #[test]
+    fn extreme_recovery_knobs_warn() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        cfg.recovery.nand_read_retries = 32;
+        cfg.recovery.cp_backoff = 16;
+        cfg.recovery.cp_max_retransmits = 64;
+        cfg.recovery.cp_timeout_windows = 8;
+        let r = lint_config(&cfg);
+        assert_eq!(r.by_rule("config/recovery-out-of-range").count(), 4, "{r}");
+        assert_eq!(r.errors().count(), 0, "extremes warn, not error: {r}");
+    }
+
+    #[test]
+    fn short_dump_budget_is_an_error() {
+        let mut cfg = NvdimmCConfig::small_for_tests();
+        cfg.recovery.dump_slot_budget = cfg.cache_slots / 2;
+        let r = lint_config(&cfg);
+        assert_eq!(r.by_rule("config/dump-budget-short").count(), 1, "{r}");
+        assert!(r.errors().count() >= 1, "{r}");
+    }
+
+    #[test]
+    fn default_recovery_params_lint_clean() {
+        let r = lint_config(&NvdimmCConfig::small_for_tests());
+        assert_eq!(r.by_rule("config/recovery-out-of-range").count(), 0, "{r}");
+        assert_eq!(r.by_rule("config/dump-budget-short").count(), 0, "{r}");
     }
 
     #[test]

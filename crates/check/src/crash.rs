@@ -1,0 +1,363 @@
+//! Persistence oracle for the crash-point sweep.
+//!
+//! After a simulated power cut and recovery, the crash-sweep harness
+//! ([`crashsweep`] in `nvdimmc-workloads`) reads back every record it
+//! wrote and hands this pass three things: the host-side expectation
+//! ledger (what generation of each record was *acked persisted*, what
+//! was merely written, which write was in flight when the power died),
+//! the parsed post-recovery sector stamps, and the merged recovery
+//! statistics. The rules:
+//!
+//! - `crash/persisted-lost` — a sector of an acked-persisted record came
+//!   back older than the persisted generation (or unreadable). The ADR
+//!   dump contract (§V-C): everything `clflush`+`sfence`ed before the
+//!   cut survives it.
+//! - `crash/future-data` — a sector carries a generation newer than any
+//!   the host ever wrote: recovery invented data.
+//! - `crash/unparseable-sector` — a sector is neither all-zero, nor a
+//!   well-formed stamp for its own record and slot: a torn page or
+//!   alien bytes (the classic weak-domain cache-line tear).
+//! - `crash/torn-record` — a multi-sector record is observable in a
+//!   state no crash point could produce: a record with no write in
+//!   flight must be generation-uniform; the one record being written at
+//!   the cut must be a clean prefix of the new generation over the old
+//!   one (writes land page by page, in page order).
+//! - `crash/ledger-unbalanced` — the merged [`RecoveryStats`] do not
+//!   balance: fired power cuts must equal recovered power cuts.
+//!
+//! The rules are deliberately *strict*: they encode the strong (ADR)
+//! persistence domain. A sweep run with `adr_works = false` is expected
+//! to trip `crash/unparseable-sector` / `crash/torn-record` on written-
+//! but-unpersisted data — that finding documents the §V-C weak-domain
+//! hazard rather than a harness bug, and ships in the crash corpus.
+//!
+//! [`crashsweep`]: https://docs.rs/nvdimmc-workloads
+//! [`RecoveryStats`]: nvdimmc_core::RecoveryStats
+
+use crate::diag::Diagnostic;
+use nvdimmc_core::RecoveryStats;
+
+/// What the host can legitimately expect of one record after the cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordExpectation {
+    /// Record identifier (index into the sweep's record space).
+    pub id: u64,
+    /// Generation of the last *completed* write (0 = never written).
+    pub written_gen: u64,
+    /// Generation covered by the last *acked* persist (0 = never
+    /// persisted). Always `<= written_gen`.
+    pub persisted_gen: u64,
+    /// `Some(gen)` when the power cut interrupted a write of this record
+    /// at generation `gen` (= `written_gen + 1`); at most one record per
+    /// trial carries this.
+    pub in_flight: Option<u64>,
+}
+
+/// One post-recovery sector, as parsed from the read-back bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectorView {
+    /// All-zero: the never-written state.
+    Zero,
+    /// A well-formed stamp: which record, which sector slot, which
+    /// generation it claims.
+    Valid {
+        /// Record id embedded in the stamp.
+        record: u64,
+        /// Sector index embedded in the stamp.
+        sector: u64,
+        /// Write generation embedded in the stamp.
+        gen: u64,
+    },
+    /// Neither zero nor a checksummed stamp: torn or alien bytes.
+    Garbage,
+}
+
+/// The post-recovery observation of one record: its sectors in page
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashObservation {
+    /// Record identifier (must match the paired expectation).
+    pub record: u64,
+    /// Parsed sectors, index 0 first.
+    pub sectors: Vec<SectorView>,
+}
+
+/// Effective generation a sector view presents for record `id` at slot
+/// `idx`: `Some(0)` for zero, `Some(gen)` for a matching stamp, `None`
+/// for garbage or a stamp belonging elsewhere.
+fn sector_gen(view: SectorView, id: u64, idx: u64) -> Option<u64> {
+    match view {
+        SectorView::Zero => Some(0),
+        SectorView::Valid {
+            record,
+            sector,
+            gen,
+        } if record == id && sector == idx => Some(gen),
+        _ => None,
+    }
+}
+
+/// Runs the persistence oracle over one crash trial.
+///
+/// `expectations` and `observations` are paired by position and must
+/// cover the same records in the same order.
+///
+/// # Panics
+///
+/// Panics if the two slices disagree on length or record ids — that is
+/// a harness bug, not a persistence finding.
+pub fn check_crash(
+    expectations: &[RecordExpectation],
+    observations: &[CrashObservation],
+    stats: &RecoveryStats,
+) -> Vec<Diagnostic> {
+    assert_eq!(
+        expectations.len(),
+        observations.len(),
+        "expectation/observation ledgers must cover the same records"
+    );
+    let mut out = Vec::new();
+    for (exp, obs) in expectations.iter().zip(observations) {
+        assert_eq!(exp.id, obs.record, "ledgers must pair record by record");
+        check_record(exp, obs, &mut out);
+    }
+    if stats.power_fails_fired != stats.power_fails_recovered {
+        out.push(Diagnostic::error_untimed(
+            "crash/ledger-unbalanced",
+            format!(
+                "{} power cuts fired but {} recovered; the recovery ledger \
+                 must balance after the reboot",
+                stats.power_fails_fired, stats.power_fails_recovered
+            ),
+        ));
+    }
+    out
+}
+
+fn check_record(exp: &RecordExpectation, obs: &CrashObservation, out: &mut Vec<Diagnostic>) {
+    let max_gen = exp.in_flight.unwrap_or(exp.written_gen);
+    let mut gens = Vec::with_capacity(obs.sectors.len());
+    for (idx, &view) in obs.sectors.iter().enumerate() {
+        let idx = idx as u64;
+        let Some(gen) = sector_gen(view, exp.id, idx) else {
+            let rule = if exp.persisted_gen > 0 {
+                // An acked-persisted record must stay readable whatever
+                // else the cut did.
+                "crash/persisted-lost"
+            } else {
+                "crash/unparseable-sector"
+            };
+            out.push(Diagnostic::error_untimed(
+                rule,
+                format!(
+                    "record {} sector {idx}: not zero and not a well-formed \
+                     stamp for this slot ({view:?}); written gen {}, \
+                     persisted gen {}",
+                    exp.id, exp.written_gen, exp.persisted_gen
+                ),
+            ));
+            continue;
+        };
+        if gen > max_gen {
+            out.push(Diagnostic::error_untimed(
+                "crash/future-data",
+                format!(
+                    "record {} sector {idx} claims generation {gen} but the \
+                     host never wrote past {max_gen}",
+                    exp.id
+                ),
+            ));
+        }
+        if gen < exp.persisted_gen {
+            out.push(Diagnostic::error_untimed(
+                "crash/persisted-lost",
+                format!(
+                    "record {} sector {idx} rolled back to generation {gen} \
+                     under an acked persist of generation {}",
+                    exp.id, exp.persisted_gen
+                ),
+            ));
+        }
+        gens.push(gen);
+    }
+    // Record-level atomicity. Only fully parsed records are judged —
+    // garbage sectors already carry their own finding.
+    if gens.len() != obs.sectors.len() {
+        return;
+    }
+    match exp.in_flight {
+        None => {
+            // No write in flight: every crash point leaves the record at
+            // exactly one completed generation.
+            if gens.windows(2).any(|w| w[0] != w[1]) {
+                out.push(Diagnostic::error_untimed(
+                    "crash/torn-record",
+                    format!(
+                        "record {} mixes generations {gens:?} with no write \
+                         in flight at the cut",
+                        exp.id
+                    ),
+                ));
+            }
+        }
+        Some(new_gen) => {
+            // The interrupted write lands page by page in page order, so
+            // the only legal states are: a prefix (possibly empty or
+            // full) at the new generation over the uniform old state.
+            let split = gens.iter().take_while(|&&g| g == new_gen).count();
+            let tail_ok = gens[split..]
+                .iter()
+                .all(|&g| g == exp.written_gen && g != new_gen);
+            if !tail_ok {
+                out.push(Diagnostic::error_untimed(
+                    "crash/torn-record",
+                    format!(
+                        "record {} observed {gens:?} under an in-flight write \
+                         of generation {new_gen} over {}: not a clean prefix",
+                        exp.id, exp.written_gen
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(id: u64, written: u64, persisted: u64, in_flight: Option<u64>) -> RecordExpectation {
+        RecordExpectation {
+            id,
+            written_gen: written,
+            persisted_gen: persisted,
+            in_flight,
+        }
+    }
+
+    fn obs(record: u64, gens: &[u64]) -> CrashObservation {
+        CrashObservation {
+            record,
+            sectors: gens
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| {
+                    if g == 0 {
+                        SectorView::Zero
+                    } else {
+                        SectorView::Valid {
+                            record,
+                            sector: i as u64,
+                            gen: g,
+                        }
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn stats(fired: u64, recovered: u64) -> RecoveryStats {
+        RecoveryStats {
+            power_fails_fired: fired,
+            power_fails_recovered: recovered,
+            ..RecoveryStats::default()
+        }
+    }
+
+    #[test]
+    fn clean_trial_produces_no_findings() {
+        let e = [exp(0, 2, 2, None), exp(1, 0, 0, None)];
+        let o = [obs(0, &[2, 2]), obs(1, &[0, 0])];
+        assert!(check_crash(&e, &o, &stats(1, 1)).is_empty());
+    }
+
+    #[test]
+    fn in_flight_prefix_states_are_legal() {
+        // Write of gen 3 over gen 2 interrupted: empty, partial and full
+        // prefixes are all reachable.
+        let e = [exp(0, 2, 2, Some(3))];
+        for gens in [[2, 2, 2], [3, 2, 2], [3, 3, 2], [3, 3, 3]] {
+            let o = [obs(0, &gens)];
+            assert!(
+                check_crash(&e, &o, &stats(1, 1)).is_empty(),
+                "prefix {gens:?} must be legal"
+            );
+        }
+    }
+
+    #[test]
+    fn non_prefix_mix_is_torn() {
+        let e = [exp(0, 2, 2, Some(3))];
+        let o = [obs(0, &[2, 3, 2])];
+        let d = check_crash(&e, &o, &stats(1, 1));
+        assert!(d.iter().any(|d| d.rule == "crash/torn-record"), "{d:?}");
+    }
+
+    #[test]
+    fn mixed_generations_without_in_flight_are_torn() {
+        let e = [exp(0, 5, 0, None)];
+        let o = [obs(0, &[5, 4])];
+        let d = check_crash(&e, &o, &stats(1, 1));
+        assert!(d.iter().any(|d| d.rule == "crash/torn-record"), "{d:?}");
+    }
+
+    #[test]
+    fn rollback_under_persist_is_flagged() {
+        let e = [exp(0, 3, 3, None)];
+        let o = [obs(0, &[2, 2])];
+        let d = check_crash(&e, &o, &stats(1, 1));
+        assert!(d.iter().any(|d| d.rule == "crash/persisted-lost"), "{d:?}");
+    }
+
+    #[test]
+    fn future_generation_is_flagged() {
+        let e = [exp(0, 1, 0, None)];
+        let o = [obs(0, &[7, 7])];
+        let d = check_crash(&e, &o, &stats(1, 1));
+        assert!(d.iter().any(|d| d.rule == "crash/future-data"), "{d:?}");
+    }
+
+    #[test]
+    fn garbage_sector_rule_depends_on_persist_state() {
+        let garbage = CrashObservation {
+            record: 0,
+            sectors: vec![SectorView::Garbage],
+        };
+        let d = check_crash(
+            &[exp(0, 1, 0, None)],
+            std::slice::from_ref(&garbage),
+            &stats(1, 1),
+        );
+        assert!(
+            d.iter().any(|d| d.rule == "crash/unparseable-sector"),
+            "{d:?}"
+        );
+        let d = check_crash(&[exp(0, 1, 1, None)], &[garbage], &stats(1, 1));
+        assert!(d.iter().any(|d| d.rule == "crash/persisted-lost"), "{d:?}");
+    }
+
+    #[test]
+    fn alien_stamp_is_unparseable() {
+        // A well-formed stamp for the wrong record/slot is alien data.
+        let o = CrashObservation {
+            record: 0,
+            sectors: vec![SectorView::Valid {
+                record: 9,
+                sector: 0,
+                gen: 1,
+            }],
+        };
+        let d = check_crash(&[exp(0, 0, 0, None)], &[o], &stats(1, 1));
+        assert!(
+            d.iter().any(|d| d.rule == "crash/unparseable-sector"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn unbalanced_power_ledger_is_flagged() {
+        let d = check_crash(&[], &[], &stats(1, 0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "crash/ledger-unbalanced");
+    }
+}

@@ -29,6 +29,11 @@
 //!   invariants (window capacity, tREFI/tRFC ratio, cache-vs-media
 //!   geometry), with [`assert_config_clean`] for example/bench entry
 //!   points;
+//! - [`check_crash`] — the crash-sweep persistence oracle: replays a
+//!   power-cut trial's expectation ledger against the parsed
+//!   post-recovery record stamps (acked-persisted data survives, no
+//!   invented generations, no torn multi-sector records, balanced
+//!   power-cut ledger);
 //! - [`check_recovery`] — audits a fault campaign's merged
 //!   [`RecoveryStats`](nvdimmc_core::RecoveryStats) ledger: every
 //!   injected fault must be recovered or surfaced as a typed error,
@@ -58,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod crash;
 pub mod diag;
 pub mod health;
 pub mod persist;
@@ -69,6 +75,7 @@ pub mod shards;
 pub mod timing;
 
 pub use config::{assert_config_clean, lint_config};
+pub use crash::{check_crash, CrashObservation, RecordExpectation, SectorView};
 pub use diag::{Diagnostic, Report, Severity};
 pub use health::{check_health, check_system_health};
 pub use persist::check_persistence;

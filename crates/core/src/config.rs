@@ -203,6 +203,11 @@ impl NvdimmCConfig {
         if self.recovery.cp_backoff == 0 {
             return Err("recovery.cp_backoff must be at least 1".into());
         }
+        if self.recovery.dump_slot_budget == 0 {
+            return Err("recovery.dump_slot_budget must be at least 1 (a dump that \
+                 flushes nothing is not a persistence mechanism)"
+                .into());
+        }
         Ok(())
     }
 }
@@ -273,6 +278,14 @@ mod tests {
             NvdimmCConfig::small_for_tests().refresh_mode,
             RefreshMode::RankLevel
         );
+    }
+
+    #[test]
+    fn zero_dump_budget_rejected() {
+        let mut c = NvdimmCConfig::small_for_tests();
+        c.recovery.dump_slot_budget = 0;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("dump_slot_budget"), "{err}");
     }
 
     #[test]

@@ -112,6 +112,17 @@ pub struct RecoveryParams {
     /// Multiplier applied to the timeout after each failed attempt
     /// (exponential backoff).
     pub cp_backoff: u32,
+    /// NAND read-retry ladder depth: how many times the FTL re-reads an
+    /// uncorrectable page before surfacing the error. Overrides the
+    /// FTL-level `read_retries` at shard assembly so every recovery
+    /// knob lives in one place.
+    pub nand_read_retries: u32,
+    /// Maximum dirty slots the battery-backed power-fail dump walks
+    /// before the hold-up capacitors run out. The default is far above
+    /// any configured cache (the paper sizes the battery for a full
+    /// dump); campaign configs shrink it to model under-provisioned
+    /// hold-up energy.
+    pub dump_slot_budget: u64,
 }
 
 impl Default for RecoveryParams {
@@ -120,6 +131,8 @@ impl Default for RecoveryParams {
             cp_timeout_windows: 512,
             cp_max_retransmits: 4,
             cp_backoff: 2,
+            nand_read_retries: 3,
+            dump_slot_budget: 1 << 32,
         }
     }
 }
@@ -523,5 +536,13 @@ mod tests {
         assert!(p.cp_timeout_windows >= 256, "timeout must clear GC stalls");
         assert!(p.cp_max_retransmits >= 1);
         assert!(p.cp_backoff >= 1);
+        assert!(
+            p.nand_read_retries >= 1,
+            "Z-NAND transient noise makes at least one retry worthwhile"
+        );
+        assert!(
+            p.dump_slot_budget >= (15u64 << 30) / 4096,
+            "default dump budget must cover the paper's full 15 GB cache"
+        );
     }
 }

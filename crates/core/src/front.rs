@@ -29,7 +29,7 @@ use crate::health::{DegradeReason, FailoverPolicy, HealthState, HealthTransition
 use crate::interleave::{InterleaveMap, Segment};
 use crate::qos::TenantId;
 use crate::sched::{ArbitrationPolicy, ReqKind, RequestScheduler, ShardRequest};
-use crate::shard::{BlockDevice, ChannelShard, PowerFailReport, SystemStats};
+use crate::shard::{BlockDevice, ChannelShard, CrashPoint, PowerFailReport, SystemStats};
 use nvdimmc_ddr::TraceEntry;
 use nvdimmc_sim::{SimDuration, SimTime};
 
@@ -410,9 +410,8 @@ impl MultiChannelSystem {
     /// Propagates NAND errors from the dumps.
     pub fn power_fail(&mut self, adr_works: bool) -> Result<PowerFailReport, CoreError> {
         let mut report = PowerFailReport {
-            slots_flushed: 0,
-            bytes_flushed: 0,
             adr_worked: adr_works,
+            ..PowerFailReport::default()
         };
         for s in &mut self.shards {
             report.merge(&s.power_fail(adr_works)?);
@@ -441,6 +440,67 @@ impl MultiChannelSystem {
             sched,
             failover: self.failover,
         })
+    }
+
+    /// Crash-sweep variant of [`MultiChannelSystem::into_recovered`]:
+    /// every shard reboots through the persistent-state snapshot APIs
+    /// ([`ChannelShard::into_crash_recovered`]), so only what the Z-NAND
+    /// media and the FTL maps hold survives the cut.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors (none expected).
+    pub fn into_crash_recovered(self) -> Result<MultiChannelSystem, CoreError> {
+        let map = self.map;
+        let sched =
+            RequestScheduler::new(self.sched.shards(), self.sched.depth(), self.sched.policy());
+        let shards = self
+            .shards
+            .into_iter()
+            .map(ChannelShard::into_crash_recovered)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiChannelSystem {
+            shards,
+            map,
+            sched,
+            failover: self.failover,
+        })
+    }
+
+    /// Starts a crash-boundary rehearsal on every shard (see
+    /// [`ChannelShard::crash_enumerate_begin`]).
+    pub fn crash_enumerate_begin(&mut self) {
+        for s in &mut self.shards {
+            s.crash_enumerate_begin();
+        }
+    }
+
+    /// Ends the rehearsal; element `i` holds shard `i`'s boundaries.
+    pub fn crash_enumerate_take(&mut self) -> Vec<Vec<CrashPoint>> {
+        self.shards
+            .iter_mut()
+            .map(ChannelShard::crash_enumerate_take)
+            .collect()
+    }
+
+    /// Arms a power cut at boundary `target` of shard `shard`; all other
+    /// shards run unarmed (their boundary counters still restart so a
+    /// later rehearsal is clean).
+    pub fn crash_arm(&mut self, shard: usize, target: u64) {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if i == shard {
+                s.crash_arm(target);
+            } else {
+                s.crash_disarm();
+            }
+        }
+    }
+
+    /// Disarms every shard's crash hook.
+    pub fn crash_disarm(&mut self) {
+        for s in &mut self.shards {
+            s.crash_disarm();
+        }
     }
 
     fn check_range(&self, offset: u64, len: u64) -> Result<(), CoreError> {

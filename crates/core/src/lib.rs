@@ -107,4 +107,7 @@ pub use ring::SpscRing;
 pub use sched::{
     ArbitrationPolicy, RefreshPlanner, ReqKind, RequestScheduler, SchedStats, ShardRequest,
 };
-pub use shard::{BlockDevice, ChannelShard, PowerFailReport, QueuedDevice, System, SystemStats};
+pub use shard::{
+    BlockDevice, ChannelShard, CrashPoint, CrashPointKind, DumpReport, PowerFailReport,
+    QueuedDevice, System, SystemStats,
+};

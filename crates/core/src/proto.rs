@@ -300,6 +300,7 @@ mod tests {
             cp_timeout_windows: timeout,
             cp_max_retransmits: retransmits,
             cp_backoff: backoff,
+            ..RecoveryParams::default()
         }
     }
 

@@ -143,6 +143,7 @@ impl ModelParams {
             cp_timeout_windows: self.timeout_windows,
             cp_max_retransmits: self.max_retransmits,
             cp_backoff: self.backoff,
+            ..RecoveryParams::default()
         }
     }
 

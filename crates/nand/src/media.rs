@@ -77,6 +77,33 @@ struct BlockMeta {
     bad: bool,
 }
 
+/// Opaque snapshot of everything in a [`ZNandArray`] that survives a
+/// power cut: block metadata (wear, write pointers, bad-block marks),
+/// the stored page contents, the error-model RNG stream, armed
+/// injection faults, and the media counters.
+///
+/// The per-die busy times are deliberately **not** captured: a reboot
+/// resets the device timing domain, so [`ZNandArray::restore`] clears
+/// them to zero. Counters and the RNG ride along so a restored array
+/// continues the exact same deterministic error sequence the original
+/// would have produced — replays stay bit-identical.
+#[derive(Debug, Clone)]
+pub struct MediaSnapshot {
+    blocks: Vec<BlockMeta>,
+    data: HashMap<u64, Vec<u8>>,
+    rng: DeterministicRng,
+    forced_transient: u32,
+    forced_persistent: u32,
+    stats: MediaStats,
+}
+
+impl MediaSnapshot {
+    /// Bytes of page payload captured (sizing aid for sweep harnesses).
+    pub fn stored_bytes(&self) -> u64 {
+        self.data.values().map(|v| v.len() as u64).sum()
+    }
+}
+
 /// The Z-NAND array: all channels/dies/planes/blocks.
 ///
 /// Stores real bytes (sparsely) so data survives end-to-end through the
@@ -127,6 +154,35 @@ impl ZNandArray {
             forced_transient: 0,
             forced_persistent: 0,
             stats: MediaStats::default(),
+        }
+    }
+
+    /// Captures the power-cut-persistent state of the array (see
+    /// [`MediaSnapshot`]).
+    pub fn snapshot(&self) -> MediaSnapshot {
+        MediaSnapshot {
+            blocks: self.blocks.clone(),
+            data: self.data.clone(),
+            rng: self.rng.clone(),
+            forced_transient: self.forced_transient,
+            forced_persistent: self.forced_persistent,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores the array to a previously captured snapshot, modelling a
+    /// reboot: persistent state (cells, wear, bad blocks) comes back
+    /// exactly; the volatile per-die busy clocks reset to zero because
+    /// the new boot starts a fresh timing domain.
+    pub fn restore(&mut self, snap: &MediaSnapshot) {
+        self.blocks = snap.blocks.clone();
+        self.data = snap.data.clone();
+        self.rng = snap.rng.clone();
+        self.forced_transient = snap.forced_transient;
+        self.forced_persistent = snap.forced_persistent;
+        self.stats = snap.stats;
+        for t in &mut self.die_busy {
+            *t = SimTime::ZERO;
         }
     }
 
@@ -507,6 +563,59 @@ mod tests {
         assert_eq!(bad, still_bad, "persistent fault must survive re-reads");
         assert_ne!(still_bad, stored);
         assert_eq!(a.stats().uncorrectable_injected, 2);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_persistent_state() {
+        let mut a = array();
+        let p = PhysPage { block: 0, page: 0 };
+        let stored = vec![0x5Au8; 64];
+        let t = a.program(p, &stored, SimTime::ZERO).unwrap();
+        a.mark_bad(5);
+        let snap = a.snapshot();
+        // Mutate past the snapshot: new program, an erase, more wear.
+        a.program(PhysPage { block: 0, page: 1 }, &[1u8; 64], t)
+            .unwrap();
+        a.erase(3, t).unwrap();
+        a.restore(&snap);
+        // Persistent facts are back to the capture point.
+        assert_eq!(a.write_pointer(0), 1, "write pointer restored");
+        assert_eq!(a.erase_count(3), 0, "erase count restored");
+        assert!(a.is_bad(5), "bad-block mark restored");
+        let (bytes, _) = a.read(p, SimTime::ZERO).unwrap();
+        assert_eq!(bytes, stored, "page data restored");
+        // The timing domain reset: every die is free at zero (reads
+        // suspend rather than occupy, so the probe read left it alone).
+        assert_eq!(a.die_free_at(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn restore_replays_identical_rng_stream() {
+        // Two arrays at the same snapshot must produce identical
+        // downstream error-injection draws — the crash sweep's
+        // bit-identical replay property.
+        let mut a = ZNandArray::new(NandGeometry::small_for_tests(), NandTiming::znand_poc(), 9);
+        a.set_ber_per_read(0.05);
+        let p = PhysPage { block: 0, page: 0 };
+        let mut t = a.program(p, &[0u8; 64], SimTime::ZERO).unwrap();
+        for _ in 0..10 {
+            let (_, t2) = a.read(p, t).unwrap();
+            t = t2;
+        }
+        let snap = a.snapshot();
+        let run = |arr: &mut ZNandArray, mut t: SimTime| {
+            let mut flips = Vec::new();
+            for _ in 0..50 {
+                let (bytes, t2) = arr.read(p, t).unwrap();
+                flips.push(bytes);
+                t = t2;
+            }
+            flips
+        };
+        let first = run(&mut a, t);
+        a.restore(&snap);
+        let second = run(&mut a, t);
+        assert_eq!(first, second, "restored RNG stream must replay exactly");
     }
 
     #[test]

@@ -184,7 +184,7 @@ impl FaultCampaign {
         // rejection (the oracle check governs from then on), so the
         // entry is cleared.
         let mut rejected: BTreeMap<u64, u32> = BTreeMap::new();
-        let mut report = CampaignReport::new(self.channels);
+        let mut report = CampaignReport::new(self.channels, self.seed);
         let mut buf = vec![0u8; PAGE_BYTES as usize];
         let mut data = vec![0u8; PAGE_BYTES as usize];
 
@@ -233,6 +233,7 @@ impl FaultCampaign {
                 // so the oracle stays valid.
                 Err(CoreError::PowerInterrupted) => {
                     report.power_cycles += 1;
+                    report.power_fail_points.push(report.ops_attempted - 1);
                     Self::splice_traces(&mut sys, capture, &mut traces);
                     sys.power_fail(true)?;
                     sys = sys.into_recovered()?;
@@ -346,6 +347,7 @@ impl FaultCampaign {
                     // A straggler power failure from a drain cap trip.
                     Err(CoreError::PowerInterrupted) => {
                         report.power_cycles += 1;
+                        report.power_fail_points.push(report.ops_attempted + page);
                         Self::splice_traces(&mut sys, capture, &mut traces);
                         sys.power_fail(true)?;
                         sys = sys.into_recovered()?;
@@ -402,6 +404,14 @@ pub type TraceEpoch = Vec<Vec<TraceEntry>>;
 pub struct CampaignReport {
     /// Channels the campaign ran on.
     pub channels: u32,
+    /// Seed the campaign ran with (replaying it is the reproduction).
+    pub seed: u64,
+    /// Crash point of every power cut taken, as the zero-based attempted
+    /// -op index it interrupted; cuts during the final verification
+    /// sweep are recorded as `ops_attempted + page`. Together with
+    /// `seed` this pins each cut exactly — see
+    /// [`CampaignReport::repro`].
+    pub power_fail_points: Vec<u64>,
     /// Operations attempted (scheduled + drain).
     pub ops_attempted: u64,
     /// Operations that completed without a surfaced fault.
@@ -438,9 +448,11 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    fn new(channels: u32) -> Self {
+    fn new(channels: u32, seed: u64) -> Self {
         CampaignReport {
             channels,
+            seed,
+            power_fail_points: Vec::new(),
             ops_attempted: 0,
             ops_completed: 0,
             power_cycles: 0,
@@ -457,6 +469,20 @@ impl CampaignReport {
             recovery: RecoveryStats::default(),
             final_clock: SimTime::ZERO,
         }
+    }
+
+    /// One-command reproduction hint for this run's power cuts: the
+    /// campaign is fully deterministic in `(seed, channels)`, so
+    /// rerunning `FaultCampaign::recoverable(channels)` with this seed
+    /// replays every cut at the recorded op index bit-identically.
+    /// Embed this in assertion messages so a failure is reproducible
+    /// without archaeology.
+    pub fn repro(&self) -> String {
+        format!(
+            "repro: FaultCampaign::recoverable({}) with seed {:#x} \
+             (power cuts at op indices {:?}; rerun is bit-identical)",
+            self.channels, self.seed, self.power_fail_points
+        )
     }
 }
 
@@ -478,8 +504,13 @@ mod tests {
     #[test]
     fn single_channel_campaign_recovers_everything() {
         let r = FaultCampaign::recoverable(1).run().expect("campaign");
-        assert_eq!(r.oracle_mismatches, 0, "silent corruption");
-        assert_eq!(r.rejected_write_leaks, 0, "rejected write applied");
+        assert_eq!(r.oracle_mismatches, 0, "silent corruption; {}", r.repro());
+        assert_eq!(
+            r.rejected_write_leaks,
+            0,
+            "rejected write applied; {}",
+            r.repro()
+        );
         assert_eq!(r.recovery.faults_fired, r.recovery.faults_scheduled);
         assert_eq!(r.degraded_shards, 0);
         let diags = nvdimmc_check::check_recovery(&r.recovery);

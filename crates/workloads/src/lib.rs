@@ -21,6 +21,12 @@
 //!   multi-channel system: inject NAND/mailbox/window/cache/power faults
 //!   mid-load, drain until every fault fired, then verify byte-exact
 //!   read-back and a balanced recovery ledger;
+//! - [`crashsweep`] — crash-point torture: enumerate every crash
+//!   boundary of a deterministic workload (bus ops, CP windows, NVMC
+//!   bursts, maintenance slots), replay with a power cut armed at each,
+//!   and audit recovery with the [`nvdimmc_check::check_crash`]
+//!   persistence oracle;
+//!   failures delta-debug to 1-minimal replayable corpus schedules;
 //! - [`soak`] — SLO soak runner: sustained load while dead-mailbox
 //!   waves rotate over every shard, each degradation repaired online
 //!   through the front-end failover policy, reporting availability and
@@ -36,6 +42,7 @@
 )]
 
 pub mod concurrent;
+pub mod crashsweep;
 pub mod faultcampaign;
 pub mod filecopy;
 pub mod fio;
@@ -46,6 +53,9 @@ pub mod stream;
 pub mod tpch;
 
 pub use concurrent::{ConcurrentFio, ConcurrentReport};
+pub use crashsweep::{
+    CrashOp, CrashSweep, FailingPoint, Sampling, ShrunkCrash, SweepReport, TrialReport,
+};
 pub use faultcampaign::{CampaignReport, FaultCampaign, TraceEpoch};
 pub use filecopy::{CopyReport, FileCopy};
 pub use fio::{FioJob, FioReport, RwMode};

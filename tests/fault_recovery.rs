@@ -252,6 +252,7 @@ fn long_retransmit_ladders_survive_a_mailbox_fault_storm() {
         cp_timeout_windows: 512,
         cp_max_retransmits: 14,
         cp_backoff: 1,
+        ..RecoveryParams::default()
     });
     let r = campaign.run().expect("campaign");
 

@@ -724,3 +724,143 @@ mod coalesce_props {
         }
     }
 }
+
+mod merge_props {
+    use super::*;
+    use nvdimmc::core::{DumpReport, RecoveryStats};
+
+    /// Builds a fully-populated ledger from 31 raw counters (one per
+    /// field, in declaration order), so the merge laws are exercised
+    /// over *every* field — a field someone forgets to merge would
+    /// freeze at the left operand and break order independence.
+    fn stats_from(v: &[u64]) -> RecoveryStats {
+        let f = |i: usize| v[i % v.len()];
+        RecoveryStats {
+            nand_faults_injected: f(0),
+            nand_read_retries: f(1),
+            nand_retry_recovered: f(2),
+            nand_retry_remaps: f(3),
+            nand_uncorrectable_surfaced: f(4),
+            acks_dropped: f(5),
+            acks_corrupted: f(6),
+            cmd_decode_failures: f(7),
+            nand_errors_nacked: f(8),
+            replayed_acks: f(9),
+            cp_attempt_timeouts: f(10),
+            cp_retransmits: f(11),
+            cp_recovered: f(12),
+            cp_transactions_failed: f(13),
+            overrun_stalls: f(14),
+            bursts_split: f(15),
+            bursts_resumed: f(16),
+            slots_corrupted: f(17),
+            scrub_detected: f(18),
+            scrub_refills: f(19),
+            scrub_dropped_clean: f(20),
+            cache_corruption_surfaced: f(21),
+            power_fails_fired: f(22),
+            power_fails_recovered: f(23),
+            degraded_entries: f(24),
+            rebuilds_started: f(25),
+            rebuilds_completed: f(26),
+            rebuilds_failed: f(27),
+            rebuild_writebacks: f(28),
+            rebuild_pages_lost: f(29),
+            faults_scheduled: f(30),
+            faults_fired: f(31),
+        }
+    }
+
+    fn merged(a: &RecoveryStats, b: &RecoveryStats) -> RecoveryStats {
+        let mut out = *a;
+        out.merge(b);
+        out
+    }
+
+    fn dump_merged(a: &DumpReport, b: &DumpReport) -> DumpReport {
+        let mut out = *a;
+        out.merge(b);
+        out
+    }
+
+    /// Small counters (u32 range) so three-way sums cannot overflow.
+    fn arb_counters() -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec(any::<u32>().prop_map(u64::from), 32usize)
+    }
+
+    fn arb_dump() -> impl Strategy<Value = DumpReport> {
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(s, b, d, adr)| {
+            DumpReport {
+                slots_flushed: u64::from(s),
+                bytes_flushed: u64::from(b),
+                slots_dropped: u64::from(d),
+                adr_worked: adr,
+            }
+        })
+    }
+
+    proptest! {
+        /// `RecoveryStats::merge` is associative: fanning shard ledgers
+        /// into a tree or a left fold gives the same machine total.
+        #[test]
+        fn recovery_stats_merge_is_associative(
+            a in arb_counters(),
+            b in arb_counters(),
+            c in arb_counters(),
+        ) {
+            let (a, b, c) = (stats_from(&a), stats_from(&b), stats_from(&c));
+            prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        }
+
+        /// ...and commutative, so the merged report is independent of
+        /// shard iteration order.
+        #[test]
+        fn recovery_stats_merge_is_order_independent(
+            a in arb_counters(),
+            b in arb_counters(),
+            c in arb_counters(),
+        ) {
+            let (a, b, c) = (stats_from(&a), stats_from(&b), stats_from(&c));
+            let fwd = merged(&merged(&a, &b), &c);
+            let rev = merged(&merged(&c, &b), &a);
+            prop_assert_eq!(fwd, rev);
+        }
+
+        /// `DumpReport::merge` (the §V-C power-fail dump) is associative
+        /// across shards, counters and `adr_worked` alike.
+        #[test]
+        fn dump_report_merge_is_associative(
+            a in arb_dump(),
+            b in arb_dump(),
+            c in arb_dump(),
+        ) {
+            prop_assert_eq!(
+                dump_merged(&dump_merged(&a, &b), &c),
+                dump_merged(&a, &dump_merged(&b, &c))
+            );
+        }
+
+        /// The `adr_worked` AND-merge is order-independent: one shard's
+        /// lost WPQ taints the machine-wide strong-domain claim no
+        /// matter where it sits in the fold.
+        #[test]
+        fn adr_worked_and_merge_is_order_independent(
+            dumps in prop::collection::vec(arb_dump(), 1..8),
+        ) {
+            let fold = |iter: &mut dyn Iterator<Item = &DumpReport>| {
+                let mut out = DumpReport {
+                    adr_worked: true,
+                    ..DumpReport::default()
+                };
+                for d in iter {
+                    out.merge(d);
+                }
+                out
+            };
+            let fwd = fold(&mut dumps.iter());
+            let rev = fold(&mut dumps.iter().rev());
+            prop_assert_eq!(fwd, rev);
+            prop_assert_eq!(fwd.adr_worked, dumps.iter().all(|d| d.adr_worked));
+        }
+    }
+}

@@ -378,3 +378,147 @@ fn regenerate_refresh_corpus() {
     )
     .unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Power-fail injection mid-refresh-window (crash-sweep machinery).
+// ---------------------------------------------------------------------
+
+use nvdimmc::core::{CoreError, CrashPointKind, QueuedDevice};
+
+const SENTINEL_OFF: u64 = 40 * PAGE_BYTES;
+const SENTINEL_BYTE: u8 = 0xA7;
+
+/// One channel with a two-slot cache: every churn access misses, so the
+/// NVMC has transfers pending in essentially every refresh window and
+/// the run crosses NVMC-burst crash boundaries in both refresh modes.
+fn crashable_sys(mode: RefreshMode) -> MultiChannelSystem {
+    let mut cfg = NvdimmCConfig::small_for_tests().with_refresh_mode(mode);
+    cfg.cache_slots = 2;
+    MultiChannelSystem::new(MultiChannelConfig::new(cfg, 1)).unwrap()
+}
+
+/// Persists a sentinel page, then churns a small footprint to keep NVMC
+/// windows busy. Returns `(persist_done, resize_crossed)`: the crash
+/// -boundary counts at which the sentinel's persist had completed and at
+/// which the queue-depth hint jumped (forcing the per-bank planner to
+/// shrink its window stretch — the mid-run stretch resize).
+fn drive_churn(
+    sys: &mut MultiChannelSystem,
+    resize_at: Option<usize>,
+) -> Result<(u64, u64), CoreError> {
+    let pat = vec![SENTINEL_BYTE; PAGE_BYTES as usize];
+    sys.write_at(SENTINEL_OFF, &pat)?;
+    sys.persist(SENTINEL_OFF, PAGE_BYTES)?;
+    let persist_done = sys.shards_mut()[0].crash_boundaries_crossed();
+    let mut resize_crossed = 0;
+    let mut buf = vec![0u8; PAGE_BYTES as usize];
+    for i in 0..24usize {
+        if resize_at == Some(i) {
+            for s in sys.shards_mut() {
+                s.note_queue_depth(12);
+            }
+            resize_crossed = sys.shards_mut()[0].crash_boundaries_crossed();
+        }
+        let page = (i % 8) as u64;
+        if i % 3 == 0 {
+            sys.read_at(page * PAGE_BYTES, &mut buf)?;
+        } else {
+            buf.fill((i % 251) as u8);
+            sys.write_at(page * PAGE_BYTES, &buf)?;
+        }
+    }
+    Ok((persist_done, resize_crossed))
+}
+
+/// Arms a power cut at boundary `k`, reruns the identical schedule,
+/// recovers through the battery-backed dump + snapshot reboot, and
+/// asserts the persisted sentinel survived byte-exactly.
+fn cut_and_verify(mode: RefreshMode, resize_at: Option<usize>, k: u64) {
+    let mut sys = crashable_sys(mode);
+    sys.crash_arm(0, k);
+    match drive_churn(&mut sys, resize_at) {
+        Err(CoreError::PowerInterrupted) => {
+            sys.power_fail(true).unwrap();
+            sys = sys.into_crash_recovered().unwrap();
+        }
+        Ok(_) => panic!("{mode:?}: armed boundary {k} never fired"),
+        Err(e) => panic!("{mode:?}: unexpected error at boundary {k}: {e}"),
+    }
+    let mut buf = vec![0u8; PAGE_BYTES as usize];
+    sys.read_at(SENTINEL_OFF, &mut buf).unwrap();
+    assert!(
+        buf.iter().all(|&b| b == SENTINEL_BYTE),
+        "{mode:?}: persisted sentinel lost across a cut at boundary {k}"
+    );
+}
+
+/// A power cut landing *inside* a refresh window — between NVMC burst
+/// edges, while the window is servicing transfers — must never lose
+/// acked-persisted data, in rank-level or per-bank (REFpb) mode.
+#[test]
+fn power_fail_mid_refresh_window_preserves_persisted_data_in_both_modes() {
+    for mode in [RefreshMode::RankLevel, RefreshMode::PerBank] {
+        let mut sys = crashable_sys(mode);
+        sys.crash_enumerate_begin();
+        let (persist_done, _) = drive_churn(&mut sys, None).unwrap();
+        let points = sys.crash_enumerate_take();
+        let bursts: Vec<u64> = points[0]
+            .iter()
+            .filter(|p| p.kind == CrashPointKind::NvmcBurst && p.index >= persist_done)
+            .map(|p| p.index)
+            .collect();
+        assert!(
+            !bursts.is_empty(),
+            "{mode:?}: churn never crossed a post-persist NVMC-burst boundary"
+        );
+        for &k in bursts.iter().step_by((bursts.len() / 6).max(1)) {
+            cut_and_verify(mode, None, k);
+        }
+    }
+}
+
+/// A power cut in the window(s) right after the per-bank planner
+/// resizes its stretch (a deep queue-depth hint shrinks windows toward
+/// the base REFpb span mid-run) must equally preserve persisted data.
+/// Runs in both modes: rank level ignores the hint but takes the same
+/// cuts, pinning the differential behaviour down.
+#[test]
+fn power_fail_mid_stretch_resize_preserves_persisted_data_in_both_modes() {
+    const RESIZE_AT: usize = 8;
+    for mode in [RefreshMode::RankLevel, RefreshMode::PerBank] {
+        let mut sys = crashable_sys(mode);
+        sys.set_trace_capture(true);
+        sys.crash_enumerate_begin();
+        let (_, resize_crossed) = drive_churn(&mut sys, Some(RESIZE_AT)).unwrap();
+        let points = sys.crash_enumerate_take();
+        let traces = sys.set_trace_capture(false).unwrap();
+        if mode == RefreshMode::PerBank {
+            // The hint really resized the windows: REFpb stretch codes
+            // before and after the jump differ.
+            let stretches: std::collections::BTreeSet<u8> = traces
+                .iter()
+                .flatten()
+                .filter_map(|e| match e.cmd {
+                    Command::RefreshBank { stretch, .. } => Some(stretch),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                stretches.len() >= 2,
+                "queue-depth jump never resized the stretch: {stretches:?}"
+            );
+        }
+        let bursts: Vec<u64> = points[0]
+            .iter()
+            .filter(|p| p.kind == CrashPointKind::NvmcBurst && p.index >= resize_crossed)
+            .map(|p| p.index)
+            .collect();
+        assert!(
+            !bursts.is_empty(),
+            "{mode:?}: no NVMC-burst boundary after the stretch resize"
+        );
+        for &k in bursts.iter().step_by((bursts.len() / 4).max(1)) {
+            cut_and_verify(mode, Some(RESIZE_AT), k);
+        }
+    }
+}
